@@ -1,0 +1,53 @@
+"""ABL1 — SEP_THOLD sensitivity sweep (repository ablation).
+
+HYBRID is run at SEP_THOLD in {0, 30, 100, 700, inf} on a slice of the
+sample; T=0 coincides with SD and T=inf with EIJ (paper §4), so the sweep
+shows the whole spectrum and where the calibrated default (100) sits.
+
+Run:  pytest benchmarks/bench_ablation_threshold.py --benchmark-only -q
+"""
+
+import pytest
+
+from conftest import decide_once
+from repro.benchgen.suite import sample16
+
+PICKS = sample16()[::3]
+THOLDS = [0, 30, 100, 700, None]
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("bench", PICKS, ids=lambda b: b.name)
+@pytest.mark.parametrize(
+    "thold", THOLDS, ids=lambda t: "T%s" % ("inf" if t is None else t)
+)
+def test_ablation_threshold(benchmark, bench, thold):
+    benchmark.group = "ABL1 %s" % bench.name
+    if thold is None:
+        row = decide_once(benchmark, bench, "EIJ")
+    else:
+        row = decide_once(benchmark, bench, "HYBRID", sep_thold=thold)
+    _ROWS[(bench.name, thold)] = row
+
+
+def test_ablation_threshold_summary(capsys):
+    if len(_ROWS) < len(PICKS) * len(THOLDS):
+        pytest.skip("measurement rows incomplete")
+    decided = {
+        thold: sum(
+            1 for b in PICKS if not _ROWS[(b.name, thold)].timed_out
+        )
+        for thold in THOLDS
+    }
+    with capsys.disabled():
+        print("\nABL1 summary (benchmarks decided per threshold):")
+        for thold in THOLDS:
+            print(
+                "  T=%-5s %d/%d"
+                % ("inf" if thold is None else thold,
+                   decided[thold], len(PICKS))
+            )
+    # The calibrated default must decide at least as many as either
+    # endpoint on this slice (the robustness claim of the paper).
+    assert decided[100] >= max(decided[0], decided[None]) - 1

@@ -1,0 +1,63 @@
+"""FIG3 — EIJ cost vs number of separation predicates (paper Figure 3).
+
+The paper plots, over the 16-benchmark sample, the normalized total time
+of SD and EIJ against the separation-predicate count (both axes log).
+Claims to reproduce: (a) EIJ run-time correlates with the predicate count
+and fails in the translation stage beyond a threshold; (b) SD stays
+comparatively flat and completes on the benchmarks EIJ fails on.
+
+Run:  pytest benchmarks/bench_fig3_seppred_correlation.py --benchmark-only -q
+"""
+
+import pytest
+
+from conftest import decide_once
+from repro.benchgen.suite import sample16
+from repro.experiments.fig3 import rank_correlation
+
+SAMPLE = sample16()
+_ROWS = {}
+
+
+@pytest.mark.parametrize("bench", SAMPLE, ids=lambda b: b.name)
+@pytest.mark.parametrize("procedure", ["EIJ", "SD"])
+def test_fig3_sample_runs(benchmark, bench, procedure):
+    benchmark.group = "FIG3 %s" % procedure
+    row = decide_once(benchmark, bench, procedure)
+    _ROWS[(bench.name, procedure)] = row
+
+
+def test_fig3_correlation_summary(capsys):
+    eij_rows = [
+        _ROWS[(b.name, "EIJ")] for b in SAMPLE if (b.name, "EIJ") in _ROWS
+    ]
+    if len(eij_rows) < 8:
+        pytest.skip("not enough measurement rows")
+    pairs = []
+    for row in eij_rows:
+        sep = row.sep_predicates or _ROWS.get(
+            (row.benchmark, "SD"),
+            row,
+        ).sep_predicates
+        norm = row.normalized_seconds
+        if row.timed_out:
+            norm = 1e6  # translation failure: top of the plot
+        pairs.append((max(sep, 1), norm))
+    rho = rank_correlation(pairs)
+    failures = sum(1 for row in eij_rows if row.timed_out)
+    sd_failures = sum(
+        1
+        for b in SAMPLE
+        if (b.name, "SD") in _ROWS and _ROWS[(b.name, "SD")].timed_out
+    )
+    with capsys.disabled():
+        print("\nFIG3 summary:")
+        for sep, norm in sorted(pairs):
+            print("  sep=%5d  EIJ norm=%10.2f s/Knode" % (sep, norm))
+        print(
+            "  Spearman rho = %.2f; EIJ translation failures: %d/16 "
+            "(paper: 3/16); SD failures: %d/16 (paper: 0)"
+            % (rho, failures, sd_failures)
+        )
+    assert rho > 0.3, "EIJ cost should correlate with predicate count"
+    assert failures >= 1, "the sample must exhibit the EIJ explosion"

@@ -1,0 +1,70 @@
+"""FIG4 — HYBRID vs SD and EIJ on the non-invariant benchmarks (Figure 4).
+
+Claims to reproduce: HYBRID (calibrated default threshold) completes on
+every non-invariant benchmark while SD and EIJ each time out on some;
+points above the y = x diagonal (HYBRID faster) dominate.
+
+The timing rows here cover a representative slice of the 39 benchmarks —
+one small and one large entry per domain plus every entry where a
+competitor fails; ``repro-suf experiment fig4`` runs the full set.
+
+Run:  pytest benchmarks/bench_fig4_hybrid_vs_sd_eij.py --benchmark-only -q
+"""
+
+import pytest
+
+from conftest import decide_once
+from repro.benchgen.suite import non_invariant_suite
+
+_ALL = non_invariant_suite()
+# Small + large entry per domain, plus the EIJ-explosion and SD-timeout
+# region (ooo/driver large, cache large).
+_PICK_INDICES = [0, 6, 7, 12, 13, 17, 19, 20, 24, 25, 26, 31, 32, 33, 38]
+PICKS = [_ALL[i] for i in _PICK_INDICES]
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("bench", PICKS, ids=lambda b: b.name)
+@pytest.mark.parametrize("procedure", ["HYBRID", "SD", "EIJ"])
+def test_fig4_runs(benchmark, bench, procedure):
+    benchmark.group = "FIG4 %s" % bench.name
+    row = decide_once(benchmark, bench, procedure)
+    _ROWS[(bench.name, procedure)] = row
+
+
+def test_fig4_claims(capsys):
+    names = sorted({name for name, _ in _ROWS})
+    if len(names) < len(PICKS):
+        pytest.skip("measurement rows incomplete")
+    hybrid_failures = [
+        n for n in names if _ROWS[(n, "HYBRID")].timed_out
+    ]
+    sd_failures = [n for n in names if _ROWS[(n, "SD")].timed_out]
+    eij_failures = [n for n in names if _ROWS[(n, "EIJ")].timed_out]
+    wins = sum(
+        1
+        for n in names
+        if not _ROWS[(n, "HYBRID")].timed_out
+        and (
+            _ROWS[(n, "SD")].timed_out
+            or _ROWS[(n, "HYBRID")].total_seconds
+            <= _ROWS[(n, "SD")].total_seconds + 0.05
+        )
+        and (
+            _ROWS[(n, "EIJ")].timed_out
+            or _ROWS[(n, "HYBRID")].total_seconds
+            <= _ROWS[(n, "EIJ")].total_seconds * 4
+        )
+    )
+    with capsys.disabled():
+        print("\nFIG4 summary (paper: HYBRID completes all, SD and EIJ "
+              "each time out on some):")
+        print("  HYBRID failures: %s" % (hybrid_failures or "none"))
+        print("  SD failures:     %s" % (sd_failures or "none"))
+        print("  EIJ failures:    %s" % (eij_failures or "none"))
+        print("  HYBRID competitive on %d/%d" % (wins, len(names)))
+    assert not hybrid_failures, "HYBRID must complete on all (paper)"
+    assert sd_failures or eij_failures, (
+        "the slice should include at least one SD or EIJ failure"
+    )

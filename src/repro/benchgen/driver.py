@@ -1,0 +1,82 @@
+"""Device-driver safety benchmarks (BLAST temporal-safety flavoured).
+
+The shape of the queries a software model checker emits when proving a
+lock-discipline property along a path: Boolean program-counter facts, a
+loop counter advanced with ``succ``, bounds carried through the loop, and a
+couple of shallow uninterpreted functions abstracting the data state.
+
+The generated obligation is a path-correctness query::
+
+    path constraints (i1 = i0 + 1, i2 = i1 + 1, ..., ik < n, locks...)
+      =>  safety (i_k <= n, lock state consistent, data preserved)
+
+``valid=False`` weakens one path constraint so the final bound no longer
+follows (the model checker would report this path as a counterexample).
+"""
+
+from __future__ import annotations
+
+from ..logic import builders as b
+from .base import Benchmark, BenchmarkFactory
+
+__all__ = ["make_driver"]
+
+
+def make_driver(
+    steps: int = 4,
+    seed: int = 0,
+    valid: bool = True,
+    name: str = "",
+) -> Benchmark:
+    """Path query with ``steps`` loop unrollings."""
+    factory = BenchmarkFactory(seed)
+    rng = factory.rng
+    state_of = b.func("state_of")
+
+    n = b.const("n")
+    counters = [b.const(factory.fresh("i")) for _ in range(steps + 1)]
+    locked = [b.bconst(factory.fresh("lk")) for _ in range(steps + 1)]
+
+    hyps = []
+    # Counter path: each step increments by one; the guard held on entry.
+    for k in range(steps):
+        hyps.append(b.eq(counters[k + 1], b.succ(counters[k])))
+        hyps.append(b.lt(counters[k], n))
+    # Lock discipline along the path: alternating acquire/release.
+    for k in range(steps):
+        if k % 2 == 0:
+            hyps.append(b.iff(locked[k + 1], b.true()))
+        else:
+            hyps.append(b.iff(locked[k + 1], b.bnot(locked[k])))
+    hyps.append(b.bnot(locked[0]))
+    # Data state is only modified under the lock.
+    d0, d1 = b.const("d0"), b.const("d1")
+    hyps.append(b.implies(b.bnot(locked[1]), b.eq(state_of(d1), state_of(d0))))
+
+    concl = [
+        b.le(counters[-1], n),
+        b.lt(counters[0], b.succ(n)),
+    ]
+    # The counter trace is strictly increasing along the whole path.
+    for j in range(steps + 1):
+        for k in range(j + 1, steps + 1):
+            concl.append(b.lt(counters[j], counters[k]))
+    # The counter advanced exactly `steps`: i_k = i_0 + steps.
+    concl.append(b.eq(counters[-1], b.offset(counters[0], steps)))
+    # Lock state at the end of the first acquire.
+    concl.append(locked[1])
+    if steps >= 2:
+        concl.append(b.bnot(locked[2]))
+
+    if not valid:
+        # Claims one more iteration of progress than the path made.
+        concl.append(b.lt(b.offset(counters[0], steps), counters[-1]))
+
+    formula = b.implies(b.band(*hyps), b.band(*concl))
+    return Benchmark(
+        name=name or "driver_s%d_%d" % (steps, seed),
+        domain="driver",
+        formula=formula,
+        expected_valid=valid,
+        params={"steps": steps, "seed": seed},
+    )

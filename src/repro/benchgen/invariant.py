@@ -1,0 +1,105 @@
+"""Invariant-checking benchmarks — the family where SD must win (Fig. 5).
+
+The paper's invariant-checking formulas (out-of-order processor / ordered
+queue invariants) are characterised by *many inequalities*, a *very large
+number of uninterpreted function applications almost none of which are
+p-functions*, and a *small number of large symbolic-constant classes* —
+which makes EIJ's transitivity constraints explode while the small-domain
+method stays polynomial.
+
+The generated obligation is a gap-sortedness invariant step over ``cells``
+queue cells with *varied* gap constants::
+
+    hyps:   a_i + d_i <= a_{i+1}          (d_i in 1..4, per-step gaps)
+            rank(a_i) + r_i <= rank(a_{i+1})
+            a_i <= a_{i+2} + e_i          (redundant cross window facts)
+            a_0 <= rank(a_0)
+    concl:  a_i < a_j  for i < j,  a_0 + sum(d) <= a_n,
+            rank(a_0) < rank(a_n)
+
+The varied constants are what kill the per-constraint method: derived
+transitivity bounds accumulate *distinct* path-sum constants on every
+chord, so the constraint count grows combinatorially in ``cells`` even
+though the class's SepCnt stays modest — precisely the paper's remark that
+"even if the original number of separation predicates in each class is
+relatively low, the number of symbolic constants involved in those
+predicates is large, and this leads to a large number of transitivity
+constraints".  Every inequality sits in the antecedent or a strict
+conclusion, so nothing is a p-function application.
+
+``valid=False`` claims the final gap is strict (``a_n < a_0 + sum(d)``
+reversed), which the all-tight model falsifies.
+"""
+
+from __future__ import annotations
+
+from ..logic import builders as b
+from .base import Benchmark, BenchmarkFactory
+
+__all__ = ["make_invariant"]
+
+
+def make_invariant(
+    cells: int = 5,
+    seed: int = 0,
+    valid: bool = True,
+    name: str = "",
+) -> Benchmark:
+    """Gap-sortedness invariant obligation over ``cells`` queue cells."""
+    factory = BenchmarkFactory(seed)
+    rng = factory.rng
+    rank = b.func("rank")
+
+    cell = [b.const(factory.fresh("a")) for _ in range(cells)]
+
+    hyps = []
+    gaps = []
+    for i in range(cells - 1):
+        # Deterministically diverse gaps: distinct path sums are what make
+        # the per-constraint translation explode.
+        d = (i + seed) % 5 + 1
+        gaps.append(d)
+        # a_i + d <= a_{i+1}   (written with the offset on the right)
+        hyps.append(b.le(cell[i], b.offset(cell[i + 1], -d)))
+    # A short chain of rank facts ties the (general) rank constants into
+    # the same class without inflating the predicate count: the paper
+    # notes the invariant formulas keep SepCnt *low* while the class is
+    # large, which is exactly why the threshold heuristic picks EIJ and
+    # loses.
+    rank_links = min(cells - 1, 3)
+    for i in range(rank_links):
+        hyps.append(
+            b.le(rank(cell[i]), b.offset(rank(cell[i + 1]), -rng.randint(1, 3)))
+        )
+    # Redundant window facts add chords to the constraint graph.
+    for i in range(cells - 2):
+        hyps.append(b.le(cell[i], b.offset(cell[i + 2], (i + seed) % 4)))
+    for i in range(cells - 3):
+        hyps.append(b.le(cell[i], b.offset(cell[i + 3], (2 * i + seed) % 5)))
+    # Tie the rank values into the same class as the cells.
+    hyps.append(b.le(cell[0], rank(cell[0])))
+
+    total = sum(gaps)
+    concl = [
+        b.lt(cell[0], cell[-1]),
+        b.le(cell[0], b.offset(cell[-1], -total)),
+        b.lt(rank(cell[0]), rank(cell[rank_links])),
+    ]
+    if cells >= 4:
+        mid = cells // 2
+        concl.append(b.lt(cell[0], cell[mid]))
+        concl.append(b.lt(cell[mid], cell[-1]))
+    if not valid:
+        # Claims the chain overshoots its guaranteed total gap; the
+        # all-tight model (every hypothesis an equality) falsifies it.
+        concl.append(b.lt(b.offset(cell[0], total), cell[-1]))
+
+    formula = b.implies(b.band(*hyps), b.band(*concl))
+    return Benchmark(
+        name=name or "invariant_n%d_%d" % (cells, seed),
+        domain="invariant",
+        formula=formula,
+        expected_valid=valid,
+        invariant_checking=True,
+        params={"cells": cells, "seed": seed},
+    )

@@ -1,0 +1,87 @@
+"""Load-store-unit benchmarks (the paper's industrial LSU formulas).
+
+A load searches the in-flight store queue youngest-first for an address
+match and falls back to memory; pointer hypotheses constrain the queue's
+head/tail window.  The obligation combines
+
+* a *store-forwarding* equivalence — the search network rewritten with
+  explicit priority guards must return the same data (EUF + equalities),
+* *pointer window* lemmas — from the chained occupancy hypotheses
+  ``head <= p1 <= ... <= tail`` conclude window facts such as
+  ``head <= tail`` and ``head < tail + 1`` (separation predicates).
+
+This gives the mixed equality/ordering profile the paper describes for the
+LSU formulas.  ``valid=False`` corrupts one pointer conclusion by an
+off-by-one.
+"""
+
+from __future__ import annotations
+
+from ..logic import builders as b
+from .base import Benchmark, BenchmarkFactory
+
+__all__ = ["make_loadstore"]
+
+
+def make_loadstore(
+    entries: int = 3,
+    pointers: int = 4,
+    seed: int = 0,
+    valid: bool = True,
+    name: str = "",
+) -> Benchmark:
+    """Load-store unit benchmark.
+
+    Parameters
+    ----------
+    entries:
+        Store-queue entries searched by the forwarding network.
+    pointers:
+        Length of the queue-pointer occupancy chain.
+    """
+    factory = BenchmarkFactory(seed)
+    mem = b.func("mem")
+    laddr = b.const("laddr")
+    saddrs = [b.const(factory.fresh("sa")) for _ in range(entries)]
+    sdata = [b.const(factory.fresh("sv")) for _ in range(entries)]
+
+    # Youngest-first forwarding network.
+    impl = mem(laddr)
+    for addr, data in reversed(list(zip(saddrs, sdata))):
+        impl = b.ite(b.eq(laddr, addr), data, impl)
+
+    # Priority-explicit network (guards make the cases exclusive).
+    spec = mem(laddr)
+    for i in reversed(range(entries)):
+        guards = [b.eq(laddr, saddrs[i])]
+        for j in range(i):
+            guards.append(b.bnot(b.eq(laddr, saddrs[j])))
+        spec = b.ite(b.band(*guards), sdata[i], spec)
+
+    forwarding_ok = b.eq(impl, spec)
+
+    # Pointer window: head <= p1 <= ... <= tail.
+    ptrs = [b.const(factory.fresh("p")) for _ in range(pointers)]
+    chain = [b.le(ptrs[i], ptrs[i + 1]) for i in range(pointers - 1)]
+    head, tail = ptrs[0], ptrs[-1]
+    window = [
+        b.le(head, tail),
+        b.lt(head, b.succ(tail)),
+        b.bnot(b.lt(tail, head)),
+    ]
+    if not valid:
+        # Off-by-one: claims strict emptiness ordering that need not hold.
+        window.append(b.lt(head, tail))
+
+    formula = b.band(
+        forwarding_ok,
+        b.implies(b.band(*chain), b.band(*window)),
+    )
+
+    return Benchmark(
+        name=name or "loadstore_e%d_p%d_%d" % (entries, pointers, seed),
+        domain="loadstore",
+        formula=formula,
+        expected_valid=valid,
+        params={"entries": entries, "pointers": pointers, "seed": seed},
+    )

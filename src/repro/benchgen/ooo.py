@@ -1,0 +1,80 @@
+"""Out-of-order-processor benchmarks (UCLID FMCAD'02 flavoured).
+
+Reorder-buffer reasoning: instruction tags are allocated in program order,
+so from per-step allocation hypotheses (each tag is the successor of, or
+strictly later than, the previous one) the generator concludes global
+ordering and distinctness facts, together with functional-consistency
+obligations on tag-indexed lookups (``instr_of``, ``dest_of``).
+
+Profile: a moderate number of inequalities over one connected tag class
+plus uninterpreted functions applied to the tags — between the
+pipeline-style (equality-only) and invariant-checking (inequality-dense)
+regimes.  ``valid=False`` asserts an ordering conclusion that the
+hypotheses do not imply (reversed comparison on the last pair).
+"""
+
+from __future__ import annotations
+
+from ..logic import builders as b
+from .base import Benchmark, BenchmarkFactory
+
+__all__ = ["make_ooo"]
+
+
+def make_ooo(
+    tags: int = 4,
+    seed: int = 0,
+    valid: bool = True,
+    name: str = "",
+) -> Benchmark:
+    """Out-of-order tag-ordering benchmark over ``tags`` in-flight tags."""
+    factory = BenchmarkFactory(seed)
+    rng = factory.rng
+    instr_of = b.func("instr_of")
+    dest_of = b.func("dest_of")
+
+    ts = [b.const(factory.fresh("t")) for _ in range(tags)]
+
+    # Allocation hypotheses: t[i+1] = t[i] + 1 or t[i] < t[i+1].
+    hyps = []
+    for i in range(tags - 1):
+        if rng.random() < 0.5:
+            hyps.append(b.eq(ts[i + 1], b.succ(ts[i])))
+        else:
+            hyps.append(b.lt(ts[i], ts[i + 1]))
+
+    # Conclusions: global order, head/tail distance, and the full set of
+    # pairwise orderings (what a reorder-buffer ordering proof discharges).
+    concl = [b.lt(ts[0], ts[-1])]
+    concl.append(b.le(b.succ(ts[0]), ts[-1]))
+    for i in range(tags):
+        for j in range(i + 1, tags):
+            concl.append(b.lt(ts[i], ts[j]))
+
+    # Tag-indexed lookups: if two tag expressions coincide, the lookups do.
+    u, v = b.const("u"), b.const("v")
+    concl.append(
+        b.implies(
+            b.eq(u, v),
+            b.eq(instr_of(u), instr_of(v)),
+        )
+    )
+    concl.append(
+        b.implies(
+            b.band(b.eq(dest_of(u), dest_of(v)), b.eq(u, ts[0])),
+            b.eq(dest_of(ts[0]), dest_of(v)),
+        )
+    )
+
+    if not valid:
+        # Claims the window is strictly tighter than allocation guarantees.
+        concl.append(b.lt(ts[-1], b.offset(ts[0], tags - 1)))
+
+    formula = b.implies(b.band(*hyps), b.band(*concl))
+    return Benchmark(
+        name=name or "ooo_t%d_%d" % (tags, seed),
+        domain="ooo",
+        formula=formula,
+        expected_valid=valid,
+        params={"tags": tags, "seed": seed},
+    )

@@ -1,0 +1,106 @@
+"""DLX-style pipeline correctness benchmarks (Burch–Dill flavoured).
+
+The generated obligation compares two formulations of a forwarding
+(bypass) network feeding an ALU:
+
+* the *implementation* resolves the youngest in-flight writeback first::
+
+      impl(src) = ITE(src = d1, w1, ITE(src = d2, w2, ... regfile(src)))
+
+* the *specification* resolves the same network with the priority test
+  made explicit (check ``dk`` only when no younger ``di`` matched)::
+
+      spec(src) = ITE(src = dn and not(src = d(n-1)) and ..., wn, ...)
+
+The two are semantically identical, so::
+
+    alu(op, impl(srcA), impl(srcB)) = alu(op, spec(srcA), spec(srcB))
+
+is valid.  The formula is EUF-heavy with the top-level data equality in
+*positive* position — the regime where positive equality makes almost every
+function application a p-function, the paper's DLX/processor benchmarks.
+
+``valid=False`` drops one priority guard in the specification, which makes
+the networks genuinely different when two destinations collide.
+"""
+
+from __future__ import annotations
+
+from ..logic import builders as b
+from ..logic.terms import Formula, Term
+from .base import Benchmark, BenchmarkFactory
+
+__all__ = ["make_pipeline"]
+
+
+def _bypass_impl(src: Term, dests, values, regfile) -> Term:
+    """Youngest-first nested-ITE bypass network."""
+    result = regfile(src)
+    for dest, value in reversed(list(zip(dests, values))):
+        result = b.ite(b.eq(src, dest), value, result)
+    return result
+
+
+def _bypass_spec(src: Term, dests, values, regfile, mutate: bool) -> Term:
+    """Priority-explicit network: stage ``i`` fires only when no younger
+    stage ``j < i`` matched.  With ``mutate=True`` the stage priority is
+    reversed *without* adjusting the guards, which disagrees with the
+    implementation whenever two destinations collide on ``src``."""
+    if mutate:
+        # Oldest-first *without* priority guards: picks the oldest matching
+        # stage, the implementation picks the youngest — a real bypass bug.
+        result = regfile(src)
+        for i, (dest, value) in enumerate(zip(dests, values)):
+            result = b.ite(b.eq(src, dest), value, result)
+        return result
+    result = regfile(src)
+    for i in reversed(range(len(dests))):
+        guards = [b.eq(src, dests[i])]
+        for j in range(i):
+            guards.append(b.bnot(b.eq(src, dests[j])))
+        result = b.ite(b.band(*guards), values[i], result)
+    return result
+
+
+def make_pipeline(
+    stages: int = 3,
+    reads: int = 2,
+    seed: int = 0,
+    valid: bool = True,
+    name: str = "",
+) -> Benchmark:
+    """Pipeline forwarding-correctness benchmark.
+
+    Parameters
+    ----------
+    stages:
+        Number of in-flight writeback stages in the bypass network.
+    reads:
+        Number of source operands read through the network.
+    """
+    factory = BenchmarkFactory(seed)
+    regfile = b.func("regfile")
+    alu = b.func("alu")
+
+    dests = [b.const(factory.fresh("d")) for _ in range(stages)]
+    values = [b.const(factory.fresh("w")) for _ in range(stages)]
+    sources = [b.const(factory.fresh("src")) for _ in range(reads)]
+
+    impl_ops = [
+        _bypass_impl(src, dests, values, regfile) for src in sources
+    ]
+    spec_ops = [
+        _bypass_spec(src, dests, values, regfile, mutate=not valid)
+        for src in sources
+    ]
+
+    conclusion = b.eq(alu(*impl_ops), alu(*spec_ops))
+    formula = conclusion
+
+    return Benchmark(
+        name=name or "pipeline_s%d_r%d_%d" % (stages, reads, seed),
+        domain="pipeline",
+        formula=formula,
+        expected_valid=valid,
+        params={"stages": stages, "reads": reads, "seed": seed},
+    )

@@ -1,0 +1,128 @@
+"""Translation-validation benchmarks (Code Validation Tool flavoured).
+
+A compiler pass is validated by proving that source and target expression
+DAGs compute the same value given equal inputs.  The generator builds a
+random source DAG bottom-up over uninterpreted operators (``size`` combine
+steps: binary ops, conditional selections, offset adjustments), applies
+semantics-preserving rewrites to produce the "target" (input renaming, ITE
+branch-swap with negated condition, offset refolding), and emits::
+
+    (inputs equal)  =>  (source = target)
+
+Equality-dense and p-function-heavy — the code-validation profile of the
+paper's software benchmarks.  ``valid=False`` swaps the branches of the
+outermost conditional without negating its condition — a real
+miscompilation, falsifiable because the two arms use different operator
+symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..logic import builders as b
+from ..logic.terms import Eq, FuncApp, Ite, Offset, Term, Var
+from .base import Benchmark, BenchmarkFactory
+
+__all__ = ["make_transval"]
+
+
+def _build_dag(factory: BenchmarkFactory, inputs: List[Term], ops, size: int):
+    """Bottom-up random DAG: each step combines earlier nodes."""
+    rng = factory.rng
+    pool: List[Term] = list(inputs)
+    for step in range(size):
+        choice = rng.random()
+        lhs = rng.choice(pool)
+        rhs = rng.choice(pool)
+        if choice < 0.85:
+            node = rng.choice(ops)(lhs, rhs)
+        else:
+            third = rng.choice(pool)
+            node = b.ite(b.eq(lhs, rhs), third, rng.choice(pool))
+        pool.append(node)
+    # Combine the last couple of roots so the whole DAG is reachable.
+    result = pool[-1]
+    for node in pool[-3:-1]:
+        result = ops[0](result, node)
+    return result
+
+
+def _translate(term: Term, mapping: Dict[Term, Term], mutate: bool) -> Term:
+    """Rebuild ``term`` over target inputs (branch-swap rewrite on ITEs).
+
+    With ``mutate=True``, the *outermost* ITE swaps its branches without
+    negating the condition — a real miscompilation that disagrees whenever
+    the condition holds and the branches differ."""
+    state = {"mutated": not mutate}
+    memo: Dict[Term, Term] = {}
+
+    def walk(t: Term) -> Term:
+        cached = memo.get(t)
+        if cached is not None:
+            return cached
+        if isinstance(t, Var):
+            out = mapping[t]
+        elif isinstance(t, Offset):
+            out = b.offset(walk(t.base), t.k)
+        elif isinstance(t, FuncApp):
+            out = FuncApp(t.symbol, [walk(a) for a in t.args])
+        elif isinstance(t, Ite):
+            cond = t.cond
+            if not isinstance(cond, Eq):
+                raise TypeError("unexpected condition kind in transval")
+            new_cond = Eq(walk(cond.lhs), walk(cond.rhs))
+            if not state["mutated"]:
+                state["mutated"] = True
+                out = b.ite(new_cond, walk(t.els), walk(t.then))
+            else:
+                # Swap the branches and negate the condition: legal.
+                out = b.ite(b.bnot(new_cond), walk(t.els), walk(t.then))
+        else:
+            raise TypeError("unexpected term kind: %r" % (type(t),))
+        memo[t] = out
+        return out
+
+    return walk(term)
+
+
+def make_transval(
+    size: int = 30,
+    inputs: int = 4,
+    seed: int = 0,
+    valid: bool = True,
+    name: str = "",
+) -> Benchmark:
+    """Source/target equivalence obligation for a random expression DAG.
+
+    ``size`` is the number of DAG-construction steps (roughly proportional
+    to the obligation's node count; the dense equality web it produces is
+    what makes these formulas hard at surprisingly small sizes).
+    """
+    factory = BenchmarkFactory(seed)
+    ops = [b.func("op%d" % i) for i in range(3)]
+
+    src_inputs = [b.const(factory.fresh("xs")) for _ in range(inputs)]
+    tgt_inputs = [b.const(factory.fresh("xt")) for _ in range(inputs)]
+    mapping = dict(zip(src_inputs, tgt_inputs))
+
+    body = _build_dag(factory, src_inputs, ops, size)
+    # A guaranteed-distinguishable conditional on top: the two arms use
+    # different operator symbols, so a mutated translation is falsifiable.
+    source = b.ite(
+        b.eq(src_inputs[0], src_inputs[1]),
+        ops[0](body, src_inputs[0]),
+        ops[1](body, src_inputs[1]),
+    )
+    target = _translate(source, mapping, mutate=not valid)
+
+    input_eqs = [b.eq(s, t) for s, t in mapping.items()]
+    formula = b.implies(b.band(*input_eqs), b.eq(source, target))
+
+    return Benchmark(
+        name=name or "transval_s%d_i%d_%d" % (size, inputs, seed),
+        domain="transval",
+        formula=formula,
+        expected_valid=valid,
+        params={"size": size, "inputs": inputs, "seed": seed},
+    )

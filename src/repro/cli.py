@@ -1,0 +1,353 @@
+"""Command-line interface: ``repro-suf`` / ``python -m repro``.
+
+Subcommands
+-----------
+``check FILE``
+    Decide the validity of the SUF formula in ``FILE`` (s-expression
+    syntax, see :mod:`repro.logic.parser`); ``-`` reads stdin.
+``bench NAME``
+    Generate a suite benchmark, print its statistics, and decide it.
+``suite``
+    List the 49-benchmark suite.
+``experiment {fig2,fig3,fig4,fig5,fig6,threshold,ablation,all}``
+    Run one of the paper's experiments and print its table/figure.
+``analyze FILE``
+    Print the separation analysis (classes, domains, SepCnt, per-class
+    method choice) for a formula — the paper's §4 steps 1–4, visible.
+``sat FILE``
+    Run the built-in CDCL solver on a DIMACS CNF file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments
+from .benchgen.suite import benchmark_by_name, suite
+from .core.decision import check_validity
+from .logic.parser import parse_formula
+from .logic.printer import pretty
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-suf",
+        description=(
+            "Hybrid SAT-based decision procedure for separation logic "
+            "with uninterpreted functions (DAC 2003 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="decide a SUF formula file")
+    check.add_argument("file", help="formula file, or - for stdin")
+    check.add_argument(
+        "--method",
+        choices=["hybrid", "sd", "eij", "static", "lazy", "svc"],
+        default="hybrid",
+    )
+    check.add_argument(
+        "--format",
+        choices=["auto", "sexpr", "smtlib"],
+        default="auto",
+        help="input syntax; auto uses smtlib for .smt2 files or scripts "
+        "starting with an SMT-LIB command",
+    )
+    check.add_argument("--sep-thold", type=int, default=700)
+    check.add_argument(
+        "--sd-ranges",
+        choices=["uniform", "ascending"],
+        default="uniform",
+        help="SD domain allocation (ascending = Pnueli-et-al. ranges on "
+        "equality-only classes; only affects --method sd)",
+    )
+    check.add_argument("--timeout", type=float, default=None)
+    check.add_argument(
+        "--countermodel",
+        action="store_true",
+        help="print a countermodel when the formula is invalid",
+    )
+
+    bench = sub.add_parser("bench", help="decide one suite benchmark")
+    bench.add_argument("name")
+    bench.add_argument(
+        "--method",
+        choices=["hybrid", "sd", "eij", "static"],
+        default="hybrid",
+    )
+    bench.add_argument("--invalid", action="store_true")
+    bench.add_argument("--print-formula", action="store_true")
+
+    sub.add_parser("suite", help="list the 49-benchmark suite")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument(
+        "which",
+        choices=[
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "threshold",
+            "ablation",
+            "all",
+        ],
+    )
+    exp.add_argument("--timeout", type=float, default=None)
+    exp.add_argument(
+        "--save",
+        metavar="FILE",
+        default=None,
+        help="also write the experiment's output to FILE",
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="print the separation analysis of a formula"
+    )
+    analyze.add_argument("file", help="formula file, or - for stdin")
+    analyze.add_argument("--sep-thold", type=int, default=700)
+
+    sat = sub.add_parser("sat", help="solve a DIMACS CNF file")
+    sat.add_argument("file", help="DIMACS file, or - for stdin")
+    sat.add_argument("--timeout", type=float, default=None)
+    sat.add_argument(
+        "--model", action="store_true", help="print the satisfying model"
+    )
+    return parser
+
+
+def _looks_like_smtlib(args, text: str) -> bool:
+    fmt = getattr(args, "format", "auto")
+    if fmt != "auto":
+        return fmt == "smtlib"
+    if args.file.endswith(".smt2"):
+        return True
+    head = text.lstrip()
+    return head.startswith("(set-logic") or head.startswith(
+        "(declare-"
+    ) or head.startswith("(assert")
+
+
+def _cmd_check(args) -> int:
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file) as fp:
+            text = fp.read()
+    smtlib_mode = _looks_like_smtlib(args, text)
+    if smtlib_mode:
+        from .logic.smtlib import parse_smtlib
+        from .logic.terms import Not
+
+        script = parse_smtlib(text)
+        # SMT-LIB semantics: check-sat == invalidity of the negation.
+        formula = Not(script.conjunction())
+    else:
+        formula = parse_formula(text)
+
+    if args.method == "lazy":
+        from .solvers.lazy import check_validity_lazy
+
+        result = check_validity_lazy(formula, time_limit=args.timeout)
+    elif args.method == "svc":
+        from .solvers.svclike import check_validity_svc
+
+        result = check_validity_svc(formula, time_limit=args.timeout)
+    else:
+        result = check_validity(
+            formula,
+            method=args.method,
+            sep_thold=args.sep_thold,
+            sat_time_limit=args.timeout,
+            sd_ranges=args.sd_ranges,
+        )
+    if smtlib_mode:
+        verdict = {
+            result.VALID: "unsat",
+            result.INVALID: "sat",
+        }.get(result.status, "unknown")
+        print(verdict)
+    print("status: %s" % result.status)
+    print(
+        "time: %.3fs (encode %.3fs, search %.3fs)"
+        % (
+            result.stats.total_seconds,
+            result.stats.encode_seconds,
+            result.stats.sat_seconds,
+        )
+    )
+    if result.status == result.INVALID and args.countermodel:
+        model = result.counterexample
+        if model is not None:
+            print("countermodel:")
+            for name, value in sorted(model.vars.items()):
+                print("  %s = %d" % (name, value))
+            for name, value in sorted(model.bools.items()):
+                print("  %s = %s" % (name, value))
+    return 0 if result.status == result.VALID else 1
+
+
+def _cmd_bench(args) -> int:
+    bench = benchmark_by_name(args.name, valid=not args.invalid)
+    if bench is None:
+        print("unknown benchmark %r; see `repro-suf suite`" % args.name)
+        return 2
+    if args.print_formula:
+        print(pretty(bench.formula))
+    result = check_validity(bench.formula, method=args.method)
+    print(
+        "%s: %s in %.3fs (expected valid=%s, %d DAG nodes)"
+        % (
+            bench.name,
+            result.status,
+            result.stats.total_seconds,
+            bench.expected_valid,
+            bench.dag_size,
+        )
+    )
+    return 0
+
+
+def _cmd_suite(_args) -> int:
+    for bench in suite():
+        kind = "invariant" if bench.invariant_checking else "regular"
+        print(
+            "%-28s %-10s %-9s %6d nodes"
+            % (bench.name, bench.domain, kind, bench.dag_size)
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    timeout = args.timeout or experiments.DEFAULT_TIMEOUT
+    runners = {
+        "fig2": experiments.fig2.main,
+        "fig3": experiments.fig3.main,
+        "fig4": experiments.fig4.main,
+        "fig5": experiments.fig5.main,
+        "fig6": experiments.fig6.main,
+        "threshold": experiments.threshold_exp.main,
+        "ablation": experiments.ablation.main,
+    }
+    outputs = []
+    if args.which == "all":
+        for name, runner in runners.items():
+            print("=" * 72)
+            outputs.append(runner(timeout))
+            print()
+    else:
+        outputs.append(runners[args.which](timeout))
+    if args.save:
+        with open(args.save, "w") as fp:
+            fp.write("\n\n".join(outputs))
+            fp.write("\n")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .encodings.hybrid import encode_hybrid
+    from .separation.analysis import analyze_separation
+    from .transform.func_elim import eliminate_applications
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file) as fp:
+            text = fp.read()
+    formula = parse_formula(text)
+    f_sep, info = eliminate_applications(formula)
+    analysis = analyze_separation(f_sep)
+    encoding = encode_hybrid(
+        f_sep, sep_thold=args.sep_thold, analysis=analysis
+    )
+    fresh = len(info.fresh_func_vars()) + len(info.fresh_pred_vars())
+    print("fresh constants from UF/UP elimination: %d" % fresh)
+    print(
+        "V_p: %d constant(s), V_g: %d constant(s)"
+        % (len(analysis.p_vars), len(analysis.g_vars))
+    )
+    print("classes: %d" % len(analysis.classes))
+    for vclass in analysis.classes:
+        kind = []
+        if vclass.has_inequality:
+            kind.append("inequalities")
+        if vclass.has_offset:
+            kind.append("offsets")
+        print(
+            "  class %d: %d constant(s), SepCnt=%d, range=%d, span=%d, "
+            "%s -> %s"
+            % (
+                vclass.index,
+                len(vclass.vars),
+                vclass.sep_count,
+                vclass.range_size,
+                vclass.max_span,
+                "+".join(kind) if kind else "equalities only",
+                encoding.method_of_class[vclass.index],
+            )
+        )
+    print(
+        "total SepCnt=%d (SEP_THOLD=%d)"
+        % (analysis.total_sep_count(), args.sep_thold)
+    )
+    return 0
+
+
+def _cmd_sat(args) -> int:
+    from .sat.dimacs import read_dimacs
+    from .sat.solver import solve_cnf
+
+    if args.file == "-":
+        cnf = read_dimacs(sys.stdin)
+    else:
+        with open(args.file) as fp:
+            cnf = read_dimacs(fp)
+    result = solve_cnf(cnf, time_limit=args.timeout)
+    stats = result.stats
+    print("s %s" % ("SATISFIABLE" if result.is_sat else
+                    "UNSATISFIABLE" if result.is_unsat else "UNKNOWN"))
+    print(
+        "c decisions=%d propagations=%d conflicts=%d learned=%d "
+        "restarts=%d time=%.3fs"
+        % (
+            stats.decisions,
+            stats.propagations,
+            stats.conflicts,
+            stats.learned_clauses,
+            stats.restarts,
+            stats.time_seconds,
+        )
+    )
+    if result.is_sat and args.model:
+        lits = [
+            ("%d" % v) if result.model[v] else ("-%d" % v)
+            for v in sorted(result.model)
+        ]
+        print("v %s 0" % " ".join(lits))
+    if result.is_sat:
+        return 10
+    if result.is_unsat:
+        return 20
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "check": _cmd_check,
+        "bench": _cmd_bench,
+        "suite": _cmd_suite,
+        "experiment": _cmd_experiment,
+        "analyze": _cmd_analyze,
+        "sat": _cmd_sat,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Public decision-procedure API."""
+
+from .decision import check_validity, decode_countermodel, lift_countermodel
+from .result import DecisionResult, DecisionStats
+
+__all__ = [
+    "check_validity",
+    "decode_countermodel",
+    "lift_countermodel",
+    "DecisionResult",
+    "DecisionStats",
+]

@@ -1,0 +1,309 @@
+"""The top-level eager decision procedure for SUF validity.
+
+Pipeline (paper §2.1):
+
+1. eliminate uninterpreted function/predicate applications (nested ITEs,
+   positive-equality bookkeeping) — ``F_suf -> F_sep``;
+2. encode ``F_sep`` propositionally with the selected method
+   (``"sd"``, ``"eij"`` or ``"hybrid"``) — ``F_sep -> F_bool``;
+3. Tseitin-flatten ``F_trans ∧ ¬F_bvar`` and run the CDCL solver;
+4. UNSAT means the input is **valid**; a model is decoded back into an
+   integer counterexample (bit-vectors read off directly, difference
+   bounds completed by Bellman–Ford, maximal-diversity values for ``V_p``)
+   and lifted to function tables.
+
+:func:`check_validity` is the main public entry point of the library.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..encodings.hybrid import (
+    DEFAULT_SEP_THOLD,
+    Encoding,
+    encode_eij,
+    encode_hybrid,
+    encode_sd,
+    encode_static_hybrid,
+)
+from ..encodings.sepvars import Bound
+from ..encodings.transitivity import TransitivityBudgetExceeded
+from ..logic.semantics import Interpretation, evaluate, evaluate_term
+from ..logic.terms import BoolVar, Formula, Var
+from ..logic.traversal import collect_bool_vars, collect_vars, dag_size
+from ..sat.solver import CdclSolver, SatStats
+from ..sat.tseitin import to_cnf
+from ..theory.difference import check_bounds
+from ..transform.func_elim import FuncElimInfo, eliminate_applications
+from .result import DecisionResult, DecisionStats
+
+__all__ = ["check_validity", "decode_countermodel", "lift_countermodel"]
+
+METHODS = ("sd", "eij", "hybrid", "static")
+
+
+def check_validity(
+    formula: Formula,
+    method: str = "hybrid",
+    sep_thold: int = DEFAULT_SEP_THOLD,
+    trans_budget: Optional[int] = None,
+    sat_time_limit: Optional[float] = None,
+    sat_conflict_limit: Optional[int] = None,
+    want_countermodel: bool = True,
+    sd_ranges: str = "uniform",
+) -> DecisionResult:
+    """Decide whether a SUF formula is valid.
+
+    Parameters
+    ----------
+    formula:
+        The SUF formula (see :mod:`repro.logic.builders`).
+    method:
+        ``"hybrid"`` (the paper's contribution), ``"sd"`` or ``"eij"``.
+    sep_thold:
+        HYBRID's ``SEP_THOLD`` (ignored by the other methods).
+    trans_budget:
+        Optional cap on transitivity clauses for EIJ-encoded classes; when
+        exceeded, the result status is ``TRANSLATION_LIMIT`` (this is how
+        the experiments model the paper's EIJ translation-stage timeouts).
+    sat_time_limit / sat_conflict_limit:
+        Resource limits for the SAT search (status ``UNKNOWN`` when hit).
+    sd_ranges:
+        ``"uniform"`` uses the paper's per-class window for SD domains;
+        ``"ascending"`` applies the tighter Pnueli-et-al. allocation to
+        equality-only classes (only affects the ``sd`` method).
+    """
+    if method not in METHODS:
+        raise ValueError("unknown method %r; expected one of %r" % (method, METHODS))
+
+    stats = DecisionStats(method=method.upper())
+    stats.dag_size_suf = dag_size(formula)
+
+    t0 = time.perf_counter()
+    f_sep, elim_info = eliminate_applications(formula)
+    stats.dag_size_sep = dag_size(f_sep)
+
+    try:
+        if method == "sd":
+            encoding = encode_sd(f_sep, sd_ranges=sd_ranges)
+        elif method == "eij":
+            encoding = encode_eij(f_sep, trans_budget=trans_budget)
+        elif method == "static":
+            encoding = encode_static_hybrid(f_sep, trans_budget=trans_budget)
+        else:
+            encoding = encode_hybrid(
+                f_sep, sep_thold=sep_thold, trans_budget=trans_budget
+            )
+    except TransitivityBudgetExceeded as exc:
+        stats.encode_seconds = time.perf_counter() - t0
+        return DecisionResult(
+            status=DecisionResult.TRANSLATION_LIMIT,
+            stats=stats,
+            detail=str(exc),
+        )
+
+    cnf = to_cnf(encoding.check_formula)
+    stats.encode_seconds = time.perf_counter() - t0
+    stats.cnf_vars = cnf.num_vars
+    stats.cnf_clauses = len(cnf.clauses)
+    stats.encoding = encoding.stats
+
+    t1 = time.perf_counter()
+    solver = CdclSolver(
+        cnf,
+        max_conflicts=sat_conflict_limit,
+        time_limit=sat_time_limit,
+    )
+    sat_result = solver.solve()
+    stats.sat_seconds = time.perf_counter() - t1
+    stats.sat = sat_result.stats
+
+    if sat_result.status == "UNKNOWN":
+        return DecisionResult(status=DecisionResult.UNKNOWN, stats=stats)
+    if sat_result.is_unsat:
+        return DecisionResult(status=DecisionResult.VALID, stats=stats)
+
+    counterexample = None
+    if want_countermodel:
+        boolvar_model = _boolvar_model(cnf, sat_result.model)
+        sep_model = decode_countermodel(encoding, boolvar_model)
+        counterexample = lift_countermodel(elim_info, f_sep, sep_model)
+        if evaluate(f_sep, sep_model):
+            raise AssertionError(
+                "decoded countermodel does not falsify F_sep — encoding bug"
+            )
+    return DecisionResult(
+        status=DecisionResult.INVALID,
+        stats=stats,
+        counterexample=counterexample,
+    )
+
+
+def _boolvar_model(cnf, model: Dict[int, bool]) -> Dict[BoolVar, bool]:
+    out: Dict[BoolVar, bool] = {}
+    for var, name in cnf.names.items():
+        if isinstance(name, BoolVar) and var in model:
+            out[name] = model[var]
+    return out
+
+
+def decode_countermodel(
+    encoding: Encoding, boolvar_model: Dict[BoolVar, bool]
+) -> Interpretation:
+    """Turn a Boolean model of ``F_trans ∧ ¬F_bvar`` into integers.
+
+    * SD-encoded constants: read their bit-vectors.
+    * EIJ-encoded classes: the asserted difference bounds are consistent
+      (``F_trans`` holds), so Bellman–Ford yields values.
+    * ``V_p`` constants: fresh maximally diverse values, spaced far apart
+      and far above everything general.
+    * user-level symbolic Boolean constants: copied from the model.
+    """
+    analysis = encoding.analysis
+    values: Dict[str, int] = {}
+
+    # SD classes: direct bit readout.
+    for var, bits in encoding.var_bits.items():
+        from ..encodings.bitvector import bv_value
+
+        values[var.name] = bv_value(bits, boolvar_model)
+
+    # EIJ classes with bounds: complete the asserted bounds per class.
+    # Equality-only classes instead partition by the true equality
+    # variables and give each group a distinct value.
+    eij_classes = [
+        vclass
+        for vclass in analysis.classes
+        if encoding.method_of_class[vclass.index] == "EIJ"
+    ]
+    bound_vars = set()
+    for vclass in eij_classes:
+        if (
+            vclass.has_inequality
+            or vclass.has_offset
+            or not encoding.uses_eq_vars
+        ):
+            bound_vars.update(vclass.vars)
+        else:
+            _decode_equality_class(
+                vclass, encoding.registry, boolvar_model, values
+            )
+    if bound_vars:
+        bounds = [
+            b
+            for b in encoding.registry.asserted_bounds(boolvar_model)
+            if b.lhs in bound_vars and b.rhs in bound_vars
+        ]
+        result = check_bounds(bounds)
+        if not result.consistent:
+            raise AssertionError(
+                "F_trans held but bounds are inconsistent — transitivity "
+                "generation is incomplete"
+            )
+        for var in bound_vars:
+            values[var.name] = result.model.get(var, 0) if result.model else 0
+
+    # V_p constants: maximal diversity, far from all general values.  The
+    # spacing must exceed every offset in the formula (including offsets in
+    # pure-V_p atoms, which no class records), so it derives from the whole
+    # pushed formula.
+    from ..logic.traversal import max_offset_magnitude
+
+    span = max_offset_magnitude(analysis.pushed)
+    floor = max(values.values(), default=0) + 10 * (span + 1) + 1
+    step = 2 * span + 2
+    for i, pvar in enumerate(sorted(analysis.p_vars, key=lambda v: v.name)):
+        values[pvar.name] = floor + i * step
+
+    # Any remaining constants (never compared in an atom): zero.
+    for var in collect_vars(analysis.original):
+        values.setdefault(var.name, 0)
+
+    bools = {
+        bv.name: boolvar_model.get(bv, False)
+        for bv in collect_bool_vars(analysis.original)
+    }
+    return Interpretation(vars=values, bools=bools)
+
+
+def _decode_equality_class(vclass, registry, boolvar_model, values) -> None:
+    """Assign values to an equality-only class from its eq-var assignment.
+
+    True equality variables merge constants; each resulting group gets a
+    distinct value (F_trans guarantees the merge respects the false
+    variables, so groups really are separable)."""
+    from ..separation.unionfind import DisjointSet
+
+    members = set(vclass.vars)
+    union = DisjointSet(vclass.vars)
+    for var in registry.all_eq_vars():
+        if not boolvar_model.get(var, False):
+            continue
+        x, y = registry.eq_pair_of(var)
+        if x in members and y in members:
+            union.union(x, y)
+    for index, group in enumerate(union.groups()):
+        for member in group:
+            values[member.name] = index
+
+
+def lift_countermodel(
+    info: FuncElimInfo, f_sep: Formula, sep_model: Interpretation
+) -> Interpretation:
+    """Lift a countermodel of ``F_sep`` to the original SUF vocabulary.
+
+    Function (predicate) tables are rebuilt from the fresh constants: the
+    ``i``-th occurrence defines the value at its argument tuple unless an
+    earlier occurrence already defined that point (which mirrors the
+    nested-ITE semantics exactly).
+    """
+    # Arguments of single-occurrence applications may mention constants
+    # that vanished from F_sep entirely (the first occurrence of f(a) is
+    # replaced by vf1 alone) — give those arbitrary default values.
+    complete = Interpretation(
+        vars=dict(sep_model.vars),
+        bools=dict(sep_model.bools),
+        func_default=sep_model.func_default,
+        pred_default=sep_model.pred_default,
+    )
+    arg_terms = [
+        a
+        for entries in list(info.func_consts.values())
+        + list(info.pred_consts.values())
+        for args, _ in entries
+        for a in args
+    ]
+    for term in arg_terms:
+        for var in collect_vars(term):
+            complete.vars.setdefault(var.name, 0)
+        for bvar in collect_bool_vars(term):
+            complete.bools.setdefault(bvar.name, False)
+    for entries in info.func_consts.values():
+        for _, var in entries:
+            complete.vars.setdefault(var.name, 0)
+    for entries in info.pred_consts.values():
+        for _, var in entries:
+            complete.bools.setdefault(var.name, False)
+
+    lifted = Interpretation(
+        vars=dict(complete.vars),
+        bools=dict(complete.bools),
+        func_default=sep_model.func_default,
+        pred_default=sep_model.pred_default,
+    )
+    for symbol, entries in info.func_consts.items():
+        table = lifted.funcs.setdefault(symbol, {})
+        for args, var in entries:
+            key = tuple(evaluate_term(a, complete) for a in args)
+            if key not in table:
+                table[key] = complete.var(var.name)
+    for symbol, entries in info.pred_consts.items():
+        table = lifted.preds.setdefault(symbol, {})
+        for args, var in entries:
+            key = tuple(evaluate_term(a, complete) for a in args)
+            if key not in table:
+                table[key] = complete.boolvar(var.name)
+    return lifted

@@ -1,0 +1,84 @@
+"""Result and statistics types for the decision procedures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..encodings.hybrid import EncodingStats
+from ..logic.semantics import Interpretation
+from ..sat.solver import SatStats
+
+__all__ = ["DecisionStats", "DecisionResult"]
+
+
+@dataclass
+class DecisionStats:
+    """Timing and size measurements for one validity check.
+
+    ``encode_seconds`` covers everything up to and including CNF
+    generation (the paper's "time taken to translate the formula to a
+    Boolean formula"); ``sat_seconds`` is the SAT search.  Their sum is the
+    paper's "total time".
+    """
+
+    method: str = ""
+    dag_size_suf: int = 0
+    dag_size_sep: int = 0
+    encode_seconds: float = 0.0
+    sat_seconds: float = 0.0
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    encoding: Optional[EncodingStats] = None
+    sat: Optional[SatStats] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.encode_seconds + self.sat_seconds
+
+    @property
+    def conflict_clauses(self) -> int:
+        """The paper's Figure-2 metric: conflict clauses added by the SAT
+        solver."""
+        return self.sat.learned_clauses if self.sat else 0
+
+    @property
+    def sep_predicates(self) -> int:
+        """SepCnt summed over classes — the paper's Figure-3 x-axis."""
+        return self.encoding.total_sep_count if self.encoding else 0
+
+    def normalized_seconds(self) -> float:
+        """Total time per thousand SUF DAG nodes (Figure 3's y-axis)."""
+        knodes = max(self.dag_size_suf, 1) / 1000.0
+        return self.total_seconds / knodes
+
+
+@dataclass
+class DecisionResult:
+    """Outcome of :func:`repro.core.decision.check_validity`."""
+
+    VALID = "VALID"
+    INVALID = "INVALID"
+    UNKNOWN = "UNKNOWN"
+    TRANSLATION_LIMIT = "TRANSLATION_LIMIT"
+
+    status: str
+    stats: DecisionStats = field(default_factory=DecisionStats)
+    counterexample: Optional[Interpretation] = None
+    detail: str = ""
+
+    @property
+    def valid(self) -> Optional[bool]:
+        """True / False when decided, ``None`` when a limit was hit."""
+        if self.status == self.VALID:
+            return True
+        if self.status == self.INVALID:
+            return False
+        return None
+
+    def __repr__(self) -> str:
+        return "DecisionResult(status=%s, method=%s, total=%.3fs)" % (
+            self.status,
+            self.stats.method,
+            self.stats.total_seconds,
+        )

@@ -1,0 +1,58 @@
+"""Propositional encodings of separation logic: SD, EIJ and HYBRID."""
+
+from .bitvector import (
+    bv_add_const,
+    bv_const,
+    bv_eq,
+    bv_mux,
+    bv_ule,
+    bv_ult,
+    bv_value,
+    bv_var,
+    bv_zero_extend,
+    width_for,
+)
+from .hybrid import (
+    DEFAULT_SEP_THOLD,
+    Encoding,
+    EncodingStats,
+    encode_eij,
+    encode_hybrid,
+    encode_sd,
+    encode_static_hybrid,
+)
+from .sepvars import Bound, SepVarRegistry
+from .threshold import ThresholdSelection, select_threshold, two_cluster_split
+from .transitivity import (
+    TransitivityBudgetExceeded,
+    TransitivityStats,
+    generate_transitivity,
+)
+
+__all__ = [
+    "bv_add_const",
+    "bv_const",
+    "bv_eq",
+    "bv_mux",
+    "bv_ule",
+    "bv_ult",
+    "bv_value",
+    "bv_var",
+    "bv_zero_extend",
+    "width_for",
+    "DEFAULT_SEP_THOLD",
+    "Encoding",
+    "EncodingStats",
+    "encode_eij",
+    "encode_hybrid",
+    "encode_sd",
+    "encode_static_hybrid",
+    "Bound",
+    "SepVarRegistry",
+    "ThresholdSelection",
+    "select_threshold",
+    "two_cluster_split",
+    "TransitivityBudgetExceeded",
+    "TransitivityStats",
+    "generate_transitivity",
+]

@@ -1,0 +1,141 @@
+"""Symbolic bit-vector gadgets used by the small-domain (SD) encoding.
+
+A bit-vector is a little-endian list of propositional :class:`Formula`
+objects (bit 0 first).  The gadgets here are the circuits the paper's SD
+method needs: constant vectors, fresh variable vectors, add-a-constant
+(ripple carry), equality and unsigned less-than comparators, and the
+multiplexor that ITE expressions become.
+
+All gadgets are purely structural — they build formula DAGs; Tseitin
+flattens them later.  Widths must match for binary gadgets; use
+:func:`bv_zero_extend` to pad.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..logic.terms import And, BoolVar, FALSE, Formula, Iff, Not, Or, TRUE
+
+__all__ = [
+    "bv_const",
+    "bv_var",
+    "bv_zero_extend",
+    "bv_add_const",
+    "bv_eq",
+    "bv_ult",
+    "bv_ule",
+    "bv_mux",
+    "bv_value",
+    "width_for",
+]
+
+BitVec = List[Formula]
+
+
+def width_for(max_value: int) -> int:
+    """Bits needed to represent values in ``[0, max_value]``."""
+    if max_value < 0:
+        raise ValueError("max_value must be non-negative")
+    return max(1, max_value.bit_length())
+
+
+def bv_const(value: int, width: int) -> BitVec:
+    """Constant bit-vector (little-endian) for a non-negative value."""
+    if value < 0:
+        raise ValueError("bv_const expects a non-negative value")
+    if value.bit_length() > width:
+        raise ValueError(
+            "value %d does not fit in %d bit(s)" % (value, width)
+        )
+    return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+
+def bv_var(prefix: str, width: int) -> BitVec:
+    """Fresh vector of symbolic Boolean constants named ``prefix:i``."""
+    return [BoolVar("%s:%d" % (prefix, i)) for i in range(width)]
+
+
+def bv_zero_extend(bits: Sequence[Formula], width: int) -> BitVec:
+    if len(bits) > width:
+        raise ValueError("cannot shrink a bit-vector with zero_extend")
+    return list(bits) + [FALSE] * (width - len(bits))
+
+
+def bv_add_const(bits: Sequence[Formula], k: int) -> BitVec:
+    """``bits + k`` for ``k >= 0`` via ripple carry; width is preserved.
+
+    The SD encoder guarantees no overflow by construction (domains are
+    shifted and widths sized to the largest encodable value), so the final
+    carry-out is dropped.
+    """
+    if k < 0:
+        raise ValueError(
+            "bv_add_const expects k >= 0; shift domains instead of "
+            "subtracting"
+        )
+    out: BitVec = []
+    carry: Formula = FALSE
+    for i, bit in enumerate(bits):
+        kbit = TRUE if (k >> i) & 1 else FALSE
+        # sum = bit xor kbit xor carry; with kbit constant this simplifies.
+        if kbit is TRUE:
+            total = Iff(bit, carry)  # bit xor 1 xor carry == (bit == carry)
+            new_carry = Or(bit, carry)
+        else:
+            total = Not(Iff(bit, carry))  # bit xor carry
+            new_carry = And(bit, carry)
+        out.append(total)
+        carry = new_carry
+    return out
+
+
+def bv_eq(a: Sequence[Formula], b: Sequence[Formula]) -> Formula:
+    if len(a) != len(b):
+        raise ValueError("width mismatch in bv_eq")
+    return And(*[Iff(x, y) for x, y in zip(a, b)])
+
+
+def bv_ult(a: Sequence[Formula], b: Sequence[Formula]) -> Formula:
+    """Unsigned ``a < b``, built MSB-down."""
+    if len(a) != len(b):
+        raise ValueError("width mismatch in bv_ult")
+    result: Formula = FALSE
+    for x, y in zip(a, b):  # little-endian: least significant first
+        # result(i) = (x < y) or (x == y and result(i-1))
+        result = Or(And(Not(x), y), And(Iff(x, y), result))
+    return result
+
+
+def bv_ule(a: Sequence[Formula], b: Sequence[Formula]) -> Formula:
+    """Unsigned ``a <= b``."""
+    return Not(bv_ult(b, a))
+
+
+def bv_mux(cond: Formula, then: Sequence[Formula], els: Sequence[Formula]) -> BitVec:
+    """Bitwise multiplexor: ``cond ? then : els``."""
+    if len(then) != len(els):
+        raise ValueError("width mismatch in bv_mux")
+    return [Or(And(cond, t), And(Not(cond), e)) for t, e in zip(then, els)]
+
+
+def bv_value(bits: Sequence[Formula], model) -> int:
+    """Decode a bit-vector under a Boolean model.
+
+    ``model`` maps :class:`BoolVar` -> bool.  Constant bits need no entry.
+    """
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit is TRUE:
+            value |= 1 << i
+        elif bit is FALSE:
+            continue
+        elif isinstance(bit, BoolVar):
+            if model.get(bit, False):
+                value |= 1 << i
+        else:
+            raise ValueError(
+                "bv_value can only decode constant/variable bits; "
+                "got %r" % (bit,)
+            )
+    return value

@@ -1,0 +1,87 @@
+"""Automatic selection of SEP_THOLD (paper §4.1).
+
+Given a sample of benchmarks with, for each, the number of separation
+predicates and the *normalized* EIJ run-time (seconds per thousand DAG
+nodes), the paper:
+
+1. sorts the normalized run-times ``T1 <= ... <= Tn``;
+2. finds the split index ``k`` minimising the sum of the variances of
+   ``{T1..Tk}`` and ``{Tk+1..Tn}`` (classic 1-D two-cluster split by squared
+   distance);
+3. sets SEP_THOLD to the smallest multiple of 100 strictly greater than
+   ``n_k``, the separation-predicate count of the benchmark with run-time
+   ``Tk``.
+
+On the authors' 16-benchmark sample this produced ``n_k = 676`` and the
+default ``SEP_THOLD = 700``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ThresholdSelection", "select_threshold", "two_cluster_split"]
+
+
+@dataclass
+class ThresholdSelection:
+    threshold: int  # the selected SEP_THOLD
+    split_index: int  # k: size of the low-runtime cluster
+    boundary_sep_count: int  # n_k
+    sorted_runtimes: Tuple[float, ...]
+    sorted_sep_counts: Tuple[int, ...]
+
+
+def _variance(values: Sequence[float]) -> float:
+    if len(values) <= 1:
+        return 0.0
+    mean = sum(values) / len(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)
+
+
+def two_cluster_split(sorted_values: Sequence[float]) -> int:
+    """Index ``k`` (1-based cluster size) minimising the variance sum.
+
+    ``sorted_values`` must be ascending.  Returns ``k`` with
+    ``1 <= k < len(sorted_values)`` splitting into ``[:k]`` and ``[k:]``;
+    for fewer than two values, returns ``len(sorted_values)``.
+    """
+    n = len(sorted_values)
+    if n < 2:
+        return n
+    best_k, best_score = 1, float("inf")
+    for k in range(1, n):
+        score = _variance(sorted_values[:k]) + _variance(sorted_values[k:])
+        if score < best_score:
+            best_k, best_score = k, score
+    return best_k
+
+
+def select_threshold(
+    samples: Sequence[Tuple[int, float]],
+    round_to: int = 100,
+) -> ThresholdSelection:
+    """Select SEP_THOLD from ``(sep_predicate_count, normalized_time)`` pairs.
+
+    Timed-out benchmarks should be passed with a large sentinel time (the
+    paper's EIJ timeouts naturally land in the slow cluster).
+    """
+    if not samples:
+        raise ValueError("select_threshold needs at least one sample")
+    ordered = sorted(samples, key=lambda s: s[1])
+    times = [t for _, t in ordered]
+    counts = [c for c, _ in ordered]
+    k = two_cluster_split(times)
+    if k >= len(ordered):
+        boundary = max(counts)
+    else:
+        boundary = counts[k - 1]
+    threshold = ((boundary // round_to) + 1) * round_to
+    return ThresholdSelection(
+        threshold=threshold,
+        split_index=k,
+        boundary_sep_count=boundary,
+        sorted_runtimes=tuple(times),
+        sorted_sep_counts=tuple(counts),
+    )

@@ -1,0 +1,229 @@
+"""Transitivity-constraint generation for the per-constraint (EIJ) encoding.
+
+A full assignment to the EIJ Boolean variables asserts one difference bound
+per variable (the bound itself, or its integer negation).  The assignment is
+theory-consistent iff the asserted bounds contain no negative-weight cycle.
+This module generates a propositional formula ``F_trans`` that rules out
+*every* negative cycle, by graph-shaped Fourier–Motzkin elimination:
+
+* build the *variable graph* of the class (nodes = symbolic constants,
+  edges = pairs related by some bound variable);
+* eliminate nodes in min-degree order; when node ``v`` goes, every pair of
+  bounds ``a - v <= c1`` and ``v - b <= c2`` yields the implied bound
+  ``a - b <= c1 + c2``, adding the chord ``(a, b)`` (this is the chordal
+  triangulation the Strichman–Seshia–Bryant CAV'02 procedure performs);
+* an implied bound on a *new* (pair, constant) allocates a fresh Boolean
+  variable — the paper notes "this process might, in general, result in new
+  Boolean variables being generated";
+* self-implications ``a - a <= c`` with ``c < 0`` become two-literal
+  conflict clauses.
+
+The number of constants per edge can grow multiplicatively — this is the
+potentially-exponential blow-up the paper attributes to EIJ.  A budget
+caps the work and raises :class:`TransitivityBudgetExceeded`, which the
+experiment harness treats the way the paper treats EIJ translation-stage
+timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..logic.terms import BoolVar, Formula, Not, Or, Var
+from .sepvars import SepVarRegistry
+
+__all__ = [
+    "TransitivityBudgetExceeded",
+    "TransitivityStats",
+    "generate_transitivity",
+    "generate_equality_transitivity",
+]
+
+
+class TransitivityBudgetExceeded(Exception):
+    """Raised when constraint generation exceeds the configured budget."""
+
+    def __init__(self, clauses: int, budget: int):
+        super().__init__(
+            "transitivity generation exceeded budget: %d clauses "
+            "(budget %d)" % (clauses, budget)
+        )
+        self.clauses = clauses
+        self.budget = budget
+
+
+@dataclass
+class TransitivityStats:
+    clauses: int = 0
+    derived_vars: int = 0
+    eliminated_nodes: int = 0
+    fill_edges: int = 0
+
+
+def _negate(literal: Formula) -> Formula:
+    return literal.arg if isinstance(literal, Not) else Not(literal)
+
+
+def generate_equality_transitivity(
+    registry: SepVarRegistry,
+    class_vars: Sequence[Var],
+    budget: Optional[int] = None,
+    stats: Optional[TransitivityStats] = None,
+) -> List[Formula]:
+    """Triangle constraints for an *equality-only* class (Bryant–Velev).
+
+    Each pair of compared constants has one Boolean variable; the variable
+    graph is chordalised by min-degree elimination, and every triangle of
+    the filled graph contributes its three transitivity implications
+    ``E_ab ∧ E_bc ⇒ E_ac``.  This is the polynomial subclass the paper's
+    Section 3 footnote highlights — no constants, no derived chains.
+    """
+    if stats is None:
+        stats = TransitivityStats()
+    members: Set[Var] = set(class_vars)
+
+    adjacency: Dict[Var, Set[Var]] = {}
+    for x, y in registry.eq_pairs():
+        if x not in members or y not in members:
+            continue
+        adjacency.setdefault(x, set()).add(y)
+        adjacency.setdefault(y, set()).add(x)
+
+    clauses: List[Formula] = []
+    seen_triangles: Set[frozenset] = set()
+
+    def emit_triangle(a: Var, v: Var, c: Var) -> None:
+        key = frozenset((a.uid, v.uid, c.uid))
+        if key in seen_triangles:
+            return
+        seen_triangles.add(key)
+        e_av = registry.eq_var(a, v, derived=True)
+        e_vc = registry.eq_var(v, c, derived=True)
+        e_ac = registry.eq_var(a, c, derived=True)
+        for p, q, r in (
+            (e_av, e_vc, e_ac),
+            (e_av, e_ac, e_vc),
+            (e_vc, e_ac, e_av),
+        ):
+            clauses.append(Or(Not(p), Not(q), r))
+            stats.clauses += 1
+        if budget is not None and stats.clauses > budget:
+            raise TransitivityBudgetExceeded(stats.clauses, budget)
+
+    remaining = set(adjacency)
+    while remaining:
+        node = min(remaining, key=lambda v: (len(adjacency[v]), v.uid))
+        neighbors = sorted(adjacency[node], key=lambda v: v.uid)
+        for i, a in enumerate(neighbors):
+            for c in neighbors[i + 1:]:
+                if c not in adjacency.get(a, set()):
+                    stats.fill_edges += 1
+                adjacency.setdefault(a, set()).add(c)
+                adjacency.setdefault(c, set()).add(a)
+                emit_triangle(a, node, c)
+        for a in neighbors:
+            adjacency[a].discard(node)
+        adjacency[node] = set()
+        remaining.discard(node)
+        stats.eliminated_nodes += 1
+
+    return clauses
+
+
+def generate_transitivity(
+    registry: SepVarRegistry,
+    class_vars: Sequence[Var],
+    budget: Optional[int] = None,
+    stats: Optional[TransitivityStats] = None,
+) -> List[Formula]:
+    """Generate the transitivity clauses for one EIJ-encoded class.
+
+    Returns a list of clause formulas (disjunctions of registry literals);
+    their conjunction is the class's contribution to ``F_trans``.
+    """
+    if stats is None:
+        stats = TransitivityStats()
+    members: Set[Var] = set(class_vars)
+
+    # Directed constant tables: (u, v) -> {c: literal asserting u - v <= c}.
+    table: Dict[Tuple[Var, Var], Dict[int, Formula]] = {}
+    adjacency: Dict[Var, Set[Var]] = {}
+
+    for x, y in registry.pairs():
+        if x not in members or y not in members:
+            continue
+        fwd = table.setdefault((x, y), {})
+        rev = table.setdefault((y, x), {})
+        for c in registry.constants(x, y):
+            lit = registry.literal(x, y, c)
+            fwd[c] = lit
+            rev[-c - 1] = _negate(lit)
+        adjacency.setdefault(x, set()).add(y)
+        adjacency.setdefault(y, set()).add(x)
+
+    clauses: List[Formula] = []
+    seen_clauses: Set[frozenset] = set()
+
+    def emit(lits: Tuple[Formula, ...]) -> None:
+        key = frozenset(id(l) for l in lits)
+        if key in seen_clauses:
+            return
+        seen_clauses.add(key)
+        clauses.append(Or(*lits))
+        stats.clauses += 1
+        if budget is not None and stats.clauses > budget:
+            raise TransitivityBudgetExceeded(stats.clauses, budget)
+
+    def implied_literal(a: Var, b: Var, c: int) -> Formula:
+        entry = table.setdefault((a, b), {})
+        lit = entry.get(c)
+        if lit is None:
+            before = registry.var_count()
+            lit = registry.literal(a, b, c, derived=True)
+            if registry.var_count() > before:
+                stats.derived_vars += 1
+            entry[c] = lit
+            table.setdefault((b, a), {})[-c - 1] = _negate(lit)
+        return lit
+
+    remaining = set(adjacency)
+    while remaining:
+        # Min-degree elimination ordering (deterministic tie-break by uid).
+        node = min(remaining, key=lambda v: (len(adjacency[v]), v.uid))
+        neighbors = sorted(adjacency[node], key=lambda v: v.uid)
+        for a in neighbors:
+            in_bounds = table.get((a, node), {})
+            if not in_bounds:
+                continue
+            for b in neighbors:
+                out_bounds = table.get((node, b), {})
+                if not out_bounds:
+                    continue
+                if a is b:
+                    # a -> node -> a : conflict when the cycle is negative.
+                    for c1, l1 in in_bounds.items():
+                        for c2, l2 in out_bounds.items():
+                            if c1 + c2 >= 0:
+                                continue
+                            nl1, nl2 = _negate(l1), _negate(l2)
+                            if nl1 is l2:  # complementary literals: tautology
+                                continue
+                            emit((nl1, nl2))
+                    continue
+                for c1, l1 in in_bounds.items():
+                    for c2, l2 in out_bounds.items():
+                        l3 = implied_literal(a, b, c1 + c2)
+                        emit((_negate(l1), _negate(l2), l3))
+                if node not in (a, b) and b not in adjacency.get(a, set()):
+                    stats.fill_edges += 1
+                adjacency.setdefault(a, set()).add(b)
+                adjacency.setdefault(b, set()).add(a)
+        # Remove the node from the graph.
+        for a in neighbors:
+            adjacency[a].discard(node)
+        adjacency[node] = set()
+        remaining.discard(node)
+        stats.eliminated_nodes += 1
+
+    return clauses

@@ -1,0 +1,149 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+ABL1 — threshold sensitivity: HYBRID with SEP_THOLD in {0, 100, 700, inf}.
+The endpoints coincide with SD and EIJ by construction (§4: "when
+SEP_THOLD = 0, HYBRID is the same as SD"), so this sweep shows the whole
+SD <-> EIJ spectrum and where the default sits in it.
+
+ABL2 — feature-based vs fixed hybrid: the paper's §1/§3 notes that the
+authors' earlier CFV'02 hybrid (equalities -> EIJ, everything else -> SD,
+decided *statically*, independent of formula features) "met with limited
+success".  This ablation runs that static scheme against feature-based
+HYBRID on both benchmark groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..benchgen.suite import invariant_suite, non_invariant_suite, sample16
+from .report import format_seconds, table
+from .runner import DEFAULT_TIMEOUT, RunRow, run_benchmark
+
+__all__ = [
+    "run_threshold_sweep",
+    "render_threshold_sweep",
+    "run_static_vs_hybrid",
+    "render_static_vs_hybrid",
+]
+
+SWEEP_THOLDS = (0, 30, 100, 700, None)  # None = infinity = pure EIJ
+
+
+def _run_hybrid_at(bench, thold: Optional[int], timeout: float) -> RunRow:
+    if thold is None:
+        return run_benchmark(bench, "EIJ", timeout)
+    return run_benchmark(bench, "HYBRID", timeout, sep_thold=thold)
+
+
+def run_threshold_sweep(
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Dict[str, Dict[Optional[int], RunRow]]:
+    out: Dict[str, Dict[Optional[int], RunRow]] = {}
+    for bench in sample16():
+        out[bench.name] = {
+            thold: _run_hybrid_at(bench, thold, timeout)
+            for thold in SWEEP_THOLDS
+        }
+    return out
+
+
+def render_threshold_sweep(
+    results: Dict[str, Dict[Optional[int], RunRow]]
+) -> str:
+    headers = ["Benchmark"] + [
+        "T=%s" % ("inf" if t is None else t) for t in SWEEP_THOLDS
+    ]
+    body = []
+    for name, runs in results.items():
+        body.append(
+            [name]
+            + [
+                format_seconds(
+                    runs[t].total_seconds, runs[t].timed_out
+                )
+                for t in SWEEP_THOLDS
+            ]
+        )
+    totals = ["decided"]
+    for t in SWEEP_THOLDS:
+        totals.append(
+            "%d/%d"
+            % (
+                sum(1 for runs in results.values() if not runs[t].timed_out),
+                len(results),
+            )
+        )
+    out = ["ABL1: SEP_THOLD sensitivity (T=0 is SD, T=inf is EIJ)"]
+    out.append(table(headers, body + [totals]))
+    return "\n".join(out)
+
+
+@dataclass
+class StaticRow:
+    benchmark: str
+    group: str
+    hybrid: RunRow
+    static: RunRow
+
+
+def run_static_vs_hybrid(timeout: float = DEFAULT_TIMEOUT) -> List[StaticRow]:
+    rows = []
+    for group, benches in (
+        ("non-invariant", non_invariant_suite()),
+        ("invariant", invariant_suite()),
+    ):
+        for bench in benches:
+            rows.append(
+                StaticRow(
+                    benchmark=bench.name,
+                    group=group,
+                    hybrid=run_benchmark(bench, "HYBRID", timeout),
+                    static=run_benchmark(bench, "STATIC", timeout),
+                )
+            )
+    return rows
+
+
+def render_static_vs_hybrid(rows: List[StaticRow]) -> str:
+    headers = ["Benchmark", "Group", "HYBRID", "STATIC (CFV'02)"]
+    body = [
+        [
+            r.benchmark,
+            r.group,
+            format_seconds(r.hybrid.total_seconds, r.hybrid.timed_out),
+            format_seconds(r.static.total_seconds, r.static.timed_out),
+        ]
+        for r in rows
+    ]
+    wins = sum(
+        1
+        for r in rows
+        if not r.hybrid.timed_out
+        and (
+            r.static.timed_out
+            or r.hybrid.total_seconds <= r.static.total_seconds
+        )
+    )
+    out = ["ABL2: feature-based HYBRID vs fixed (static) hybrid"]
+    out.append(table(headers, body))
+    out.append(
+        "HYBRID at-least-as-fast on %d/%d benchmarks." % (wins, len(rows))
+    )
+    return "\n".join(out)
+
+
+def main(timeout: float = DEFAULT_TIMEOUT) -> str:
+    parts = [
+        render_threshold_sweep(run_threshold_sweep(timeout)),
+        "",
+        render_static_vs_hybrid(run_static_vs_hybrid(timeout)),
+    ]
+    text = "\n".join(parts)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Export experiment rows to CSV / JSON for external analysis.
+
+The experiment drivers print human-readable tables; this module turns the
+same :class:`~repro.experiments.runner.RunRow` records into machine-
+readable files so the figures can be re-plotted with external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, fields
+from typing import Iterable, List, TextIO
+
+from .runner import RunRow
+
+__all__ = ["write_csv", "write_json", "rows_to_dicts"]
+
+
+def rows_to_dicts(rows: Iterable[RunRow]) -> List[dict]:
+    out = []
+    for row in rows:
+        record = asdict(row)
+        record["timed_out"] = row.timed_out
+        record["normalized_seconds"] = row.normalized_seconds
+        out.append(record)
+    return out
+
+
+def write_csv(rows: Iterable[RunRow], fp: TextIO) -> None:
+    """Write rows as CSV with a stable header order."""
+    records = rows_to_dicts(rows)
+    header = [f.name for f in fields(RunRow)] + [
+        "timed_out",
+        "normalized_seconds",
+    ]
+    writer = csv.DictWriter(fp, fieldnames=header)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+
+
+def write_json(rows: Iterable[RunRow], fp: TextIO, indent: int = 2) -> None:
+    json.dump(rows_to_dicts(rows), fp, indent=indent, sort_keys=True)
+    fp.write("\n")

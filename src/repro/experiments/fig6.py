@@ -1,0 +1,94 @@
+"""Figure 6 — HYBRID vs other decision procedures (SVC, CVC).
+
+The paper compares HYBRID (default threshold) against SVC 1.1 and CVC on
+the 39 non-invariant benchmarks:
+
+* SVC wins only on small, conjunction-dominated formulas (its conjunction
+  core is a shortest-path check) and blows up on disjunctive ones;
+* CVC's lazy refinement pays a per-iteration overhead and loses by orders
+  of magnitude except on conjunctions that one conflict clause settles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..benchgen.suite import non_invariant_suite
+from .report import ascii_scatter, format_seconds, table
+from .runner import DEFAULT_TIMEOUT, RunRow, run_benchmark
+from .fig4 import summarize_vs_hybrid
+
+__all__ = ["Fig6Row", "run_fig6", "render_fig6"]
+
+
+@dataclass
+class Fig6Row:
+    benchmark: str
+    hybrid: RunRow
+    svc: RunRow
+    cvc: RunRow
+
+
+def run_fig6(timeout: float = DEFAULT_TIMEOUT) -> List[Fig6Row]:
+    rows = []
+    for bench in non_invariant_suite():
+        rows.append(
+            Fig6Row(
+                benchmark=bench.name,
+                hybrid=run_benchmark(bench, "HYBRID", timeout),
+                svc=run_benchmark(bench, "SVC(split)", timeout),
+                cvc=run_benchmark(bench, "CVC(lazy)", timeout),
+            )
+        )
+    return rows
+
+
+def render_fig6(rows: List[Fig6Row], timeout: float = DEFAULT_TIMEOUT) -> str:
+    headers = ["Benchmark", "HYBRID", "SVC(split)", "CVC(lazy)"]
+    body = []
+    svc_pts: List[Tuple[float, float]] = []
+    cvc_pts: List[Tuple[float, float]] = []
+    for row in rows:
+        body.append(
+            [
+                row.benchmark,
+                format_seconds(row.hybrid.total_seconds, row.hybrid.timed_out),
+                format_seconds(row.svc.total_seconds, row.svc.timed_out),
+                format_seconds(row.cvc.total_seconds, row.cvc.timed_out),
+            ]
+        )
+        hx = timeout if row.hybrid.timed_out else row.hybrid.total_seconds
+        svc_pts.append(
+            (hx, timeout if row.svc.timed_out else row.svc.total_seconds)
+        )
+        cvc_pts.append(
+            (hx, timeout if row.cvc.timed_out else row.cvc.total_seconds)
+        )
+    out = ["FIG6: HYBRID vs SVC-style and CVC-style procedures"]
+    out.append(table(headers, body))
+    out.append("")
+    out.append(
+        ascii_scatter(
+            {"SVC": svc_pts, "CVC": cvc_pts},
+            xlabel="HYBRID time (s)",
+            ylabel="SVC/CVC time (s)",
+        )
+    )
+    out.append(
+        summarize_vs_hybrid([(r.hybrid, r.svc) for r in rows], timeout)
+    )
+    out.append(
+        summarize_vs_hybrid([(r.hybrid, r.cvc) for r in rows], timeout)
+    )
+    return "\n".join(out)
+
+
+def main(timeout: float = DEFAULT_TIMEOUT) -> str:
+    text = render_fig6(run_fig6(timeout=timeout), timeout=timeout)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Shared experiment runner: one benchmark × one procedure → one row.
+
+Resource limits stand in for the paper's 30-minute timeout on a 2 GHz
+Pentium-IV running compiled ML + zChaff.  Our stack is pure Python, and the
+synthetic formulas are scaled accordingly, so the default per-run budget is
+seconds, not minutes; a row whose status is ``TIMEOUT`` plays the role of
+the paper's timed-out points (plotted on the "timeout" gridline in the
+scatter figures).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..benchgen.base import Benchmark
+from ..core.decision import check_validity
+from ..core.result import DecisionResult
+from ..solvers.lazy import check_validity_lazy
+from ..solvers.svclike import check_validity_svc
+
+__all__ = [
+    "RunRow",
+    "run_benchmark",
+    "run_suite",
+    "PROCEDURES",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_TRANS_BUDGET",
+    "CALIBRATED_SEP_THOLD",
+]
+
+#: Default wall-clock budget per (benchmark, procedure) run, seconds.
+DEFAULT_TIMEOUT = 20.0
+
+#: Default transitivity-clause budget emulating EIJ translation blow-up.
+DEFAULT_TRANS_BUDGET = 100_000
+
+#: SEP_THOLD produced by the paper's §4.1 auto-selection run on *this*
+#: repository's 16-benchmark sample (see ``threshold_exp``).  The paper's
+#: own suite yielded 700; the constant is suite-relative by design ("a
+#: user can determine a default SEP_THOLD by using a similar statistical
+#: technique on all formulas from a relevant domain").
+CALIBRATED_SEP_THOLD = 100
+
+
+@dataclass
+class RunRow:
+    """One measurement: a benchmark decided by one procedure."""
+
+    benchmark: str
+    domain: str
+    procedure: str
+    status: str
+    total_seconds: float
+    encode_seconds: float = 0.0
+    sat_seconds: float = 0.0
+    cnf_clauses: int = 0
+    conflict_clauses: int = 0
+    sep_predicates: int = 0
+    dag_size: int = 0
+    detail: str = ""
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status in ("UNKNOWN", "TIMEOUT", "TRANSLATION_LIMIT")
+
+    @property
+    def normalized_seconds(self) -> float:
+        """Seconds per thousand DAG nodes (Figure 3's y-axis)."""
+        return self.total_seconds / max(self.dag_size / 1000.0, 1e-9)
+
+
+def _run_eager(bench: Benchmark, method: str, timeout: float, **kw) -> DecisionResult:
+    return check_validity(
+        bench.formula,
+        method=method,
+        sat_time_limit=timeout,
+        trans_budget=kw.get("trans_budget", DEFAULT_TRANS_BUDGET),
+        sep_thold=kw.get("sep_thold", CALIBRATED_SEP_THOLD),
+        want_countermodel=False,
+    )
+
+
+PROCEDURES: Dict[str, Callable] = {
+    "SD": lambda bench, timeout, **kw: _run_eager(bench, "sd", timeout, **kw),
+    "EIJ": lambda bench, timeout, **kw: _run_eager(bench, "eij", timeout, **kw),
+    "HYBRID": lambda bench, timeout, **kw: _run_eager(
+        bench, "hybrid", timeout, **kw
+    ),
+    "STATIC": lambda bench, timeout, **kw: _run_eager(
+        bench, "static", timeout, **kw
+    ),
+    "CVC(lazy)": lambda bench, timeout, **kw: check_validity_lazy(
+        bench.formula, time_limit=timeout, want_countermodel=False
+    ),
+    "SVC(split)": lambda bench, timeout, **kw: check_validity_svc(
+        bench.formula,
+        time_limit=timeout,
+        max_splits=kw.get("max_splits", 2_000_000),
+        want_countermodel=False,
+    ),
+}
+
+
+def run_benchmark(
+    bench: Benchmark,
+    procedure: str,
+    timeout: float = DEFAULT_TIMEOUT,
+    **kw,
+) -> RunRow:
+    """Run one procedure on one benchmark; never raises on resource limits."""
+    runner = PROCEDURES[procedure]
+    start = time.perf_counter()
+    result = runner(bench, timeout, **kw)
+    elapsed = time.perf_counter() - start
+
+    status = result.status
+    if status in (DecisionResult.VALID, DecisionResult.INVALID):
+        if result.valid != bench.expected_valid:
+            raise AssertionError(
+                "%s decided %s as %s but the generator expects valid=%s"
+                % (procedure, bench.name, status, bench.expected_valid)
+            )
+    else:
+        status = "TIMEOUT" if status == DecisionResult.UNKNOWN else status
+
+    stats = result.stats
+    return RunRow(
+        benchmark=bench.name,
+        domain=bench.domain,
+        procedure=procedure,
+        status=status,
+        total_seconds=elapsed,
+        encode_seconds=stats.encode_seconds,
+        sat_seconds=stats.sat_seconds,
+        cnf_clauses=stats.cnf_clauses,
+        conflict_clauses=stats.conflict_clauses,
+        sep_predicates=stats.sep_predicates,
+        dag_size=bench.dag_size,
+        detail=result.detail,
+    )
+
+
+def run_suite(
+    benchmarks: List[Benchmark],
+    procedures: List[str],
+    timeout: float = DEFAULT_TIMEOUT,
+    **kw,
+) -> List[RunRow]:
+    rows: List[RunRow] = []
+    for bench in benchmarks:
+        for procedure in procedures:
+            rows.append(run_benchmark(bench, procedure, timeout, **kw))
+    return rows

@@ -1,0 +1,193 @@
+"""Convenience constructors for SUF formulas.
+
+These are the functions user code is expected to import::
+
+    from repro.logic import builders as b
+
+    x, y = b.const("x"), b.const("y")
+    f = b.func("f")
+    formula = b.implies(b.eq(x, y), b.eq(f(x), f(y)))
+
+Derived comparisons (``le``, ``gt``, ``ge``) are lowered onto the two
+primitive atoms ``=`` and ``<`` using integer reasoning:
+``x <= y  ==  x < y + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .terms import (
+    And,
+    BoolVar,
+    Eq,
+    FALSE,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    TRUE,
+    Term,
+    Var,
+)
+
+__all__ = [
+    "const",
+    "bconst",
+    "func",
+    "pred_symbol",
+    "succ",
+    "pred",
+    "offset",
+    "ite",
+    "true",
+    "false",
+    "bnot",
+    "band",
+    "bor",
+    "implies",
+    "iff",
+    "xor",
+    "eq",
+    "neq",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "distinct",
+    "conjoin",
+    "disjoin",
+]
+
+
+def const(name: str) -> Var:
+    """Integer symbolic constant (0-arity function symbol)."""
+    return Var(name)
+
+
+def bconst(name: str) -> BoolVar:
+    """Symbolic Boolean constant (0-arity predicate symbol)."""
+    return BoolVar(name)
+
+
+def func(symbol: str) -> Callable[..., Term]:
+    """Uninterpreted function symbol: ``f = func("f"); f(x, y)``."""
+
+    def apply(*args: Term) -> Term:
+        if not args:
+            return Var(symbol)
+        return FuncApp(symbol, args)
+
+    apply.symbol = symbol
+    return apply
+
+
+def pred_symbol(symbol: str) -> Callable[..., Formula]:
+    """Uninterpreted predicate symbol: ``p = pred_symbol("p"); p(x)``."""
+
+    def apply(*args: Term) -> Formula:
+        if not args:
+            return BoolVar(symbol)
+        return PredApp(symbol, args)
+
+    apply.symbol = symbol
+    return apply
+
+
+def succ(term: Term, times: int = 1) -> Term:
+    """``term + times`` (the paper's ``succ`` iterated)."""
+    return Offset(term, times)
+
+
+def pred(term: Term, times: int = 1) -> Term:
+    """``term - times`` (the paper's ``pred`` iterated)."""
+    return Offset(term, -times)
+
+
+def offset(term: Term, k: int) -> Term:
+    """``term + k`` for any integer ``k`` (``k == 0`` returns ``term``)."""
+    return Offset(term, k)
+
+
+def ite(cond: Formula, then: Term, els: Term) -> Term:
+    return Ite(cond, then, els)
+
+
+def true() -> Formula:
+    return TRUE
+
+
+def false() -> Formula:
+    return FALSE
+
+
+def bnot(arg: Formula) -> Formula:
+    return Not(arg)
+
+
+def band(*args: Formula) -> Formula:
+    return And(*args)
+
+
+def bor(*args: Formula) -> Formula:
+    return Or(*args)
+
+
+def implies(lhs: Formula, rhs: Formula) -> Formula:
+    return Implies(lhs, rhs)
+
+
+def iff(lhs: Formula, rhs: Formula) -> Formula:
+    return Iff(lhs, rhs)
+
+
+def xor(lhs: Formula, rhs: Formula) -> Formula:
+    return Not(Iff(lhs, rhs))
+
+
+def eq(lhs: Term, rhs: Term) -> Formula:
+    return Eq(lhs, rhs)
+
+
+def neq(lhs: Term, rhs: Term) -> Formula:
+    return Not(Eq(lhs, rhs))
+
+
+def lt(lhs: Term, rhs: Term) -> Formula:
+    return Lt(lhs, rhs)
+
+
+def le(lhs: Term, rhs: Term) -> Formula:
+    """``lhs <= rhs`` as ``lhs < rhs + 1`` (integer semantics)."""
+    return Lt(lhs, Offset(rhs, 1))
+
+
+def gt(lhs: Term, rhs: Term) -> Formula:
+    return Lt(rhs, lhs)
+
+
+def ge(lhs: Term, rhs: Term) -> Formula:
+    return le(rhs, lhs)
+
+
+def distinct(terms: Sequence[Term]) -> Formula:
+    """Pairwise disequality of all the given terms."""
+    parts = []
+    for i, a in enumerate(terms):
+        for b in terms[i + 1:]:
+            parts.append(Not(Eq(a, b)))
+    return And(*parts)
+
+
+def conjoin(formulas: Sequence[Formula]) -> Formula:
+    return And(*formulas)
+
+
+def disjoin(formulas: Sequence[Formula]) -> Formula:
+    return Or(*formulas)

@@ -1,0 +1,213 @@
+"""S-expression parser for SUF formulas (inverse of :mod:`printer`).
+
+Sorts are inferred from context: the top level is a formula, ``=`` / ``<``
+take integer terms, Boolean connectives take formulas, and an unknown head
+symbol becomes a function application in term position and a predicate
+application in formula position.  Bare identifiers become symbolic integer
+constants or symbolic Boolean constants the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from .terms import (
+    And,
+    BoolVar,
+    Eq,
+    FALSE,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    TRUE,
+    Term,
+    Var,
+)
+
+__all__ = ["parse_formula", "parse_term", "ParseError"]
+
+SExpr = Union[str, List["SExpr"]]
+
+
+class ParseError(ValueError):
+    """Raised on malformed input."""
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    buf: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in "()":
+            if buf:
+                tokens.append("".join(buf))
+                buf.clear()
+            tokens.append(ch)
+        elif ch.isspace():
+            if buf:
+                tokens.append("".join(buf))
+                buf.clear()
+        else:
+            buf.append(ch)
+        i += 1
+    if buf:
+        tokens.append("".join(buf))
+    return tokens
+
+
+def _read_sexpr(tokens: List[str], pos: int) -> Tuple[SExpr, int]:
+    if pos >= len(tokens):
+        raise ParseError("unexpected end of input")
+    tok = tokens[pos]
+    if tok == "(":
+        items: List[SExpr] = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = _read_sexpr(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise ParseError("missing closing parenthesis")
+        return items, pos + 1
+    if tok == ")":
+        raise ParseError("unexpected ')'")
+    return tok, pos + 1
+
+
+def _parse_sexpr(text: str) -> SExpr:
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty input")
+    sexpr, pos = _read_sexpr(tokens, 0)
+    if pos != len(tokens):
+        raise ParseError("trailing tokens after expression: %r" % tokens[pos:])
+    return sexpr
+
+
+_FORMULA_HEADS = {"and", "or", "not", "=>", "iff", "=", "<", "<=", ">", ">="}
+_TERM_HEADS = {"succ", "pred", "+", "ite"}
+
+
+def _to_term(sx: SExpr) -> Term:
+    if isinstance(sx, str):
+        if sx in ("true", "false"):
+            raise ParseError("%s is a formula, expected a term" % sx)
+        _check_name(sx)
+        return Var(sx)
+    if not sx:
+        raise ParseError("empty application")
+    head = sx[0]
+    if not isinstance(head, str):
+        raise ParseError("application head must be a symbol: %r" % (head,))
+    args = sx[1:]
+    if head == "succ":
+        _arity(sx, 1)
+        return Offset(_to_term(args[0]), 1)
+    if head == "pred":
+        _arity(sx, 1)
+        return Offset(_to_term(args[0]), -1)
+    if head == "+":
+        _arity(sx, 2)
+        return Offset(_to_term(args[0]), _to_int(args[1]))
+    if head == "ite":
+        _arity(sx, 3)
+        return Ite(_to_formula(args[0]), _to_term(args[1]), _to_term(args[2]))
+    if head in _FORMULA_HEADS:
+        raise ParseError("%s is a formula head, expected a term" % head)
+    _check_name(head)
+    return FuncApp(head, [_to_term(a) for a in args])
+
+
+def _to_formula(sx: SExpr) -> Formula:
+    if isinstance(sx, str):
+        if sx == "true":
+            return TRUE
+        if sx == "false":
+            return FALSE
+        _check_name(sx)
+        return BoolVar(sx)
+    if not sx:
+        raise ParseError("empty application")
+    head = sx[0]
+    if not isinstance(head, str):
+        raise ParseError("application head must be a symbol: %r" % (head,))
+    args = sx[1:]
+    if head == "and":
+        return And(*[_to_formula(a) for a in args])
+    if head == "or":
+        return Or(*[_to_formula(a) for a in args])
+    if head == "not":
+        _arity(sx, 1)
+        return Not(_to_formula(args[0]))
+    if head == "=>":
+        _arity(sx, 2)
+        return Implies(_to_formula(args[0]), _to_formula(args[1]))
+    if head == "iff":
+        _arity(sx, 2)
+        return Iff(_to_formula(args[0]), _to_formula(args[1]))
+    if head == "=":
+        _arity(sx, 2)
+        return Eq(_to_term(args[0]), _to_term(args[1]))
+    if head == "<":
+        _arity(sx, 2)
+        return Lt(_to_term(args[0]), _to_term(args[1]))
+    if head == "<=":
+        _arity(sx, 2)
+        return Lt(_to_term(args[0]), Offset(_to_term(args[1]), 1))
+    if head == ">":
+        _arity(sx, 2)
+        return Lt(_to_term(args[1]), _to_term(args[0]))
+    if head == ">=":
+        _arity(sx, 2)
+        return Lt(_to_term(args[1]), Offset(_to_term(args[0]), 1))
+    if head in _TERM_HEADS:
+        raise ParseError("%s is a term head, expected a formula" % head)
+    _check_name(head)
+    return PredApp(head, [_to_term(a) for a in args])
+
+
+def _arity(sx: List[SExpr], n: int) -> None:
+    if len(sx) - 1 != n:
+        raise ParseError(
+            "%s expects %d argument(s), got %d" % (sx[0], n, len(sx) - 1)
+        )
+
+
+def _to_int(sx: SExpr) -> int:
+    if not isinstance(sx, str):
+        raise ParseError("expected an integer literal, got %r" % (sx,))
+    try:
+        return int(sx)
+    except ValueError:
+        raise ParseError("expected an integer literal, got %r" % (sx,))
+
+
+def _check_name(name: str) -> None:
+    if name in _FORMULA_HEADS or name in _TERM_HEADS:
+        raise ParseError("reserved word used as identifier: %s" % name)
+    try:
+        int(name)
+    except ValueError:
+        return
+    raise ParseError("integer literal in identifier position: %s" % name)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a SUF formula from its s-expression rendering."""
+    return _to_formula(_parse_sexpr(text))
+
+
+def parse_term(text: str) -> Term:
+    """Parse a SUF integer term from its s-expression rendering."""
+    return _to_term(_parse_sexpr(text))

@@ -1,0 +1,134 @@
+"""S-expression printing for SUF formulas.
+
+The concrete syntax is a small Lisp-ish language mirroring the paper's
+Figure 1::
+
+    (and (= x y) (< (succ x) (f x y)) (not P) (p x))
+    (ite (= x y) (pred z) w)
+
+``succ``/``pred`` chains collapse to ``(+ t k)`` for ``|k| > 1`` so that the
+printed form stays readable for large offsets.  :mod:`repro.logic.parser`
+reads this syntax back; round-tripping is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Node,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    Var,
+)
+
+__all__ = ["to_sexpr", "pretty"]
+
+
+def to_sexpr(root: Node) -> str:
+    """Render ``root`` as a single-line s-expression string."""
+    memo: Dict[Node, str] = {}
+    # Build bottom-up over the DAG to avoid recursion-depth issues.
+    from .traversal import postorder
+
+    for node in postorder(root):
+        memo[node] = _render(node, memo)
+    return memo[root]
+
+
+def _render(node: Node, memo: Dict[Node, str]) -> str:
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, BoolVar):
+        return node.name
+    if isinstance(node, BoolConst):
+        return "true" if node.value else "false"
+    if isinstance(node, Offset):
+        base = memo[node.base]
+        if node.k == 1:
+            return "(succ %s)" % base
+        if node.k == -1:
+            return "(pred %s)" % base
+        return "(+ %s %d)" % (base, node.k)
+    if isinstance(node, FuncApp):
+        return "(%s %s)" % (node.symbol, " ".join(memo[a] for a in node.args))
+    if isinstance(node, Ite):
+        return "(ite %s %s %s)" % (
+            memo[node.cond],
+            memo[node.then],
+            memo[node.els],
+        )
+    if isinstance(node, PredApp):
+        return "(%s %s)" % (node.symbol, " ".join(memo[a] for a in node.args))
+    if isinstance(node, Not):
+        return "(not %s)" % memo[node.arg]
+    if isinstance(node, And):
+        return "(and %s)" % " ".join(memo[a] for a in node.args)
+    if isinstance(node, Or):
+        return "(or %s)" % " ".join(memo[a] for a in node.args)
+    if isinstance(node, Implies):
+        return "(=> %s %s)" % (memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Iff):
+        return "(iff %s %s)" % (memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Eq):
+        return "(= %s %s)" % (memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Lt):
+        return "(< %s %s)" % (memo[node.lhs], memo[node.rhs])
+    raise TypeError("unknown node kind: %r" % (type(node),))
+
+
+def pretty(root: Node, indent: int = 2, max_width: int = 72) -> str:
+    """Multi-line rendering: short sub-expressions stay on one line."""
+    flat = to_sexpr(root)
+    if len(flat) <= max_width:
+        return flat
+    return _pretty_node(root, 0, indent, max_width)
+
+
+def _pretty_node(node: Node, depth: int, indent: int, max_width: int) -> str:
+    flat = to_sexpr(node)
+    pad = " " * (depth * indent)
+    if len(flat) + depth * indent <= max_width or not node.children():
+        return pad + flat
+
+    head = _head_symbol(node)
+    lines: List[str] = [pad + "(" + head]
+    for child in node.children():
+        lines.append(_pretty_node(child, depth + 1, indent, max_width))
+    lines[-1] += ")"
+    return "\n".join(lines)
+
+
+def _head_symbol(node: Node) -> str:
+    if isinstance(node, Offset):
+        return "+ _ %d" % node.k
+    if isinstance(node, (FuncApp, PredApp)):
+        return node.symbol
+    if isinstance(node, Ite):
+        return "ite"
+    if isinstance(node, Not):
+        return "not"
+    if isinstance(node, And):
+        return "and"
+    if isinstance(node, Or):
+        return "or"
+    if isinstance(node, Implies):
+        return "=>"
+    if isinstance(node, Iff):
+        return "iff"
+    if isinstance(node, Eq):
+        return "="
+    if isinstance(node, Lt):
+        return "<"
+    return "?"

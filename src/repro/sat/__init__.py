@@ -1,0 +1,20 @@
+"""Propositional substrate: CNF, DIMACS I/O, Tseitin, CDCL solver."""
+
+from .cnf import Cnf
+from .dimacs import dumps, loads, read_dimacs, write_dimacs
+from .solver import CdclSolver, SatResult, SatStats, solve_cnf
+from .tseitin import to_cnf, tseitin
+
+__all__ = [
+    "Cnf",
+    "dumps",
+    "loads",
+    "read_dimacs",
+    "write_dimacs",
+    "CdclSolver",
+    "SatResult",
+    "SatStats",
+    "solve_cnf",
+    "to_cnf",
+    "tseitin",
+]

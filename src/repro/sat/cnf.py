@@ -1,0 +1,69 @@
+"""CNF container shared by the Tseitin transform and the SAT solver.
+
+Variables are positive integers ``1..num_vars``; literals are nonzero
+signed integers as in DIMACS.  The container tracks a name table mapping
+solver variables back to the :class:`~repro.logic.terms.BoolVar` (or other
+label) they encode, which the decision procedures use to decode
+counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Cnf"]
+
+
+class Cnf:
+    """A growable CNF formula."""
+
+    def __init__(self) -> None:
+        self.num_vars: int = 0
+        self.clauses: List[List[int]] = []
+        self.names: Dict[int, object] = {}
+        self._by_name: Dict[object, int] = {}
+
+    def new_var(self, name: object = None) -> int:
+        """Allocate a fresh variable, optionally labelled with ``name``."""
+        self.num_vars += 1
+        var = self.num_vars
+        if name is not None:
+            self.names[var] = name
+            self._by_name[name] = var
+        return var
+
+    def var_for(self, name: object) -> int:
+        """Variable labelled ``name``, allocating it on first use."""
+        var = self._by_name.get(name)
+        if var is None:
+            var = self.new_var(name)
+        return var
+
+    def lookup(self, name: object) -> Optional[int]:
+        """Variable labelled ``name`` if it exists, else ``None``."""
+        return self._by_name.get(name)
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = list(lits)
+        for lit in clause:
+            var = abs(lit)
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            if var > self.num_vars:
+                raise ValueError(
+                    "literal %d references unallocated variable" % lit
+                )
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return "Cnf(num_vars=%d, clauses=%d)" % (
+            self.num_vars,
+            len(self.clauses),
+        )

@@ -1,0 +1,70 @@
+"""DIMACS CNF reading and writing.
+
+Provided so that encodings produced by this package can be cross-checked
+with external SAT solvers (the paper used zChaff 2001.2.17), and so random
+DIMACS instances can be fed to :mod:`repro.sat.solver` in tests.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from .cnf import Cnf
+
+__all__ = ["write_dimacs", "read_dimacs", "dumps", "loads"]
+
+
+def write_dimacs(cnf: Cnf, fp: TextIO, comment: str = "") -> None:
+    """Write ``cnf`` to ``fp`` in DIMACS format."""
+    if comment:
+        for line in comment.splitlines():
+            fp.write("c %s\n" % line)
+    fp.write("p cnf %d %d\n" % (cnf.num_vars, len(cnf.clauses)))
+    for clause in cnf.clauses:
+        fp.write(" ".join(str(lit) for lit in clause))
+        fp.write(" 0\n")
+
+
+def read_dimacs(fp: TextIO) -> Cnf:
+    """Read a DIMACS CNF file into a :class:`Cnf`."""
+    cnf = Cnf()
+    declared_vars = None
+    pending: list = []
+    for raw in fp:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError("malformed problem line: %r" % line)
+            declared_vars = int(parts[2])
+            while cnf.num_vars < declared_vars:
+                cnf.new_var()
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                while abs(lit) > cnf.num_vars:
+                    cnf.new_var()
+                pending.append(lit)
+    if pending:
+        cnf.add_clause(pending)
+    return cnf
+
+
+def dumps(cnf: Cnf, comment: str = "") -> str:
+    import io
+
+    buf = io.StringIO()
+    write_dimacs(cnf, buf, comment)
+    return buf.getvalue()
+
+
+def loads(text: str) -> Cnf:
+    import io
+
+    return read_dimacs(io.StringIO(text))

@@ -1,0 +1,172 @@
+"""Tseitin transformation: propositional :class:`Formula` DAG to CNF.
+
+The encoders in :mod:`repro.encodings` output *propositional* formulas —
+``Formula`` objects whose only atoms are :class:`BoolVar` and
+:class:`BoolConst`.  This module flattens such a DAG to CNF, introducing one
+definition variable per internal connective node.  Sharing in the DAG is
+preserved: each distinct node is defined exactly once, which is what keeps
+the CNF size linear in DAG size (the property the paper's size analysis
+relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..logic.terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Node,
+    Not,
+    Or,
+    TRUE,
+)
+from ..logic.traversal import postorder
+from .cnf import Cnf
+
+__all__ = ["tseitin", "to_cnf"]
+
+
+def tseitin(
+    formula: Formula, cnf: Cnf = None, lits: Dict[Node, int] = None
+) -> Tuple[Cnf, int]:
+    """Encode ``formula``; returns ``(cnf, root_literal)``.
+
+    The caller asserts the root by adding ``[root_literal]`` as a unit
+    clause (:func:`to_cnf` does exactly that).  Passing an existing ``cnf``
+    allows several formulas to share one variable space, and passing the
+    same ``lits`` memo across calls keeps shared sub-DAGs defined once.
+    """
+    if cnf is None:
+        cnf = Cnf()
+    if lits is None:
+        lits = {}
+
+    # TRUE/FALSE get a dedicated always-true variable so that constant
+    # sub-formulas need no special-casing in parents.
+    const_var = None
+
+    def const_lit(value: bool) -> int:
+        nonlocal const_var
+        if const_var is None:
+            const_var = cnf.new_var(("tseitin", "const_true"))
+            cnf.add_clause([const_var])
+        return const_var if value else -const_var
+
+    for node in postorder(formula):
+        if node in lits:
+            continue
+        if isinstance(node, BoolConst):
+            lits[node] = const_lit(node.value)
+        elif isinstance(node, BoolVar):
+            lits[node] = cnf.var_for(node)
+        elif isinstance(node, Not):
+            lits[node] = -lits[node.arg]
+        elif isinstance(node, And):
+            out = cnf.new_var()
+            kids = [lits[a] for a in node.args]
+            for k in kids:
+                cnf.add_clause([-out, k])
+            cnf.add_clause([out] + [-k for k in kids])
+            lits[node] = out
+        elif isinstance(node, Or):
+            out = cnf.new_var()
+            kids = [lits[a] for a in node.args]
+            for k in kids:
+                cnf.add_clause([out, -k])
+            cnf.add_clause([-out] + kids)
+            lits[node] = out
+        elif isinstance(node, Implies):
+            out = cnf.new_var()
+            a, b = lits[node.lhs], lits[node.rhs]
+            cnf.add_clause([-out, -a, b])
+            cnf.add_clause([out, a])
+            cnf.add_clause([out, -b])
+            lits[node] = out
+        elif isinstance(node, Iff):
+            out = cnf.new_var()
+            a, b = lits[node.lhs], lits[node.rhs]
+            cnf.add_clause([-out, -a, b])
+            cnf.add_clause([-out, a, -b])
+            cnf.add_clause([out, a, b])
+            cnf.add_clause([out, -a, -b])
+            lits[node] = out
+        else:
+            raise TypeError(
+                "non-propositional node reached Tseitin: %r" % (type(node),)
+            )
+    return cnf, lits[formula]
+
+
+def to_cnf(formula: Formula) -> Cnf:
+    """Encode ``formula`` and assert it, returning a self-contained CNF.
+
+    Top-level conjunctions are asserted conjunct by conjunct, and asserted
+    disjunctions of plain literals become clauses directly — no definition
+    variables.  This matters a lot for the encoders' output shape
+    ``F_trans ∧ ¬F_bvar``, where ``F_trans`` is a large conjunction of
+    literal clauses (transitivity constraints).
+    """
+    cnf = Cnf()
+    if formula is TRUE:
+        return cnf
+    if formula is FALSE:
+        v = cnf.new_var(("tseitin", "const_true"))
+        cnf.add_clause([v])
+        cnf.add_clause([-v])
+        return cnf
+
+    asserted: list = [formula]
+    complex_nodes: list = []
+    while asserted:
+        node = asserted.pop()
+        if node is TRUE:
+            continue
+        if node is FALSE:
+            v = cnf.var_for(("tseitin", "const_false_assert"))
+            cnf.add_clause([v])
+            cnf.add_clause([-v])
+            continue
+        if isinstance(node, And):
+            asserted.extend(node.args)
+            continue
+        lits = _literal_clause(node, cnf)
+        if lits is not None:
+            cnf.add_clause(lits)
+            continue
+        complex_nodes.append(node)
+
+    shared_memo: dict = {}
+    for node in complex_nodes:
+        _, root = tseitin(node, cnf, shared_memo)
+        cnf.add_clause([root])
+    return cnf
+
+
+def _literal_clause(node: Formula, cnf: Cnf):
+    """DIMACS literals when ``node`` is a literal or a clause of literals."""
+
+    def literal(sub):
+        if isinstance(sub, BoolVar):
+            return cnf.var_for(sub)
+        if isinstance(sub, Not) and isinstance(sub.arg, BoolVar):
+            return -cnf.var_for(sub.arg)
+        return None
+
+    single = literal(node)
+    if single is not None:
+        return [single]
+    if isinstance(node, Or):
+        out = []
+        for arg in node.args:
+            lit = literal(arg)
+            if lit is None:
+                return None
+            out.append(lit)
+        return out
+    return None

@@ -1,0 +1,11 @@
+"""Separation-logic analyses: equivalence classes, domains, SepCnt."""
+
+from .analysis import SeparationAnalysis, VarClass, analyze_separation
+from .unionfind import DisjointSet
+
+__all__ = [
+    "SeparationAnalysis",
+    "VarClass",
+    "analyze_separation",
+    "DisjointSet",
+]

@@ -1,0 +1,71 @@
+"""A small union–find (disjoint set) with path compression and union by rank.
+
+Used to build the paper's equivalence classes of symbolic constants: two
+constants share a class when they are compared (directly or through ITE
+branches) by an equality or inequality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+__all__ = ["DisjointSet"]
+
+
+class DisjointSet(Generic[T]):
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._rank: Dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def find(self, item: T) -> T:
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:  # path compression
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the classes of ``a`` and ``b``; returns the new root."""
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def union_all(self, items: Iterable[T]) -> None:
+        it = iter(items)
+        try:
+            first = next(it)
+        except StopIteration:
+            return
+        for item in it:
+            self.union(first, item)
+
+    def groups(self) -> List[List[T]]:
+        """All classes, each sorted; the list itself sorted by first item."""
+        by_root: Dict[T, List[T]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        out = [sorted(group, key=repr) for group in by_root.values()]
+        out.sort(key=lambda g: repr(g[0]))
+        return out

@@ -1,0 +1,24 @@
+"""Decision procedures beyond the eager core: brute force, lazy (CVC-style),
+and structural case splitting (SVC-style)."""
+
+from .brute import (
+    BruteForceLimitExceeded,
+    brute_force_countermodel_sep,
+    brute_force_valid,
+    brute_force_valid_sep,
+    sep_domain_bound,
+)
+from .lazy import LazyStats, check_validity_lazy
+from .svclike import SvcStats, check_validity_svc
+
+__all__ = [
+    "BruteForceLimitExceeded",
+    "brute_force_countermodel_sep",
+    "brute_force_valid",
+    "brute_force_valid_sep",
+    "sep_domain_bound",
+    "LazyStats",
+    "check_validity_lazy",
+    "SvcStats",
+    "check_validity_svc",
+]

@@ -1,0 +1,167 @@
+"""Lazy SAT + theory-refinement decision procedure (the CVC baseline).
+
+The Cooperating Validity Checker (Barrett, Dill, Stump; CAV'02) decides SUF
+formulas by *lazy* Boolean abstraction:
+
+1. replace every separation predicate with a fresh Boolean variable (no
+   transitivity constraints at all);
+2. call the SAT solver on the abstraction of ``¬F``;
+3. if UNSAT — the formula is valid;
+4. if SAT — check the asserted difference bounds with the theory solver;
+   if consistent, the formula is invalid and the bounds yield an integer
+   countermodel; otherwise add a *conflict clause* built from the
+   negative-cycle explanation (the smallest inconsistent literal subset the
+   cycle provides) and repeat.
+
+Faithful-to-the-original choices:
+
+* no positive-equality analysis (CVC interprets all constants generally);
+* the refinement loop pays a theory check plus a SAT (re)start per round
+  — the per-iteration overhead the paper measures against (CVC used a
+  customised incremental Chaff; both an incremental mode and a
+  restart-from-scratch mode are provided, the latter isolating the
+  overhead in the ablation benchmarks);
+* conflict clauses are minimal (one negative cycle each), mirroring
+  "CVC tries to add conflict clauses that involve the smallest possible
+  subset of literals from the satisfying assignment".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.decision import decode_countermodel, lift_countermodel
+from ..core.result import DecisionResult, DecisionStats
+from ..encodings.hybrid import encode_eij
+from ..logic.terms import BoolVar, Formula
+from ..logic.traversal import dag_size
+from ..sat.cnf import Cnf
+from ..sat.solver import CdclSolver
+from ..sat.tseitin import to_cnf
+from ..separation.analysis import analyze_separation
+from ..theory.difference import check_bounds
+from ..transform.func_elim import eliminate_applications
+
+__all__ = ["LazyStats", "check_validity_lazy"]
+
+
+@dataclass
+class LazyStats(DecisionStats):
+    """Adds refinement-loop counters to the common statistics."""
+
+    iterations: int = 0
+    conflict_clauses_added: int = 0
+    theory_checks: int = 0
+
+
+def check_validity_lazy(
+    formula: Formula,
+    max_iterations: Optional[int] = None,
+    time_limit: Optional[float] = None,
+    want_countermodel: bool = True,
+    incremental: bool = True,
+) -> DecisionResult:
+    """Decide SUF validity with the lazy (CVC-style) procedure.
+
+    ``incremental=True`` keeps one SAT solver alive across refinement
+    rounds (conflict clauses are added to it and learned clauses carry
+    over, as CVC's customised Chaff did); ``incremental=False`` restarts
+    the SAT search from scratch every round, which isolates the
+    per-iteration overhead the paper measures (see the lazy-vs-eager
+    ablation benchmark).
+    """
+    stats = LazyStats(method="LAZY")
+    stats.dag_size_suf = dag_size(formula)
+    start = time.perf_counter()
+
+    f_sep, elim_info = eliminate_applications(formula)
+    stats.dag_size_sep = dag_size(f_sep)
+    analysis = analyze_separation(f_sep, positive_equality=False)
+    encoding = encode_eij(f_sep, analysis=analysis, transitivity=False)
+    registry = encoding.registry
+
+    cnf = to_cnf(encoding.check_formula)
+    stats.encode_seconds = time.perf_counter() - start
+    stats.cnf_vars = cnf.num_vars
+    stats.cnf_clauses = len(cnf.clauses)
+    stats.encoding = encoding.stats
+
+    sat_start = time.perf_counter()
+    solver: Optional[CdclSolver] = None
+    while True:
+        if (
+            time_limit is not None
+            and time.perf_counter() - start > time_limit
+        ):
+            stats.sat_seconds = time.perf_counter() - sat_start
+            return DecisionResult(status=DecisionResult.UNKNOWN, stats=stats)
+        if max_iterations is not None and stats.iterations >= max_iterations:
+            stats.sat_seconds = time.perf_counter() - sat_start
+            return DecisionResult(status=DecisionResult.UNKNOWN, stats=stats)
+
+        stats.iterations += 1
+        remaining = None
+        if time_limit is not None:
+            remaining = max(0.01, time_limit - (time.perf_counter() - start))
+        if incremental and solver is not None:
+            solver.time_limit = remaining
+        else:
+            solver = CdclSolver(cnf, time_limit=remaining)
+        result = solver.solve()
+        stats.sat = result.stats  # keep the last round's search stats
+
+        if result.status == "UNKNOWN":
+            stats.sat_seconds = time.perf_counter() - sat_start
+            return DecisionResult(status=DecisionResult.UNKNOWN, stats=stats)
+        if result.is_unsat:
+            stats.sat_seconds = time.perf_counter() - sat_start
+            return DecisionResult(status=DecisionResult.VALID, stats=stats)
+
+        boolvar_model = _boolvar_model(cnf, result.model)
+        bounds = registry.asserted_bounds(boolvar_model)
+        stats.theory_checks += 1
+        theory = check_bounds(bounds)
+
+        if theory.consistent:
+            stats.sat_seconds = time.perf_counter() - sat_start
+            counterexample = None
+            if want_countermodel:
+                sep_model = decode_countermodel(encoding, boolvar_model)
+                counterexample = lift_countermodel(
+                    elim_info, f_sep, sep_model
+                )
+            return DecisionResult(
+                status=DecisionResult.INVALID,
+                stats=stats,
+                counterexample=counterexample,
+            )
+
+        # Refine: block the negative cycle.  Each cycle bound was asserted
+        # by some registry literal; the blocking clause negates them all.
+        clause: List[int] = []
+        for bound in theory.cycle:
+            lit = registry.literal(bound.lhs, bound.rhs, bound.c)
+            clause.append(-_dimacs_literal(cnf, lit))
+        cnf.add_clause(clause)
+        if incremental:
+            solver.add_clause(clause)
+        stats.conflict_clauses_added += 1
+
+
+def _boolvar_model(cnf: Cnf, model: Dict[int, bool]) -> Dict[BoolVar, bool]:
+    out: Dict[BoolVar, bool] = {}
+    for var, name in cnf.names.items():
+        if isinstance(name, BoolVar) and var in model:
+            out[name] = model[var]
+    return out
+
+
+def _dimacs_literal(cnf: Cnf, literal) -> int:
+    """Map a registry literal (BoolVar or its negation) to a DIMACS lit."""
+    from ..logic.terms import Not
+
+    if isinstance(literal, Not):
+        return -cnf.var_for(literal.arg)
+    return cnf.var_for(literal)

@@ -1,0 +1,11 @@
+"""Theory solvers: difference-bound conjunctions and congruence closure."""
+
+from .congruence import CongruenceClosure
+from .difference import DifferenceResult, DifferenceSolver, check_bounds
+
+__all__ = [
+    "CongruenceClosure",
+    "DifferenceResult",
+    "DifferenceSolver",
+    "check_bounds",
+]

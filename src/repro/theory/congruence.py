@@ -1,0 +1,144 @@
+"""Congruence closure for conjunctions of EUF (in)equalities.
+
+This is the classic Nelson–Oppen/Downey–Sethi–Tarjan union–find procedure
+SVC- and CVC-class tools use as their equality core: given asserted
+equalities between terms (with uninterpreted function applications) it
+computes the closure under congruence (``a = b  =>  f(a) = f(b)``) and
+checks the asserted disequalities against it.
+
+The eager pipeline never needs this (function applications are compiled
+away before encoding), but the repository ships it as the theory substrate
+for the baseline solvers' lineage and as an independent oracle for testing
+the function-elimination pass on conjunctive EUF problems.
+
+Offsets are handled by treating ``t + k`` as an uninterpreted wrapper
+``offset_k(t)`` — sound for pure-equality reasoning (it preserves
+``a = b => a + k = b + k``) but *not* for ordering; callers that need
+ordering must use :mod:`repro.theory.difference`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.terms import FuncApp, Ite, Offset, Term, Var
+
+__all__ = ["CongruenceClosure"]
+
+
+class CongruenceClosure:
+    """Incremental congruence closure over SUF terms (no ITEs).
+
+    Terms are registered on first use; :meth:`merge` asserts an equality,
+    :meth:`assert_diseq` a disequality.  :meth:`consistent` reports whether
+    any asserted disequality has been merged.  Uses union–find with
+    congruence propagation via a use-list worklist.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._uses: Dict[Term, List[Tuple]] = {}
+        self._signatures: Dict[Tuple, Term] = {}
+        self._diseqs: List[Tuple[Term, Term]] = []
+
+    # -- term registration ----------------------------------------------------
+
+    def add_term(self, term: Term) -> None:
+        if term in self._parent:
+            return
+        if isinstance(term, Ite):
+            raise ValueError(
+                "congruence closure handles ITE-free terms; expand ITEs "
+                "first"
+            )
+        self._parent[term] = term
+        self._uses[term] = []
+        if isinstance(term, FuncApp):
+            for arg in term.args:
+                self.add_term(arg)
+            self._register_use(term)
+        elif isinstance(term, Offset):
+            self.add_term(term.base)
+            self._register_use(term)
+        elif not isinstance(term, Var):
+            raise TypeError("unsupported term kind: %r" % (type(term),))
+
+    def _signature(self, term: Term) -> Tuple:
+        if isinstance(term, FuncApp):
+            return (term.symbol,) + tuple(self.find(a) for a in term.args)
+        if isinstance(term, Offset):
+            return ("$offset", term.k, self.find(term.base))
+        raise TypeError("leaf terms have no signature")
+
+    def _register_use(self, term: Term) -> None:
+        children = (
+            term.args if isinstance(term, FuncApp) else (term.base,)
+        )
+        for child in children:
+            self._uses[self.find(child)].append(term)
+        sig = self._signature(term)
+        existing = self._signatures.get(sig)
+        if existing is not None and self.find(existing) != self.find(term):
+            self._union(existing, term)
+        else:
+            self._signatures[sig] = term
+
+    # -- union-find -----------------------------------------------------------
+
+    def find(self, term: Term) -> Term:
+        self.add_term(term)
+        root = term
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[term] != root:
+            parent[term], term = root, parent[term]
+        return root
+
+    def _union(self, a: Term, b: Term) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        # Merge the smaller use list into the larger.
+        if len(self._uses[ra]) < len(self._uses[rb]):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        pending = self._uses[rb]
+        self._uses[rb] = []
+        self._uses[ra].extend(pending)
+        # Re-examine signatures of parents of the merged class.
+        for use in pending:
+            sig = self._signature(use)
+            existing = self._signatures.get(sig)
+            if existing is None:
+                self._signatures[sig] = use
+            elif self.find(existing) != self.find(use):
+                self._union(existing, use)
+
+    # -- public assertions ------------------------------------------------------
+
+    def merge(self, a: Term, b: Term) -> None:
+        """Assert ``a = b``."""
+        self.add_term(a)
+        self.add_term(b)
+        self._union(a, b)
+
+    def assert_diseq(self, a: Term, b: Term) -> None:
+        """Assert ``a != b``."""
+        self.add_term(a)
+        self.add_term(b)
+        self._diseqs.append((a, b))
+
+    def equal(self, a: Term, b: Term) -> bool:
+        """Are ``a`` and ``b`` known equal under the asserted equalities?"""
+        return self.find(a) == self.find(b)
+
+    def consistent(self) -> bool:
+        """No asserted disequality is forced equal."""
+        return all(self.find(a) != self.find(b) for a, b in self._diseqs)
+
+    def first_conflict(self) -> Optional[Tuple[Term, Term]]:
+        for a, b in self._diseqs:
+            if self.find(a) == self.find(b):
+                return (a, b)
+        return None

@@ -1,0 +1,30 @@
+"""Validity-preserving transformations: function elimination, polarity
+analysis (positive equality), and ground-term computation."""
+
+from .func_elim import FuncElimInfo, eliminate_applications
+from .ground import (
+    enumerate_leaf_paths,
+    enumerate_leaves,
+    ground_terms_of,
+    leaf_count,
+    push_offsets,
+    push_offsets_term,
+    split_ground,
+)
+from .polarity import NEG, POS, PolarityInfo, analyze_polarity
+
+__all__ = [
+    "FuncElimInfo",
+    "eliminate_applications",
+    "enumerate_leaf_paths",
+    "enumerate_leaves",
+    "ground_terms_of",
+    "leaf_count",
+    "push_offsets",
+    "push_offsets_term",
+    "split_ground",
+    "NEG",
+    "POS",
+    "PolarityInfo",
+    "analyze_polarity",
+]

@@ -1,0 +1,184 @@
+"""Elimination of uninterpreted function and predicate applications.
+
+Implements the nested-ITE scheme of Bryant, German and Velev that the paper
+uses (Section 2.1.1).  For a function symbol ``f`` with occurrences
+``f(a1), f(a2), ...`` (in a fixed traversal order), fresh symbolic constants
+``vf1, vf2, ...`` are introduced and the ``i``-th occurrence is replaced by::
+
+    ITE(args_i = args_1, vf1,
+        ITE(args_i = args_2, vf2,
+            ... vfi))
+
+which enforces functional consistency by construction.  Predicate
+applications are eliminated the same way with fresh symbolic *Boolean*
+constants and a formula-level if-then-else.
+
+The result is a *separation logic* formula (``F_sep``): only symbolic
+constants, offsets (succ/pred), ITEs, equations, inequalities and Boolean
+connectives remain.
+
+The elimination records, for every fresh constant, which symbol and
+occurrence it came from (:class:`FuncElimInfo`); the positive-equality
+analysis later uses the occurrence structure, and counterexample decoding
+uses it to reconstruct function values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..logic.terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Node,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    Term,
+    Var,
+)
+from ..logic.traversal import iter_dag, postorder
+
+__all__ = ["FuncElimInfo", "eliminate_applications"]
+
+FRESH_FUNC_PREFIX = "$vf"
+FRESH_PRED_PREFIX = "$vp"
+
+
+@dataclass
+class FuncElimInfo:
+    """Provenance of the fresh constants introduced by the elimination.
+
+    Attributes
+    ----------
+    func_consts:
+        symbol -> ordered list of ``(argument-tuple, fresh Var)``; the
+        argument tuples are the *transformed* arguments, in occurrence order.
+    pred_consts:
+        symbol -> ordered list of ``(argument-tuple, fresh BoolVar)``.
+    """
+
+    func_consts: Dict[str, List[Tuple[Tuple[Term, ...], Var]]] = field(
+        default_factory=dict
+    )
+    pred_consts: Dict[str, List[Tuple[Tuple[Term, ...], BoolVar]]] = field(
+        default_factory=dict
+    )
+
+    def fresh_func_vars(self) -> List[Var]:
+        out: List[Var] = []
+        for entries in self.func_consts.values():
+            out.extend(v for _, v in entries)
+        return out
+
+    def fresh_pred_vars(self) -> List[BoolVar]:
+        out: List[BoolVar] = []
+        for entries in self.pred_consts.values():
+            out.extend(v for _, v in entries)
+        return out
+
+
+def _args_equal(args_a: Tuple[Term, ...], args_b: Tuple[Term, ...]) -> Formula:
+    return And(*[Eq(a, b) for a, b in zip(args_a, args_b)])
+
+
+def _formula_ite(cond: Formula, then: Formula, els: Formula) -> Formula:
+    return Or(And(cond, then), And(Not(cond), els))
+
+
+def eliminate_applications(formula: Formula) -> Tuple[Formula, FuncElimInfo]:
+    """Return ``(F_sep, info)`` with all UF/UP applications eliminated.
+
+    Fresh integer constants are named ``$vf<n>:<symbol>`` and fresh Boolean
+    constants ``$vp<n>:<symbol>``; the ``$`` prefix keeps them out of the
+    user's namespace (the parser rejects it is not required — user formulas
+    simply should not use ``$``-prefixed names).
+    """
+    info = FuncElimInfo()
+    counter = [0]
+    # node -> replacement (Term for terms, Formula for formulas)
+    memo: Dict[Node, Node] = {}
+
+    def fresh_func(symbol: str) -> Var:
+        counter[0] += 1
+        return Var("%s%d:%s" % (FRESH_FUNC_PREFIX, counter[0], symbol))
+
+    def fresh_pred(symbol: str) -> BoolVar:
+        counter[0] += 1
+        return BoolVar("%s%d:%s" % (FRESH_PRED_PREFIX, counter[0], symbol))
+
+    def eliminate_func_app(node: FuncApp) -> Term:
+        args = tuple(memo[a] for a in node.args)
+        entries = info.func_consts.setdefault(node.symbol, [])
+        var = fresh_func(node.symbol)
+        result: Term = var
+        # Build the ITE chain from the last previous occurrence inward so
+        # that earlier occurrences are tested first (paper's ordering).
+        for prev_args, prev_var in reversed(entries):
+            result = Ite(_args_equal(args, prev_args), prev_var, result)
+        entries.append((args, var))
+        return result
+
+    def eliminate_pred_app(node: PredApp) -> Formula:
+        args = tuple(memo[a] for a in node.args)
+        entries = info.pred_consts.setdefault(node.symbol, [])
+        var = fresh_pred(node.symbol)
+        result: Formula = var
+        for prev_args, prev_var in reversed(entries):
+            result = _formula_ite(
+                _args_equal(args, prev_args), prev_var, result
+            )
+        entries.append((args, var))
+        return result
+
+    for node in postorder(formula):
+        if isinstance(node, FuncApp):
+            memo[node] = eliminate_func_app(node)
+        elif isinstance(node, PredApp):
+            memo[node] = eliminate_pred_app(node)
+        elif isinstance(node, Var):
+            memo[node] = node
+        elif isinstance(node, Offset):
+            memo[node] = Offset(memo[node.base], node.k)
+        elif isinstance(node, Ite):
+            memo[node] = Ite(memo[node.cond], memo[node.then], memo[node.els])
+        elif isinstance(node, (BoolConst, BoolVar)):
+            memo[node] = node
+        elif isinstance(node, Not):
+            memo[node] = Not(memo[node.arg])
+        elif isinstance(node, And):
+            memo[node] = And(*[memo[a] for a in node.args])
+        elif isinstance(node, Or):
+            memo[node] = Or(*[memo[a] for a in node.args])
+        elif isinstance(node, Implies):
+            memo[node] = Implies(memo[node.lhs], memo[node.rhs])
+        elif isinstance(node, Iff):
+            memo[node] = Iff(memo[node.lhs], memo[node.rhs])
+        elif isinstance(node, Eq):
+            memo[node] = Eq(memo[node.lhs], memo[node.rhs])
+        elif isinstance(node, Lt):
+            memo[node] = Lt(memo[node.lhs], memo[node.rhs])
+        else:
+            raise TypeError("unknown node kind: %r" % (type(node),))
+
+    result = memo[formula]
+    _assert_no_applications(result)
+    return result, info
+
+
+def _assert_no_applications(formula: Formula) -> None:
+    for node in iter_dag(formula):
+        if isinstance(node, (FuncApp, PredApp)):
+            raise AssertionError(
+                "application survived elimination: %r" % (node,)
+            )

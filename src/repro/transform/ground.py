@@ -1,0 +1,262 @@
+"""Ground-term computation for separation-logic formulas (paper §4 step 2).
+
+Offsets are pushed through ITEs with the paper's rewrite rules::
+
+    succ(pred(T))        -> T            (automatic: Offset nodes collapse)
+    pred(succ(T))        -> T            (automatic)
+    succ(ITE(F, T1, T2)) -> ITE(F, succ(T1), succ(T2))
+    pred(ITE(F, T1, T2)) -> ITE(F, pred(T1), pred(T2))
+
+until every leaf of every atom's term is a *ground term* ``v + k`` for a
+symbolic constant ``v`` and integer ``k``.  :func:`enumerate_leaves` then
+produces the guard/ground-term pairs ``(c_i, g_i)`` the per-constraint
+encoding needs: ``T`` evaluates to ``g_i`` exactly when guard ``c_i`` holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..logic.terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    Formula,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Node,
+    Not,
+    Offset,
+    Or,
+    Term,
+    TRUE,
+    Var,
+)
+from ..logic.traversal import postorder
+
+__all__ = [
+    "push_offsets",
+    "push_offsets_term",
+    "ground_terms_of",
+    "enumerate_leaves",
+    "leaf_count",
+    "split_ground",
+]
+
+
+class _Pusher:
+    """Offset pusher with memo tables shared across a whole formula.
+
+    ``fmemo`` maps already-pushed formula nodes (ITE conditions reach it
+    before their enclosing atoms because conditions are DAG children);
+    ``tmemo`` maps ``(term, pending offset)`` pairs so shared sub-DAGs are
+    pushed once per distinct pending offset.
+    """
+
+    def __init__(self) -> None:
+        self.fmemo: Dict[Formula, Formula] = {}
+        self.tmemo: Dict[Tuple[Term, int], Term] = {}
+
+    def push_term(self, term: Term, k: int = 0) -> Term:
+        key = (term, k)
+        cached = self.tmemo.get(key)
+        if cached is not None:
+            return cached
+        # Iterative worklist to survive deep ITE chains.
+        stack: List[Tuple[Term, int]] = [(term, k)]
+        while stack:
+            node, off = stack[-1]
+            if (node, off) in self.tmemo:
+                stack.pop()
+                continue
+            if isinstance(node, Var):
+                self.tmemo[(node, off)] = Offset(node, off)
+                stack.pop()
+            elif isinstance(node, Offset):
+                inner = (node.base, off + node.k)
+                if inner in self.tmemo:
+                    self.tmemo[(node, off)] = self.tmemo[inner]
+                    stack.pop()
+                else:
+                    stack.append(inner)
+            elif isinstance(node, Ite):
+                then_key = (node.then, off)
+                els_key = (node.els, off)
+                missing = [
+                    kk for kk in (then_key, els_key) if kk not in self.tmemo
+                ]
+                if missing:
+                    stack.extend(missing)
+                else:
+                    cond = self.fmemo.get(node.cond, node.cond)
+                    self.tmemo[(node, off)] = Ite(
+                        cond,
+                        self.tmemo[then_key],
+                        self.tmemo[els_key],
+                    )
+                    stack.pop()
+            else:
+                raise TypeError(
+                    "offset pushing expects application-free terms; "
+                    "found %r" % (type(node),)
+                )
+        return self.tmemo[key]
+
+    def push_formula(self, formula: Formula) -> Formula:
+        fmemo = self.fmemo
+        for node in postorder(formula):
+            if node in fmemo:
+                continue
+            if isinstance(node, Term):
+                continue  # handled on demand at the atoms
+            if isinstance(node, (BoolConst, BoolVar)):
+                fmemo[node] = node
+            elif isinstance(node, Not):
+                fmemo[node] = Not(fmemo[node.arg])
+            elif isinstance(node, And):
+                fmemo[node] = And(*[fmemo[a] for a in node.args])
+            elif isinstance(node, Or):
+                fmemo[node] = Or(*[fmemo[a] for a in node.args])
+            elif isinstance(node, Implies):
+                fmemo[node] = Implies(fmemo[node.lhs], fmemo[node.rhs])
+            elif isinstance(node, Iff):
+                fmemo[node] = Iff(fmemo[node.lhs], fmemo[node.rhs])
+            elif isinstance(node, Eq):
+                fmemo[node] = Eq(
+                    self.push_term(node.lhs), self.push_term(node.rhs)
+                )
+            elif isinstance(node, Lt):
+                fmemo[node] = Lt(
+                    self.push_term(node.lhs), self.push_term(node.rhs)
+                )
+            else:
+                raise TypeError("unknown formula kind: %r" % (type(node),))
+        return fmemo[formula]
+
+
+def push_offsets_term(term: Term) -> Term:
+    """Push all offsets in ``term`` down to the leaves."""
+    return _Pusher().push_term(term, 0)
+
+
+def push_offsets(formula: Formula) -> Formula:
+    """Push offsets to the leaves throughout a separation-logic formula."""
+    return _Pusher().push_formula(formula)
+
+
+def split_ground(term: Term) -> Tuple[Var, int]:
+    """Decompose a ground term into ``(base variable, offset)``."""
+    if isinstance(term, Var):
+        return term, 0
+    if isinstance(term, Offset) and isinstance(term.base, Var):
+        return term.base, term.k
+    raise ValueError("not a ground term: %r" % (term,))
+
+
+def ground_terms_of(term: Term) -> List[Term]:
+    """All distinct ground-term leaves of an offset-pushed term."""
+    out = set()
+    seen = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, Ite):
+            stack.append(node.then)
+            stack.append(node.els)
+        else:
+            split_ground(node)  # validates
+            out.add(node)
+    return sorted(out, key=lambda t: t.uid)
+
+
+def _branch_postorder(term: Term) -> List[Term]:
+    """Postorder over the subgraph reachable via ITE *branch* edges only."""
+    seen = set()
+    emitted = set()
+    out: List[Term] = []
+    stack = [term]
+    while stack:
+        node = stack[-1]
+        if id(node) in emitted:
+            stack.pop()
+            continue
+        if id(node) in seen:
+            stack.pop()
+            emitted.add(id(node))
+            out.append(node)
+            continue
+        seen.add(id(node))
+        if isinstance(node, Ite):
+            for child in (node.then, node.els):
+                if id(child) not in emitted:
+                    stack.append(child)
+    return out
+
+
+def enumerate_leaves(term: Term) -> List[Tuple[Formula, Term]]:
+    """Guarded leaves: ``[(c_i, g_i)]`` with ``T = g_i`` under guard ``c_i``.
+
+    The term must be offset-pushed.  The number of pairs equals the number
+    of root-to-leaf *paths*, which is what makes the per-constraint ITE
+    elimination potentially expensive — exactly the cost the paper's
+    ``SepCnt`` estimate upper-bounds.
+    """
+    memo: Dict[Term, List[Tuple[Formula, Term]]] = {}
+    for node in _branch_postorder(term):
+        if isinstance(node, Ite):
+            memo[node] = [
+                (And(node.cond, c), g) for c, g in memo[node.then]
+            ] + [
+                (And(Not(node.cond), c), g) for c, g in memo[node.els]
+            ]
+        else:
+            split_ground(node)  # validates
+            memo[node] = [(TRUE, node)]
+    return memo[term]
+
+
+def enumerate_leaf_paths(
+    term: Term,
+) -> List[Tuple[Tuple[Tuple[Formula, bool], ...], Term]]:
+    """Like :func:`enumerate_leaves`, but guards stay as literal lists.
+
+    Each result is ``(((cond, polarity), ...), ground_term)``: the ground
+    term is reached when every ``cond`` evaluates to ``polarity``.  Encoders
+    prefer this form because each condition formula must be *encoded* (its
+    atoms replaced), which is easier before the conjunction is built.
+    """
+    memo: Dict[Term, List[Tuple[Tuple[Tuple[Formula, bool], ...], Term]]] = {}
+    for node in _branch_postorder(term):
+        if isinstance(node, Ite):
+            memo[node] = [
+                (((node.cond, True),) + path, g)
+                for path, g in memo[node.then]
+            ] + [
+                (((node.cond, False),) + path, g)
+                for path, g in memo[node.els]
+            ]
+        else:
+            split_ground(node)  # validates
+            memo[node] = [((), node)]
+    return memo[term]
+
+
+def leaf_count(term: Term) -> int:
+    """Number of guarded leaves of ``term`` without materialising guards.
+
+    This is the quantity the paper's SepCnt estimate multiplies: the number
+    of ground terms a side of an atom can evaluate to (counted per path).
+    """
+    memo: Dict[Term, int] = {}
+    for node in _branch_postorder(term):
+        if isinstance(node, Ite):
+            memo[node] = memo[node.then] + memo[node.els]
+        else:
+            memo[node] = 1
+    return memo[term]

@@ -1,0 +1,82 @@
+"""Rendering tests for the threshold-selection and ablation reports."""
+
+from repro.encodings.threshold import select_threshold
+from repro.experiments.ablation import (
+    StaticRow,
+    render_static_vs_hybrid,
+    render_threshold_sweep,
+    SWEEP_THOLDS,
+)
+from repro.experiments.runner import RunRow
+from repro.experiments.threshold_exp import render_threshold
+
+
+def row(name, procedure, seconds, status="VALID"):
+    return RunRow(
+        benchmark=name,
+        domain="driver",
+        procedure=procedure,
+        status=status,
+        total_seconds=seconds,
+        sep_predicates=40,
+        dag_size=100,
+    )
+
+
+class TestThresholdRender:
+    def test_render_threshold(self):
+        selection = select_threshold(
+            [(30, 0.5), (41, 9.0), (119, 1000.0)]
+        )
+        rows = [
+            ("a", 30, 0.5, "VALID"),
+            ("b", 41, 9.0, "VALID"),
+            ("c", 119, 1000.0, "TRANSLATION_LIMIT"),
+        ]
+        text = render_threshold(selection, rows)
+        assert "SEP_THOLD=100" in text
+        assert "n_k=41" in text
+        assert "paper: n_k=676" in text
+
+
+class TestSweepRender:
+    def test_decided_counts(self):
+        results = {
+            "bench_a": {
+                t: row("bench_a", "HYBRID", 1.0) for t in SWEEP_THOLDS
+            },
+            "bench_b": {
+                t: row(
+                    "bench_b",
+                    "HYBRID",
+                    20.0,
+                    status="TRANSLATION_LIMIT" if t is None else "VALID",
+                )
+                for t in SWEEP_THOLDS
+            },
+        }
+        text = render_threshold_sweep(results)
+        assert "T=inf" in text
+        assert "1/2" in text  # the EIJ endpoint decided only one
+        assert "2/2" in text
+
+
+class TestStaticRender:
+    def test_win_count(self):
+        rows = [
+            StaticRow(
+                benchmark="x1",
+                group="non-invariant",
+                hybrid=row("x1", "HYBRID", 0.5),
+                static=row("x1", "STATIC", 20.0, status="TIMEOUT"),
+            ),
+            StaticRow(
+                benchmark="x2",
+                group="invariant",
+                hybrid=row("x2", "HYBRID", 2.0),
+                static=row("x2", "STATIC", 1.0),
+            ),
+        ]
+        text = render_static_vs_hybrid(rows)
+        assert "HYBRID at-least-as-fast on 1/2" in text
+        assert "invariant" in text

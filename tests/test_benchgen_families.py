@@ -1,0 +1,158 @@
+"""Per-family structural tests for the benchmark generators.
+
+`test_benchgen.py` covers validity and suite shape; this file pins down
+the *qualitative features* each family must exhibit, because the paper's
+evaluation story depends on them (DESIGN.md §4).
+"""
+
+import pytest
+
+from repro.benchgen import (
+    make_cache,
+    make_driver,
+    make_invariant,
+    make_loadstore,
+    make_ooo,
+    make_pipeline,
+    make_transval,
+)
+from repro.logic.traversal import collect_atoms, dag_size, iter_dag
+from repro.logic.terms import Lt
+from repro.separation.analysis import analyze_separation
+from repro.transform.func_elim import eliminate_applications
+
+
+def analysis_of(bench):
+    f_sep, _ = eliminate_applications(bench.formula)
+    return analyze_separation(f_sep)
+
+
+class TestPipelineFamily:
+    def test_grows_with_stages(self):
+        sizes = [
+            make_pipeline(stages=s, reads=2, seed=1).dag_size
+            for s in (2, 4, 6)
+        ]
+        assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+
+    def test_equality_only_classes(self):
+        analysis = analysis_of(make_pipeline(stages=4, reads=2, seed=1))
+        assert analysis.classes
+        for vclass in analysis.classes:
+            assert not vclass.has_inequality
+            assert not vclass.has_offset
+
+    def test_has_p_functions(self):
+        analysis = analysis_of(make_pipeline(stages=3, reads=2, seed=1))
+        # The top-level ALU results are positive-equality applications;
+        # everything feeding the bypass comparisons is general (their
+        # equalities sit in ITE conditions, which are bipolar).
+        assert len(analysis.p_vars) == 2
+        assert all(v.name.startswith("$vf") for v in analysis.p_vars)
+
+
+class TestLoadstoreFamily:
+    def test_mixed_character(self):
+        analysis = analysis_of(
+            make_loadstore(entries=4, pointers=8, seed=1)
+        )
+        kinds = {
+            (c.has_inequality or c.has_offset) for c in analysis.classes
+        }
+        assert kinds == {True, False}  # one pointer class, one address class
+
+
+class TestOooFamily:
+    def test_sepcnt_grows_quadratically(self):
+        small = analysis_of(make_ooo(tags=6, seed=1)).total_sep_count()
+        large = analysis_of(make_ooo(tags=12, seed=1)).total_sep_count()
+        assert large > 3 * small
+
+    def test_single_tag_class(self):
+        analysis = analysis_of(make_ooo(tags=8, seed=1))
+        big = max(analysis.classes, key=lambda c: len(c.vars))
+        assert len(big.vars) >= 8
+        assert big.has_inequality
+
+
+class TestCacheFamily:
+    def test_disjunctive_and_equality_only(self):
+        bench = make_cache(caches=3, seed=1)
+        analysis = analysis_of(bench)
+        for vclass in analysis.classes:
+            assert not vclass.has_inequality
+        from repro.logic.terms import Or
+
+        assert any(
+            isinstance(n, Or) for n in iter_dag(bench.formula)
+        )
+
+    def test_mutation_is_missing_invalidate(self):
+        good = make_cache(caches=3, seed=1)
+        bad = make_cache(caches=3, seed=1, valid=False)
+        assert good.formula is not bad.formula
+        assert bad.dag_size < good.dag_size  # the guard ITE was dropped
+
+
+class TestDriverFamily:
+    def test_counter_class_has_offsets(self):
+        analysis = analysis_of(make_driver(steps=6, seed=1))
+        big = max(analysis.classes, key=lambda c: len(c.vars))
+        assert big.has_offset
+        assert big.has_inequality
+
+    def test_boolean_lock_state_present(self):
+        from repro.logic.traversal import collect_bool_vars
+
+        bench = make_driver(steps=4, seed=1)
+        assert len(collect_bool_vars(bench.formula)) >= 4
+
+
+class TestTransvalFamily:
+    def test_size_parameter_scales(self):
+        small = make_transval(size=2, inputs=3, seed=1).dag_size
+        large = make_transval(size=12, inputs=3, seed=1).dag_size
+        assert large > small
+
+    def test_equality_only(self):
+        analysis = analysis_of(make_transval(size=4, inputs=4, seed=1))
+        for vclass in analysis.classes:
+            assert not vclass.has_inequality
+            assert not vclass.has_offset
+
+    def test_sepcnt_capped_by_pairs(self):
+        analysis = analysis_of(make_transval(size=4, inputs=4, seed=1))
+        for vclass in analysis.classes:
+            n = len(vclass.vars)
+            assert vclass.sep_count <= n * (n - 1) // 2
+
+
+class TestInvariantFamily:
+    def test_low_sepcnt_large_class(self):
+        analysis = analysis_of(make_invariant(cells=12, seed=1))
+        assert len(analysis.classes) == 1
+        vclass = analysis.classes[0]
+        # The paper's regime: few predicates, many constants.
+        assert vclass.sep_count < 100
+        assert len(vclass.vars) >= 14
+
+    def test_inequality_dominated(self):
+        bench = make_invariant(cells=8, seed=1)
+        atoms = collect_atoms(bench.formula)
+        lt_atoms = [a for a in atoms if isinstance(a, Lt)]
+        assert len(lt_atoms) >= len(atoms) * 0.8
+
+    def test_no_p_functions(self):
+        analysis = analysis_of(make_invariant(cells=8, seed=1))
+        assert not analysis.p_vars
+
+    def test_deterministic_gap_diversity(self):
+        # Distinct gap constants are what break the per-constraint method;
+        # the generator must produce several distinct offsets.
+        from repro.logic.terms import Offset
+
+        bench = make_invariant(cells=10, seed=1)
+        offsets = {
+            n.k for n in iter_dag(bench.formula) if isinstance(n, Offset)
+        }
+        assert len(offsets) >= 4

@@ -1,0 +1,152 @@
+"""Bit-vector gadget tests, including hypothesis properties vs Python ints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encodings.bitvector import (
+    bv_add_const,
+    bv_const,
+    bv_eq,
+    bv_mux,
+    bv_ule,
+    bv_ult,
+    bv_value,
+    bv_var,
+    bv_zero_extend,
+    width_for,
+)
+from repro.logic.semantics import Interpretation, evaluate
+from repro.logic.terms import BoolVar, FALSE, TRUE
+
+
+def eval_bits(bits, env):
+    """Concrete integer value of a bit-vector under a bool environment."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if evaluate(bit, env):
+            value |= 1 << i
+    return value
+
+
+def env_for(names_to_bool):
+    return Interpretation(bools=dict(names_to_bool))
+
+
+def var_env(prefix, value, width):
+    return {
+        "%s:%d" % (prefix, i): bool((value >> i) & 1) for i in range(width)
+    }
+
+
+class TestWidthFor:
+    def test_values(self):
+        assert width_for(0) == 1
+        assert width_for(1) == 1
+        assert width_for(2) == 2
+        assert width_for(7) == 3
+        assert width_for(8) == 4
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            width_for(-1)
+
+
+class TestConstants:
+    def test_bv_const_round_trip(self):
+        for value in (0, 1, 5, 12, 255):
+            width = width_for(value)
+            bits = bv_const(value, width)
+            assert eval_bits(bits, env_for({})) == value
+
+    def test_bv_const_overflow_raises(self):
+        with pytest.raises(ValueError):
+            bv_const(8, 3)
+        with pytest.raises(ValueError):
+            bv_const(-1, 4)
+
+    def test_zero_extend(self):
+        bits = bv_zero_extend(bv_const(5, 3), 6)
+        assert len(bits) == 6
+        assert eval_bits(bits, env_for({})) == 5
+        with pytest.raises(ValueError):
+            bv_zero_extend(bv_const(5, 3), 2)
+
+
+class TestAddConst:
+    @settings(max_examples=120, deadline=None)
+    @given(value=st.integers(0, 200), k=st.integers(0, 200))
+    def test_add_matches_python(self, value, k):
+        width = width_for(value + k)
+        bits = bv_var("a", width)
+        env = env_for(var_env("a", value, width))
+        result = bv_add_const(bits, k)
+        assert eval_bits(result, env) == value + k
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            bv_add_const(bv_var("a", 4), -1)
+
+    def test_add_zero_is_identity_value(self):
+        bits = bv_var("z", 4)
+        env = env_for(var_env("z", 11, 4))
+        assert eval_bits(bv_add_const(bits, 0), env) == 11
+
+
+class TestComparators:
+    @settings(max_examples=150, deadline=None)
+    @given(a=st.integers(0, 63), c=st.integers(0, 63))
+    def test_eq_ult_ule_match_python(self, a, c):
+        width = 6
+        abits = bv_var("x", width)
+        cbits = bv_var("y", width)
+        env = env_for({**var_env("x", a, width), **var_env("y", c, width)})
+        assert evaluate(bv_eq(abits, cbits), env) == (a == c)
+        assert evaluate(bv_ult(abits, cbits), env) == (a < c)
+        assert evaluate(bv_ule(abits, cbits), env) == (a <= c)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bv_eq(bv_var("a", 3), bv_var("b", 4))
+        with pytest.raises(ValueError):
+            bv_ult(bv_var("a", 3), bv_var("b", 4))
+
+
+class TestMux:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.integers(0, 31), c=st.integers(0, 31), sel=st.booleans()
+    )
+    def test_mux_selects(self, a, c, sel):
+        width = 5
+        abits = bv_var("m", width)
+        cbits = bv_var("n", width)
+        cond = BoolVar("sel")
+        env = env_for(
+            {
+                **var_env("m", a, width),
+                **var_env("n", c, width),
+                "sel": sel,
+            }
+        )
+        out = bv_mux(cond, abits, cbits)
+        assert eval_bits(out, env) == (a if sel else c)
+
+    def test_mux_width_mismatch(self):
+        with pytest.raises(ValueError):
+            bv_mux(TRUE, bv_var("a", 2), bv_var("b", 3))
+
+
+class TestBvValue:
+    def test_decodes_variables_and_constants(self):
+        bits = [TRUE, BoolVar("bit1"), FALSE, BoolVar("bit3")]
+        model = {BoolVar("bit1"): True, BoolVar("bit3"): False}
+        assert bv_value(bits, model) == 0b0011
+
+    def test_missing_variable_defaults_false(self):
+        assert bv_value([BoolVar("missing")], {}) == 0
+
+    def test_compound_bit_rejected(self):
+        from repro.logic.terms import And
+
+        with pytest.raises(ValueError):
+            bv_value([And(BoolVar("a1"), BoolVar("a2"))], {})

@@ -1,0 +1,81 @@
+"""Unit tests for :mod:`repro.logic.builders`."""
+
+from repro.logic import builders as b
+from repro.logic.semantics import Interpretation, evaluate
+from repro.logic.terms import BoolVar, FuncApp, Lt, Offset, PredApp, Var
+
+
+def interp(**vars_):
+    return Interpretation(vars=vars_)
+
+
+class TestTermBuilders:
+    def test_const_and_func(self):
+        assert isinstance(b.const("x"), Var)
+        f = b.func("f")
+        app = f(b.const("x"))
+        assert isinstance(app, FuncApp)
+        assert app.symbol == "f"
+        assert f() is Var("f")  # zero arity collapses to a constant
+
+    def test_pred_symbol(self):
+        p = b.pred_symbol("p")
+        app = p(b.const("x"))
+        assert isinstance(app, PredApp)
+        assert p() is BoolVar("p")
+
+    def test_succ_pred_offset(self):
+        x = b.const("x")
+        assert b.succ(x) is Offset(x, 1)
+        assert b.pred(x) is Offset(x, -1)
+        assert b.succ(x, 3) is Offset(x, 3)
+        assert b.pred(b.succ(x)) is x
+        assert b.offset(x, 0) is x
+
+
+class TestDerivedComparisons:
+    def test_le_is_lt_succ(self):
+        x, y = b.const("x"), b.const("y")
+        assert b.le(x, y) is Lt(x, Offset(y, 1))
+
+    def test_semantics_of_derived(self):
+        x, y = b.const("x"), b.const("y")
+        cases = [(1, 2), (2, 2), (3, 2)]
+        for xv, yv in cases:
+            env = interp(x=xv, y=yv)
+            assert evaluate(b.le(x, y), env) == (xv <= yv)
+            assert evaluate(b.ge(x, y), env) == (xv >= yv)
+            assert evaluate(b.gt(x, y), env) == (xv > yv)
+            assert evaluate(b.lt(x, y), env) == (xv < yv)
+            assert evaluate(b.neq(x, y), env) == (xv != yv)
+
+    def test_xor(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        for pv in (False, True):
+            for qv in (False, True):
+                env = Interpretation(bools={"p": pv, "q": qv})
+                assert evaluate(b.xor(p, q), env) == (pv != qv)
+
+
+class TestDistinct:
+    def test_distinct_semantics(self):
+        xs = [b.const(n) for n in ("x", "y", "z")]
+        formula = b.distinct(xs)
+        assert evaluate(formula, interp(x=1, y=2, z=3))
+        assert not evaluate(formula, interp(x=1, y=2, z=1))
+
+    def test_distinct_small(self):
+        assert b.distinct([]) is b.true()
+        assert b.distinct([b.const("x")]) is b.true()
+
+
+class TestConjoinDisjoin:
+    def test_conjoin(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        assert b.conjoin([p, q]) is b.band(p, q)
+        assert b.conjoin([]) is b.true()
+
+    def test_disjoin(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        assert b.disjoin([p, q]) is b.bor(p, q)
+        assert b.disjoin([]) is b.false()

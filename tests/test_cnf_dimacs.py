@@ -1,0 +1,75 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.sat.cnf import Cnf
+from repro.sat.dimacs import dumps, loads
+
+
+class TestCnf:
+    def test_new_var_sequential(self):
+        cnf = Cnf()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.num_vars == 2
+
+    def test_named_vars(self):
+        cnf = Cnf()
+        v = cnf.var_for("x")
+        assert cnf.var_for("x") == v
+        assert cnf.lookup("x") == v
+        assert cnf.lookup("missing") is None
+        assert cnf.names[v] == "x"
+
+    def test_add_clause_validation(self):
+        cnf = Cnf()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])  # unallocated
+        cnf.add_clause([1, -1])
+        assert len(cnf) == 1
+
+    def test_add_clauses(self):
+        cnf = Cnf()
+        cnf.new_var()
+        cnf.new_var()
+        cnf.add_clauses([[1], [-1, 2]])
+        assert len(cnf) == 2
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = Cnf()
+        for _ in range(3):
+            cnf.new_var()
+        cnf.add_clauses([[1, -2], [2, 3], [-3]])
+        text = dumps(cnf, comment="round trip")
+        parsed = loads(text)
+        assert parsed.num_vars == 3
+        assert parsed.clauses == [[1, -2], [2, 3], [-3]]
+        assert text.startswith("c round trip\np cnf 3 3\n")
+
+    def test_parse_multiline_clause(self):
+        parsed = loads("p cnf 2 1\n1\n-2 0\n")
+        assert parsed.clauses == [[1, -2]]
+
+    def test_parse_grows_vars(self):
+        parsed = loads("p cnf 1 1\n3 0\n")
+        assert parsed.num_vars == 3
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            loads("p dnf 1 1\n1 0\n")
+
+    def test_comments_skipped(self):
+        parsed = loads("c hi\nc there\np cnf 1 1\nc mid\n1 0\n")
+        assert parsed.clauses == [[1]]
+
+    def test_solver_on_parsed_instance(self):
+        from repro.sat.solver import solve_cnf
+
+        text = "p cnf 3 4\n1 2 0\n-1 3 0\n-2 -3 0\n-1 -2 0\n"
+        result = solve_cnf(loads(text))
+        assert result.is_sat

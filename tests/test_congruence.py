@@ -1,0 +1,135 @@
+"""Congruence-closure substrate tests."""
+
+import pytest
+
+from repro.logic import builders as b
+from repro.theory.congruence import CongruenceClosure
+
+
+class TestBasicClosure:
+    def test_merge_and_query(self):
+        cc = CongruenceClosure()
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        cc.merge(x, y)
+        assert cc.equal(x, y)
+        assert not cc.equal(x, z)
+        cc.merge(y, z)
+        assert cc.equal(x, z)
+
+    def test_congruence_propagates(self):
+        cc = CongruenceClosure()
+        f = b.func("f")
+        x, y = b.const("x"), b.const("y")
+        cc.add_term(f(x))
+        cc.add_term(f(y))
+        assert not cc.equal(f(x), f(y))
+        cc.merge(x, y)
+        assert cc.equal(f(x), f(y))
+
+    def test_nested_congruence(self):
+        cc = CongruenceClosure()
+        f = b.func("f")
+        x, y = b.const("x"), b.const("y")
+        cc.add_term(f(f(x)))
+        cc.add_term(f(f(y)))
+        cc.merge(x, y)
+        assert cc.equal(f(f(x)), f(f(y)))
+
+    def test_multi_arity(self):
+        cc = CongruenceClosure()
+        g = b.func("g")
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        cc.add_term(g(x, z))
+        cc.add_term(g(y, z))
+        cc.merge(x, y)
+        assert cc.equal(g(x, z), g(y, z))
+        assert not cc.equal(g(x, z), g(z, x))
+
+    def test_offsets_as_wrappers(self):
+        cc = CongruenceClosure()
+        x, y = b.const("x"), b.const("y")
+        cc.add_term(b.succ(x))
+        cc.add_term(b.succ(y))
+        cc.merge(x, y)
+        assert cc.equal(b.succ(x), b.succ(y))
+        assert not cc.equal(b.succ(x), b.offset(x, 2))
+
+    def test_ite_rejected(self):
+        cc = CongruenceClosure()
+        x, y = b.const("x"), b.const("y")
+        with pytest.raises(ValueError):
+            cc.add_term(b.ite(b.eq(x, y), x, y))
+
+
+class TestDisequalities:
+    def test_consistency(self):
+        cc = CongruenceClosure()
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        cc.assert_diseq(x, y)
+        assert cc.consistent()
+        cc.merge(y, z)
+        cc.merge(x, z)
+        assert not cc.consistent()
+        assert cc.first_conflict() == (x, y)
+
+    def test_functional_consistency_conflict(self):
+        # The classic: x = y, f(x) != f(y) is inconsistent.
+        cc = CongruenceClosure()
+        f = b.func("f")
+        x, y = b.const("x"), b.const("y")
+        cc.assert_diseq(f(x), f(y))
+        cc.merge(x, y)
+        assert not cc.consistent()
+
+    def test_no_conflict_when_distinct(self):
+        cc = CongruenceClosure()
+        f = b.func("f")
+        x, y = b.const("x"), b.const("y")
+        cc.assert_diseq(f(x), f(y))
+        assert cc.consistent()
+        assert cc.first_conflict() is None
+
+
+class TestAgainstFuncElim:
+    """Conjunctive EUF problems: congruence closure agrees with the eager
+    pipeline (an independent cross-check of function elimination)."""
+
+    @pytest.mark.parametrize(
+        "eqs,diseqs,expect_consistent",
+        [
+            # x=y, y=z, f(x)!=f(z): inconsistent
+            ([("x", "y"), ("y", "z")], [("fx", "fz")], False),
+            # x=y, f(x)!=f(z): consistent
+            ([("x", "y")], [("fx", "fz")], True),
+            # f(x)=x, f(f(x))!=x ... f(f(x)) = f(x) = x: inconsistent
+            ([("fx", "x")], [("ffx", "x")], False),
+        ],
+    )
+    def test_euf_conjunctions(self, eqs, diseqs, expect_consistent):
+        f = b.func("f")
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        terms = {
+            "x": x,
+            "y": y,
+            "z": z,
+            "fx": f(x),
+            "fy": f(y),
+            "fz": f(z),
+            "ffx": f(f(x)),
+        }
+        cc = CongruenceClosure()
+        literals = []
+        for lhs, rhs in eqs:
+            cc.merge(terms[lhs], terms[rhs])
+            literals.append(b.eq(terms[lhs], terms[rhs]))
+        for lhs, rhs in diseqs:
+            cc.assert_diseq(terms[lhs], terms[rhs])
+            literals.append(b.bnot(b.eq(terms[lhs], terms[rhs])))
+        assert cc.consistent() == expect_consistent
+
+        # Cross-check with the eager decision procedure: the conjunction
+        # is satisfiable iff its negation is not valid.
+        from repro.core import check_validity
+
+        result = check_validity(b.bnot(b.band(*literals)))
+        assert result.valid == (not expect_consistent)

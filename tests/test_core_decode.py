@@ -1,0 +1,128 @@
+"""Focused tests for countermodel decoding (repro.core.decision internals)."""
+
+import pytest
+
+from repro.core.decision import (
+    check_validity,
+    decode_countermodel,
+    lift_countermodel,
+)
+from repro.encodings.hybrid import encode_eij, encode_sd
+from repro.logic import builders as b
+from repro.logic.semantics import evaluate, evaluate_term
+from repro.sat.solver import solve_cnf
+from repro.sat.tseitin import to_cnf
+from repro.logic.terms import BoolVar
+from repro.transform.func_elim import eliminate_applications
+
+
+def boolvar_model(cnf, model):
+    return {
+        name: model[var]
+        for var, name in cnf.names.items()
+        if isinstance(name, BoolVar) and var in model
+    }
+
+
+class TestDecodeSd:
+    def test_values_respect_atoms(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        formula = b.bnot(b.band(b.lt(x, y), b.lt(y, z)))
+        encoding = encode_sd(formula)
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat  # the formula is invalid
+        model = decode_countermodel(
+            encoding, boolvar_model(cnf, result.model)
+        )
+        assert model.vars["x"] < model.vars["y"] < model.vars["z"]
+
+
+class TestDecodeEij:
+    def test_bound_completion(self):
+        x, y = b.const("x"), b.const("y")
+        formula = b.bnot(b.lt(b.succ(x), y))  # invalid: pick y > x + 1
+        encoding = encode_eij(formula)
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        model = decode_countermodel(encoding, boolvar_model(cnf, result.model))
+        assert model.vars["x"] + 1 < model.vars["y"]
+
+    def test_equality_partition(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        # Invalid: needs x = y but y != z.
+        formula = b.bnot(b.band(b.eq(x, y), b.bnot(b.eq(y, z))))
+        encoding = encode_eij(formula)
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        model = decode_countermodel(encoding, boolvar_model(cnf, result.model))
+        assert model.vars["x"] == model.vars["y"]
+        assert model.vars["y"] != model.vars["z"]
+
+
+class TestLift:
+    def test_function_table_matches_ite_semantics(self):
+        x, y = b.const("x"), b.const("y")
+        f = b.func("f")
+        formula = b.bnot(
+            b.band(b.eq(x, y), b.bnot(b.eq(f(x), f(y))))
+        )
+        # Valid (functional consistency): no countermodel.
+        assert check_validity(formula).valid
+
+        # An invalid variant: f(x) != f(y) is satisfiable when x != y.
+        formula2 = b.eq(f(x), f(y))
+        result = check_validity(formula2)
+        assert result.valid is False
+        model = result.counterexample
+        fx = model.apply_func("f", (model.vars["x"],))
+        fy = model.apply_func("f", (model.vars["y"],))
+        assert fx != fy
+
+    def test_predicate_tables_lifted(self):
+        x, y = b.const("x"), b.const("y")
+        p = b.pred_symbol("p")
+        formula = b.implies(p(x), p(y))
+        result = check_validity(formula)
+        assert result.valid is False
+        model = result.counterexample
+        assert model.apply_pred("p", (model.vars["x"],)) is True
+        assert model.apply_pred("p", (model.vars["y"],)) is False
+
+    def test_lift_handles_vanished_arguments(self):
+        # Single-occurrence application: its argument's constant vanishes
+        # from F_sep entirely; the lift must still build a table.
+        x, y = b.const("x"), b.const("y")
+        g = b.func("g")
+        formula = b.eq(g(b.succ(x)), y)
+        result = check_validity(formula)
+        assert result.valid is False
+        model = result.counterexample
+        assert not evaluate(formula, model)
+        assert "x" in model.vars
+
+
+class TestMixedClassDecoding:
+    def test_sd_and_eij_classes_together(self):
+        # Two classes: one pushed to SD by a tiny threshold, one kept EIJ.
+        x, y = b.const("x"), b.const("y")
+        u, v = b.const("u"), b.const("v")
+        big = b.band(*[
+            b.lt(b.offset(x, -i), b.offset(y, i)) for i in range(3)
+        ])
+        small = b.lt(u, v)
+        formula = b.bnot(b.band(big, small))
+        from repro.encodings.hybrid import encode_hybrid
+        from repro.separation.analysis import analyze_separation
+
+        analysis = analyze_separation(formula)
+        counts = sorted(c.sep_count for c in analysis.classes)
+        encoding = encode_hybrid(formula, sep_thold=counts[0])
+        assert set(encoding.method_of_class.values()) == {"SD", "EIJ"}
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        model = decode_countermodel(encoding, boolvar_model(cnf, result.model))
+        assert not evaluate(formula, model)

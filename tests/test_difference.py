@@ -1,0 +1,126 @@
+"""Difference-bound theory solver tests, with hypothesis properties."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.encodings.sepvars import Bound
+from repro.logic import builders as b
+from repro.logic.terms import Var
+from repro.theory.difference import DifferenceSolver, check_bounds
+
+
+def v(name):
+    return Var(name)
+
+
+def model_satisfies(model, bounds):
+    return all(model[bd.lhs] - model[bd.rhs] <= bd.c for bd in bounds)
+
+
+class TestCheckBounds:
+    def test_empty_is_consistent(self):
+        result = check_bounds([])
+        assert result.consistent
+        assert result.model == {}
+
+    def test_simple_chain(self):
+        bounds = [Bound(v("a"), v("b"), 0), Bound(v("b"), v("c"), -1)]
+        result = check_bounds(bounds)
+        assert result.consistent
+        assert model_satisfies(result.model, bounds)
+
+    def test_two_cycle_conflict(self):
+        bounds = [Bound(v("a"), v("b"), -1), Bound(v("b"), v("a"), 0)]
+        result = check_bounds(bounds)
+        assert not result.consistent
+        assert sorted(bd.c for bd in result.cycle) == [-1, 0]
+
+    def test_longer_negative_cycle(self):
+        bounds = [
+            Bound(v("a"), v("b"), 2),
+            Bound(v("b"), v("c"), 3),
+            Bound(v("c"), v("a"), -6),
+        ]
+        result = check_bounds(bounds)
+        assert not result.consistent
+        # The explanation is exactly the negative cycle.
+        assert len(result.cycle) == 3
+        assert sum(bd.c for bd in result.cycle) < 0
+
+    def test_zero_cycle_is_consistent(self):
+        bounds = [Bound(v("a"), v("b"), 1), Bound(v("b"), v("a"), -1)]
+        result = check_bounds(bounds)
+        assert result.consistent
+        assert model_satisfies(result.model, bounds)
+
+    def test_explanation_is_subset_of_input(self):
+        bounds = [
+            Bound(v("a"), v("b"), 0),
+            Bound(v("b"), v("c"), 0),
+            Bound(v("c"), v("d"), 0),
+            Bound(v("d"), v("a"), -1),
+            Bound(v("a"), v("d"), 5),
+        ]
+        result = check_bounds(bounds)
+        assert not result.consistent
+        for bd in result.cycle:
+            assert bd in bounds
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_random_systems(self, data):
+        num_vars = data.draw(st.integers(2, 6))
+        names = [v("rv%d" % i) for i in range(num_vars)]
+        num_bounds = data.draw(st.integers(0, 15))
+        bounds = []
+        for i in range(num_bounds):
+            lhs = data.draw(st.integers(0, num_vars - 1))
+            rhs = data.draw(st.integers(0, num_vars - 1))
+            if lhs == rhs:
+                continue
+            c = data.draw(st.integers(-4, 4))
+            bounds.append(Bound(names[lhs], names[rhs], c))
+        result = check_bounds(bounds)
+        if result.consistent:
+            assert model_satisfies(result.model, bounds)
+        else:
+            # The cycle must itself be an inconsistent subset.
+            assert sum(bd.c for bd in result.cycle) < 0
+            # ... and it must chain: rhs of one is lhs of the next.
+            for first, second in zip(
+                result.cycle, result.cycle[1:] + result.cycle[:1]
+            ):
+                assert first.lhs is second.rhs
+
+
+class TestBoundNegation:
+    def test_integer_negation(self):
+        bd = Bound(v("a"), v("b"), 3)
+        neg = bd.negation()
+        assert neg.lhs is v("b") and neg.rhs is v("a")
+        assert neg.c == -4
+        assert neg.negation() == bd
+
+
+class TestDifferenceSolver:
+    def test_push_pop(self):
+        solver = DifferenceSolver()
+        solver.assert_bound(Bound(v("a"), v("b"), -1))
+        assert solver.check().consistent
+        solver.push()
+        solver.assert_bound(Bound(v("b"), v("a"), 0))
+        assert not solver.check().consistent
+        solver.pop()
+        assert solver.check().consistent
+
+    def test_pop_empty_raises(self):
+        import pytest
+
+        with pytest.raises(IndexError):
+            DifferenceSolver().pop()
+
+    def test_assert_bounds_iterable(self):
+        solver = DifferenceSolver()
+        solver.assert_bounds(
+            [Bound(v("a"), v("b"), 0), Bound(v("b"), v("c"), 0)]
+        )
+        assert len(solver.assertions()) == 2

@@ -1,0 +1,142 @@
+"""Rendering tests for the figure drivers, on synthetic measurement rows.
+
+These exercise the table/scatter/summary code paths without running any
+solver, so the full-figure formatting is covered even in quick test runs.
+"""
+
+from repro.experiments import fig2, fig3, fig4, fig5, fig6
+from repro.experiments.runner import RunRow
+
+
+def row(name, procedure, seconds, status="VALID", sep=10, **kw):
+    return RunRow(
+        benchmark=name,
+        domain=kw.get("domain", "pipeline"),
+        procedure=procedure,
+        status=status,
+        total_seconds=seconds,
+        encode_seconds=seconds / 4,
+        sat_seconds=seconds / 2,
+        cnf_clauses=kw.get("cnf", 1000),
+        conflict_clauses=kw.get("conflicts", 50),
+        sep_predicates=sep,
+        dag_size=kw.get("nodes", 100),
+    )
+
+
+class TestFig2Render:
+    def test_table_and_claim(self):
+        rows = [
+            fig2.Fig2Row(
+                benchmark="b%d" % i,
+                sd=row("b%d" % i, "SD", 2.0, conflicts=500),
+                eij=row("b%d" % i, "EIJ", 0.3, cnf=4000, conflicts=20),
+            )
+            for i in range(3)
+        ]
+        text = fig2.render_fig2(rows)
+        assert "FIG2" in text
+        assert "b0" in text
+        assert "3/3" in text  # all benchmarks show fewer EIJ conflicts
+
+    def test_timeouts_rendered(self):
+        rows = [
+            fig2.Fig2Row(
+                benchmark="slow",
+                sd=row("slow", "SD", 30.0, status="TIMEOUT"),
+                eij=row("slow", "EIJ", 0.3),
+            )
+        ]
+        text = fig2.render_fig2(rows)
+        assert "timeout" in text
+
+
+class TestFig3Render:
+    def test_scatter_and_correlation(self):
+        points = [
+            fig3.Fig3Point(
+                benchmark="p%d" % i,
+                sep_predicates=10 * (i + 1),
+                sd=row("p%d" % i, "SD", 1.0),
+                eij=row("p%d" % i, "EIJ", 0.1 * (i + 1) ** 2,
+                        sep=10 * (i + 1)),
+            )
+            for i in range(6)
+        ]
+        points.append(
+            fig3.Fig3Point(
+                benchmark="blown",
+                sep_predicates=500,
+                sd=row("blown", "SD", 3.0, sep=500),
+                eij=row(
+                    "blown", "EIJ", 20.0,
+                    status="TRANSLATION_LIMIT", sep=500,
+                ),
+            )
+        )
+        text = fig3.render_fig3(points, timeout=20.0)
+        assert "Spearman" in text
+        assert "timeout" in text
+        assert "legend" in text
+
+
+class TestFig4Render:
+    def test_summary_lines(self):
+        rows = [
+            fig4.Fig4Row(
+                benchmark="n%d" % i,
+                hybrid=row("n%d" % i, "HYBRID", 0.5),
+                sd=row("n%d" % i, "SD", 2.0),
+                eij=row(
+                    "n%d" % i,
+                    "EIJ",
+                    20.0 if i == 0 else 0.2,
+                    status="TRANSLATION_LIMIT" if i == 0 else "VALID",
+                ),
+            )
+            for i in range(4)
+        ]
+        text = fig4.render_fig4(rows, timeout=20.0)
+        assert "vs SD" in text and "vs EIJ" in text
+        assert "EIJ timeouts: \n" not in text  # summary formats counts
+
+
+class TestFig5Render:
+    def test_counts(self):
+        rows = [
+            fig5.Fig5Row(
+                benchmark="inv%d" % i,
+                hybrid=row("inv%d" % i, "HYBRID", 3.0),
+                hybrid_default=row(
+                    "inv%d" % i, "HYBRID", 20.0, status="TRANSLATION_LIMIT"
+                ),
+                sd=row("inv%d" % i, "SD", 2.0),
+                eij=row(
+                    "inv%d" % i, "EIJ", 20.0, status="TRANSLATION_LIMIT"
+                ),
+            )
+            for i in range(2)
+        ]
+        text = fig5.render_fig5(rows, timeout=20.0)
+        assert "EIJ failed on 2/2" in text
+
+
+class TestFig6Render:
+    def test_summary(self):
+        rows = [
+            fig6.Fig6Row(
+                benchmark="m%d" % i,
+                hybrid=row("m%d" % i, "HYBRID", 0.4),
+                svc=row(
+                    "m%d" % i,
+                    "SVC(split)",
+                    20.0 if i else 0.1,
+                    status="TIMEOUT" if i else "VALID",
+                ),
+                cvc=row("m%d" % i, "CVC(lazy)", 1.5),
+            )
+            for i in range(3)
+        ]
+        text = fig6.render_fig6(rows, timeout=20.0)
+        assert "SVC" in text and "CVC" in text
+        assert "timeout" in text

@@ -1,0 +1,159 @@
+"""Unit tests for offset pushing and ground-term enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import builders as b
+from repro.logic.semantics import Interpretation, evaluate, evaluate_term
+from repro.logic.terms import Ite, Offset, Var
+from repro.logic.traversal import iter_dag
+from repro.transform.ground import (
+    enumerate_leaf_paths,
+    enumerate_leaves,
+    ground_terms_of,
+    leaf_count,
+    push_offsets,
+    push_offsets_term,
+    split_ground,
+)
+
+from helpers import random_sep_formula
+
+
+def is_offset_pushed(term):
+    """Check no Offset wraps an ITE anywhere in the term."""
+    for node in iter_dag(term):
+        if isinstance(node, Offset) and isinstance(node.base, Ite):
+            return False
+    return True
+
+
+class TestPushOffsets:
+    def test_offset_through_ite(self):
+        x, y = b.const("x"), b.const("y")
+        cond = b.eq(x, y)
+        term = b.succ(b.ite(cond, x, y))
+        pushed = push_offsets_term(term)
+        assert pushed is b.ite(cond, b.succ(x), b.succ(y))
+
+    def test_nested(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        c1, c2 = b.eq(x, y), b.lt(y, z)
+        term = b.offset(b.ite(c1, b.ite(c2, x, y), z), -2)
+        pushed = push_offsets_term(term)
+        assert is_offset_pushed(pushed)
+        assert pushed is b.ite(
+            c1,
+            b.ite(c2, b.offset(x, -2), b.offset(y, -2)),
+            b.offset(z, -2),
+        )
+
+    def test_offsets_inside_condition_also_pushed(self):
+        x, y = b.const("x"), b.const("y")
+        cond = b.eq(b.succ(b.ite(b.lt(x, y), x, y)), y)
+        term = b.ite(cond, x, y)
+        formula = b.eq(term, y)
+        pushed = push_offsets(formula)
+        for node in iter_dag(pushed):
+            if isinstance(node, Offset):
+                assert isinstance(node.base, Var)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_pushing_preserves_semantics(self, seed):
+        import random
+
+        formula = random_sep_formula(seed)
+        pushed = push_offsets(formula)
+        rng = random.Random(seed)
+        from repro.logic.traversal import collect_bool_vars, collect_vars
+
+        for _ in range(5):
+            env = Interpretation(
+                vars={
+                    v.name: rng.randint(-5, 5)
+                    for v in collect_vars(formula)
+                },
+                bools={
+                    v.name: rng.random() < 0.5
+                    for v in collect_bool_vars(formula)
+                },
+            )
+            assert evaluate(formula, env) == evaluate(pushed, env)
+
+
+class TestSplitGround:
+    def test_bare_var(self):
+        x = b.const("x")
+        assert split_ground(x) == (x, 0)
+
+    def test_offset_var(self):
+        x = b.const("x")
+        assert split_ground(b.offset(x, -7)) == (x, -7)
+
+    def test_non_ground_raises(self):
+        x, y = b.const("x"), b.const("y")
+        with pytest.raises(ValueError):
+            split_ground(b.ite(b.eq(x, y), x, y))
+
+
+class TestLeafEnumeration:
+    def build(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        c1, c2 = b.eq(x, y), b.lt(y, z)
+        term = push_offsets_term(
+            b.succ(b.ite(c1, b.ite(c2, x, y), z))
+        )
+        return term, (c1, c2), (x, y, z)
+
+    def test_ground_terms_of(self):
+        term, _, (x, y, z) = self.build()
+        grounds = ground_terms_of(term)
+        assert set(grounds) == {b.succ(x), b.succ(y), b.succ(z)}
+
+    def test_leaf_count_counts_paths(self):
+        term, _, _ = self.build()
+        assert leaf_count(term) == 3
+
+    def test_leaf_count_shared_dag(self):
+        x, y = b.const("x"), b.const("y")
+        cond = b.eq(x, y)
+        inner = b.ite(b.lt(x, y), x, y)
+        term = push_offsets_term(b.ite(cond, inner, b.succ(inner)))
+        # Paths are counted per route: 2 branches x 2 inner leaves.
+        assert leaf_count(term) == 4
+
+    def test_enumerate_leaves_guards(self):
+        term, (c1, c2), (x, y, z) = self.build()
+        leaves = enumerate_leaves(term)
+        assert len(leaves) == 3
+        by_leaf = {g: c for c, g in leaves}
+        assert by_leaf[b.succ(x)] is b.band(c1, c2)
+        assert by_leaf[b.succ(z)] is b.bnot(c1)
+
+    def test_enumerate_leaves_semantics(self):
+        term, _, _ = self.build()
+        leaves = enumerate_leaves(term)
+        env = Interpretation(vars={"x": 1, "y": 1, "z": 5})
+        fired = [
+            g for c, g in leaves if evaluate(c, env)
+        ]
+        assert len(fired) == 1
+        assert evaluate_term(fired[0], env) == evaluate_term(term, env)
+
+    def test_enumerate_leaf_paths_matches_leaves(self):
+        term, _, _ = self.build()
+        leaves = enumerate_leaves(term)
+        paths = enumerate_leaf_paths(term)
+        assert len(leaves) == len(paths)
+        for (cond, g1), (path, g2) in zip(leaves, paths):
+            assert g1 is g2
+            rebuilt = b.band(
+                *[c if pol else b.bnot(c) for c, pol in path]
+            )
+            assert rebuilt is cond
+
+    def test_ground_leaf(self):
+        x = b.const("x")
+        assert enumerate_leaves(x) == [(b.true(), x)]
+        assert leaf_count(x) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for positive-equality polarity analysis."""
+
+from repro.logic import builders as b
+from repro.logic.terms import Eq
+from repro.transform.polarity import NEG, POS, analyze_polarity
+
+
+def names(vars_):
+    return {v.name for v in vars_}
+
+
+class TestPolarityPropagation:
+    def test_root_is_positive(self):
+        x, y = b.const("x"), b.const("y")
+        info = analyze_polarity(b.eq(x, y))
+        assert names(info.p_vars) == {"x", "y"}
+        assert not info.g_vars
+
+    def test_negation_flips(self):
+        x, y = b.const("x"), b.const("y")
+        info = analyze_polarity(b.bnot(b.eq(x, y)))
+        assert names(info.g_vars) == {"x", "y"}
+        assert not info.p_vars
+
+    def test_implication_antecedent_flips(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        info = analyze_polarity(b.implies(b.eq(x, y), b.eq(u, v)))
+        assert names(info.g_vars) == {"x", "y"}
+        assert names(info.p_vars) == {"u", "v"}
+
+    def test_iff_makes_both(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        info = analyze_polarity(b.iff(b.eq(x, y), b.eq(u, v)))
+        assert names(info.g_vars) == {"x", "y", "u", "v"}
+
+    def test_double_negation(self):
+        x, y = b.const("x"), b.const("y")
+        info = analyze_polarity(b.bnot(b.bnot(b.eq(x, y))))
+        # Not(Not(e)) simplifies to e at construction: positive.
+        assert names(info.p_vars) == {"x", "y"}
+
+    def test_and_or_preserve(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        info = analyze_polarity(
+            b.bnot(b.bor(b.eq(x, y), b.band(b.eq(u, v), b.bconst("B"))))
+        )
+        assert names(info.g_vars) == {"x", "y", "u", "v"}
+
+
+class TestInequalitiesMakeGeneral:
+    def test_lt_vars_are_general(self):
+        x, y = b.const("x"), b.const("y")
+        info = analyze_polarity(b.lt(x, y))
+        assert names(info.g_vars) == {"x", "y"}
+
+    def test_positive_and_negative_occurrences(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        # x = y positive, but x < z makes x general; y stays p.
+        info = analyze_polarity(b.band(b.eq(x, y), b.lt(x, z)))
+        assert "x" in names(info.g_vars)
+        assert "z" in names(info.g_vars)
+        assert "y" in names(info.p_vars)
+
+
+class TestIteConditions:
+    def test_condition_atoms_are_bipolar(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        term = b.ite(b.eq(x, y), u, v)
+        info = analyze_polarity(b.eq(term, u))
+        # x, y occur in the ITE condition: bipolar, hence general.
+        assert {"x", "y"} <= names(info.g_vars)
+        # u, v occur only in the positive top-level equation.
+        assert {"u", "v"} <= names(info.p_vars)
+
+    def test_condition_polarity_recorded(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        cond = b.eq(x, y)
+        formula = b.eq(b.ite(cond, u, v), u)
+        info = analyze_polarity(formula)
+        assert info.formula_polarity[cond] == frozenset({POS, NEG})
+        assert cond not in info.positive_equations
+
+    def test_positive_equations_set(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        pos = b.eq(u, v)
+        neg = b.eq(x, y)
+        info = analyze_polarity(b.implies(neg, pos))
+        assert pos in info.positive_equations
+        assert neg not in info.positive_equations
+
+
+class TestEliminatedFormulas:
+    def test_fresh_constants_classified(self):
+        from repro.transform.func_elim import eliminate_applications
+
+        x, y = b.const("x"), b.const("y")
+        f = b.func("f")
+        # Classic positive-equality shape: hypothesis x = y is negative,
+        # conclusion f(x) = f(y) is positive, so the vf constants are p.
+        formula = b.implies(b.eq(x, y), b.eq(f(x), f(y)))
+        f_sep, info = eliminate_applications(formula)
+        polarity = analyze_polarity(f_sep)
+        fresh = {v.name for v in info.fresh_func_vars()}
+        assert fresh <= names(polarity.p_vars)
+        assert {"x", "y"} <= names(polarity.g_vars)
+
+    def test_applications_rejected(self):
+        import pytest
+
+        x = b.const("x")
+        f = b.func("f")
+        with pytest.raises(TypeError):
+            analyze_polarity(b.eq(f(x), x))

@@ -1,0 +1,52 @@
+"""Tests for the result/statistics types."""
+
+from repro.core.result import DecisionResult, DecisionStats
+from repro.encodings.hybrid import EncodingStats
+from repro.sat.solver import SatStats
+
+
+class TestDecisionStats:
+    def test_total_seconds(self):
+        stats = DecisionStats(encode_seconds=1.5, sat_seconds=2.5)
+        assert stats.total_seconds == 4.0
+
+    def test_conflict_clauses_proxy(self):
+        stats = DecisionStats()
+        assert stats.conflict_clauses == 0
+        stats.sat = SatStats(learned_clauses=42)
+        assert stats.conflict_clauses == 42
+
+    def test_sep_predicates_proxy(self):
+        stats = DecisionStats()
+        assert stats.sep_predicates == 0
+        stats.encoding = EncodingStats(total_sep_count=17)
+        assert stats.sep_predicates == 17
+
+    def test_normalized_seconds(self):
+        stats = DecisionStats(
+            dag_size_suf=500, encode_seconds=1.0, sat_seconds=1.0
+        )
+        assert abs(stats.normalized_seconds() - 4.0) < 1e-9
+
+    def test_normalized_handles_zero_size(self):
+        stats = DecisionStats(encode_seconds=1.0)
+        assert stats.normalized_seconds() > 0
+
+
+class TestDecisionResult:
+    def test_valid_mapping(self):
+        assert DecisionResult(status=DecisionResult.VALID).valid is True
+        assert DecisionResult(status=DecisionResult.INVALID).valid is False
+        assert DecisionResult(status=DecisionResult.UNKNOWN).valid is None
+        assert (
+            DecisionResult(status=DecisionResult.TRANSLATION_LIMIT).valid
+            is None
+        )
+
+    def test_repr_mentions_status(self):
+        result = DecisionResult(
+            status=DecisionResult.VALID,
+            stats=DecisionStats(method="HYBRID"),
+        )
+        text = repr(result)
+        assert "VALID" in text and "HYBRID" in text

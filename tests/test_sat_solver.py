@@ -1,0 +1,156 @@
+"""CDCL solver tests: hand cases, hypothesis vs brute force, hard instances."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver, solve_cnf, _luby
+
+
+def brute_force_sat(cnf):
+    for bits in itertools.product((False, True), repeat=cnf.num_vars):
+        if all(
+            any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+            for clause in cnf.clauses
+        ):
+            return True
+    return False
+
+
+def make_cnf(num_vars, clauses):
+    cnf = Cnf()
+    for _ in range(num_vars):
+        cnf.new_var()
+    cnf.add_clauses(clauses)
+    return cnf
+
+
+def check_model(cnf, model):
+    for clause in cnf.clauses:
+        assert any((lit > 0) == model[abs(lit)] for lit in clause), clause
+
+
+class TestBasics:
+    def test_empty_cnf_is_sat(self):
+        assert solve_cnf(Cnf()).is_sat
+
+    def test_unit_propagation(self):
+        cnf = make_cnf(3, [[1], [-1, 2], [-2, 3]])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert result.model == {1: True, 2: True, 3: True}
+
+    def test_trivially_unsat(self):
+        cnf = make_cnf(1, [[1], [-1]])
+        assert solve_cnf(cnf).is_unsat
+
+    def test_empty_clause_unsat(self):
+        cnf = make_cnf(1, [[]])
+        assert solve_cnf(cnf).is_unsat
+
+    def test_tautological_clause_ignored(self):
+        cnf = make_cnf(2, [[1, -1], [2]])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert result.model[2]
+
+    def test_duplicate_literals_handled(self):
+        cnf = make_cnf(2, [[1, 1, 2], [-1, -1], [2, 2]])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert result.model == {1: False, 2: True}
+
+    def test_model_satisfies_clauses(self):
+        cnf = make_cnf(
+            4, [[1, 2], [-1, 3], [-2, -3], [3, 4], [-4, 1], [2, 3, 4]]
+        )
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        check_model(cnf, result.model)
+
+
+class TestLuby:
+    def test_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [_luby(i) for i in range(1, 16)] == expected
+
+
+def php(pigeons, holes):
+    """Pigeonhole CNF: UNSAT when pigeons > holes."""
+    cnf = Cnf()
+    var = {
+        (p, h): cnf.new_var()
+        for p in range(pigeons)
+        for h in range(holes)
+    }
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return cnf
+
+
+class TestHardInstances:
+    def test_pigeonhole_unsat(self):
+        result = solve_cnf(php(6, 5))
+        assert result.is_unsat
+        assert result.stats.conflicts > 10  # genuinely needed search
+
+    def test_pigeonhole_sat(self):
+        result = solve_cnf(php(5, 5))
+        assert result.is_sat
+        check_model(php(5, 5), result.model)
+
+    def test_conflict_limit_returns_unknown(self):
+        result = solve_cnf(php(7, 6), max_conflicts=5)
+        assert result.status == "UNKNOWN"
+
+    def test_time_limit_returns_unknown(self):
+        result = solve_cnf(php(9, 8), time_limit=0.01)
+        assert result.status in ("UNKNOWN", "UNSAT")
+
+    def test_stats_populated(self):
+        result = solve_cnf(php(6, 5))
+        stats = result.stats
+        assert stats.decisions > 0
+        assert stats.propagations > 0
+        assert stats.learned_clauses > 0
+        assert stats.conflicts >= stats.learned_clauses
+        assert stats.time_seconds > 0
+
+
+class TestRandomizedAgainstBruteForce:
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data())
+    def test_random_3cnf(self, data):
+        num_vars = data.draw(st.integers(1, 8), label="vars")
+        num_clauses = data.draw(st.integers(0, 35), label="clauses")
+        lit = st.integers(1, num_vars).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        )
+        clauses = data.draw(
+            st.lists(
+                st.lists(lit, min_size=1, max_size=3),
+                min_size=0,
+                max_size=num_clauses,
+            ),
+            label="cnf",
+        )
+        cnf = make_cnf(num_vars, clauses)
+        expected = brute_force_sat(cnf)
+        result = solve_cnf(cnf)
+        assert result.is_sat == expected
+        if result.is_sat:
+            check_model(cnf, result.model)
+
+
+class TestClauseDatabaseReduction:
+    def test_long_run_with_reduction_stays_correct(self):
+        # A larger pigeonhole forces many learned clauses and at least
+        # exercises the reduce/restart machinery.
+        result = solve_cnf(php(8, 7))
+        assert result.is_unsat

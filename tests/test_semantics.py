@@ -1,0 +1,94 @@
+"""Unit tests for the reference semantics (:mod:`repro.logic.semantics`)."""
+
+import pytest
+
+from repro.logic import builders as b
+from repro.logic.semantics import Interpretation, evaluate, evaluate_term
+
+
+class TestTermEvaluation:
+    def test_vars_and_offsets(self):
+        x = b.const("x")
+        env = Interpretation(vars={"x": 10})
+        assert evaluate_term(x, env) == 10
+        assert evaluate_term(b.succ(x), env) == 11
+        assert evaluate_term(b.offset(x, -4), env) == 6
+
+    def test_missing_var_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_term(b.const("nope"), Interpretation())
+
+    def test_function_tables_with_default(self):
+        f = b.func("f")
+        x = b.const("x")
+        env = Interpretation(
+            vars={"x": 1},
+            funcs={"f": {(1,): 42}},
+            func_default=7,
+        )
+        assert evaluate_term(f(x), env) == 42
+        assert evaluate_term(f(b.succ(x)), env) == 7  # default
+
+    def test_functional_consistency(self):
+        f = b.func("f")
+        x, y = b.const("x"), b.const("y")
+        env = Interpretation(vars={"x": 3, "y": 3}, funcs={"f": {(3,): 9}})
+        assert evaluate_term(f(x), env) == evaluate_term(f(y), env)
+
+    def test_ite(self):
+        x, y = b.const("x"), b.const("y")
+        term = b.ite(b.lt(x, y), x, y)  # min(x, y)
+        assert evaluate_term(term, Interpretation(vars={"x": 2, "y": 5})) == 2
+        assert evaluate_term(term, Interpretation(vars={"x": 7, "y": 5})) == 5
+
+
+class TestFormulaEvaluation:
+    def test_atoms(self):
+        x, y = b.const("x"), b.const("y")
+        env = Interpretation(vars={"x": 1, "y": 2})
+        assert evaluate(b.lt(x, y), env)
+        assert not evaluate(b.eq(x, y), env)
+        assert evaluate(b.eq(b.succ(x), y), env)
+
+    def test_connectives(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        for pv in (False, True):
+            for qv in (False, True):
+                env = Interpretation(bools={"p": pv, "q": qv})
+                assert evaluate(b.band(p, q), env) == (pv and qv)
+                assert evaluate(b.bor(p, q), env) == (pv or qv)
+                assert evaluate(b.implies(p, q), env) == ((not pv) or qv)
+                assert evaluate(b.iff(p, q), env) == (pv == qv)
+                assert evaluate(b.bnot(p), env) == (not pv)
+
+    def test_predicates(self):
+        p = b.pred_symbol("p")
+        x = b.const("x")
+        env = Interpretation(
+            vars={"x": 5}, preds={"p": {(5,): True}}, pred_default=False
+        )
+        assert evaluate(p(x), env)
+        assert not evaluate(p(b.succ(x)), env)
+
+    def test_sort_mismatch_raises(self):
+        x = b.const("x")
+        env = Interpretation(vars={"x": 0})
+        with pytest.raises(TypeError):
+            evaluate(x, env)  # term where formula expected
+        with pytest.raises(TypeError):
+            evaluate_term(b.eq(x, x), env)
+
+    def test_deep_formula_no_recursion_error(self):
+        # Postorder evaluation must survive formulas nested far beyond the
+        # Python recursion limit (offsets collapse, so chain implications).
+        formula = b.bconst("base")
+        bools = {"base": True}
+        for i in range(5000):
+            name = "p%d" % i
+            bools[name] = True
+            formula = b.implies(b.bconst(name), formula)
+        assert evaluate(formula, Interpretation(bools=bools))
+
+    def test_missing_bool_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(b.bconst("nope"), Interpretation())

@@ -1,0 +1,151 @@
+"""Unit tests for class/domain/SepCnt analysis (paper §4 steps 1–4)."""
+
+from repro.logic import builders as b
+from repro.separation.analysis import analyze_separation
+from repro.separation.unionfind import DisjointSet
+
+
+def names(vars_):
+    return {v.name for v in vars_}
+
+
+class TestDisjointSet:
+    def test_basic_union_find(self):
+        ds = DisjointSet("abcdef")
+        ds.union("a", "b")
+        ds.union("c", "d")
+        assert ds.find("a") == ds.find("b")
+        assert ds.find("a") != ds.find("c")
+        ds.union("b", "c")
+        assert ds.find("a") == ds.find("d")
+
+    def test_groups(self):
+        ds = DisjointSet("abcd")
+        ds.union("a", "b")
+        groups = ds.groups()
+        assert sorted(map(tuple, groups)) == [("a", "b"), ("c",), ("d",)]
+
+    def test_union_all(self):
+        ds = DisjointSet()
+        ds.union_all("xyz")
+        assert ds.find("x") == ds.find("z")
+        ds.union_all([])  # no-op
+
+
+class TestClassFormation:
+    def test_separate_classes(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        # Two independent comparison islands -> two classes.
+        formula = b.bnot(b.band(b.lt(x, y), b.lt(u, v)))
+        analysis = analyze_separation(formula)
+        assert len(analysis.classes) == 2
+        groups = sorted(names(c.vars) for c in analysis.classes)
+        assert groups == [{"u", "v"}, {"x", "y"}]
+
+    def test_atom_merges_classes(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        formula = b.band(b.lt(x, y), b.lt(y, z))
+        analysis = analyze_separation(formula)
+        assert len(analysis.classes) == 1
+        assert names(analysis.classes[0].vars) == {"x", "y", "z"}
+
+    def test_ite_branches_merge(self):
+        x, y, z, w = (b.const(n) for n in "xyzw")
+        # ITE(cond, x, y) < z puts x, y, z in one class even though x and
+        # y are never compared directly.
+        cond = b.lt(w, w)  # folds to false; use a boolean constant instead
+        cond = b.bconst("C")
+        formula = b.lt(b.ite(cond, x, y), z)
+        analysis = analyze_separation(formula)
+        assert len(analysis.classes) == 1
+        assert names(analysis.classes[0].vars) == {"x", "y", "z"}
+
+    def test_p_vars_not_in_classes(self):
+        x, y, u, v = (b.const(n) for n in "xyuv")
+        # u = v is positive-only: u, v are p and form no class.
+        formula = b.band(b.eq(u, v), b.bnot(b.lt(x, y)))
+        analysis = analyze_separation(formula)
+        assert names(analysis.p_vars) == {"u", "v"}
+        assert len(analysis.classes) == 1
+        assert names(analysis.classes[0].vars) == {"x", "y"}
+
+    def test_positive_equality_disabled(self):
+        u, v = b.const("u"), b.const("v")
+        formula = b.eq(u, v)
+        analysis = analyze_separation(formula, positive_equality=False)
+        assert not analysis.p_vars
+        assert len(analysis.classes) == 1
+
+
+class TestDomainBounds:
+    def test_paper_example(self):
+        # Paper: ground terms {v-4, v-2, v, v+3, v+7} give u=7, l=-4.
+        v, w = b.const("vv"), b.const("ww")
+        formula = b.band(
+            b.bnot(b.eq(b.offset(v, -4), w)),
+            b.bnot(b.eq(b.offset(v, -2), w)),
+            b.bnot(b.eq(v, w)),
+            b.bnot(b.eq(b.offset(v, 3), w)),
+            b.bnot(b.eq(b.offset(v, 7), w)),
+        )
+        analysis = analyze_separation(formula)
+        vclass = analysis.classes[0]
+        assert vclass.upper[v] == 7
+        assert vclass.lower[v] == -4
+        # range = (7 - (-4) + 1) + (0 - 0 + 1) for w.
+        assert vclass.range_size == 13
+
+    def test_range_of_offset_free_class(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        formula = b.bnot(b.band(b.lt(x, y), b.lt(y, z)))
+        analysis = analyze_separation(formula)
+        assert analysis.classes[0].range_size == 3
+
+    def test_max_span(self):
+        x, y = b.const("x"), b.const("y")
+        formula = b.bnot(b.lt(b.offset(x, -6), y))
+        analysis = analyze_separation(formula)
+        assert analysis.classes[0].max_span == 6
+
+
+class TestSepCnt:
+    def test_simple_atoms_count_one(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        formula = b.bnot(b.band(b.lt(x, y), b.lt(y, z), b.eq(x, z)))
+        analysis = analyze_separation(formula)
+        assert analysis.classes[0].sep_count == 3
+
+    def test_ite_multiplies(self):
+        x, y, z, w = (b.const(n) for n in "xyzw")
+        cond = b.bconst("C")
+        # lhs has 2 ground terms, rhs has 2 -> 4 potential predicates.
+        formula = b.lt(
+            b.ite(cond, x, y), b.ite(cond, z, w)
+        )
+        analysis = analyze_separation(formula)
+        assert analysis.classes[0].sep_count == 4
+
+    def test_total_and_flags(self):
+        x, y = b.const("x"), b.const("y")
+        formula = b.bnot(b.band(b.lt(x, y), b.eq(b.succ(x), y)))
+        analysis = analyze_separation(formula)
+        vclass = analysis.classes[0]
+        assert analysis.total_sep_count() == 2
+        assert vclass.has_inequality
+        assert vclass.has_offset
+
+    def test_equality_only_class_flags(self):
+        x, y = b.const("x"), b.const("y")
+        formula = b.bnot(b.eq(x, y))
+        analysis = analyze_separation(formula)
+        vclass = analysis.classes[0]
+        assert not vclass.has_inequality
+        assert not vclass.has_offset
+
+    def test_pure_p_atom_has_no_class(self):
+        u, v = b.const("u"), b.const("v")
+        formula = b.eq(u, v)
+        analysis = analyze_separation(formula)
+        assert analysis.classes == []
+        atom = next(iter(analysis.atom_class))
+        assert analysis.atom_class[atom] is None

@@ -1,0 +1,106 @@
+"""Tests for the EIJ Boolean-variable registry."""
+
+import pytest
+
+from repro.encodings.sepvars import Bound, SepVarRegistry
+from repro.logic.terms import BoolVar, Not, Var
+
+
+def vars2():
+    return Var("ra"), Var("rb")
+
+
+class TestLiterals:
+    def test_canonical_orientation(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        lo, hi = (x, y) if x.uid < y.uid else (y, x)
+        lit = registry.literal(lo, hi, 3)
+        assert isinstance(lit, BoolVar)
+        # The reverse direction is the negation of a (possibly different
+        # constant) variable.
+        rev = registry.literal(hi, lo, -4)
+        assert isinstance(rev, Not)
+        assert rev.arg is lit
+
+    def test_same_bound_same_var(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        assert registry.literal(x, y, 2) is registry.literal(x, y, 2)
+        assert registry.literal(x, y, 2) is not registry.literal(x, y, 1)
+
+    def test_negation_round_trip(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        lit = registry.literal(x, y, 5)
+        bound = registry.bound_of_literal(lit)
+        assert bound == Bound(x, y, 5)
+        neg = registry.bound_of_literal(Not(lit))
+        assert neg == Bound(y, x, -6)
+
+    def test_self_bound_rejected(self):
+        registry = SepVarRegistry()
+        x, _ = vars2()
+        with pytest.raises(ValueError):
+            registry.literal(x, x, 0)
+
+    def test_counts(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        registry.literal(x, y, 0)
+        registry.literal(x, y, 1, derived=True)
+        assert registry.atom_var_count == 1
+        assert registry.derived_var_count == 1
+        assert registry.var_count() == 2
+
+    def test_constants_tracked_both_directions(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        lo, hi = (x, y) if x.uid < y.uid else (y, x)
+        registry.literal(lo, hi, 3)
+        assert 3 in registry.constants(lo, hi)
+        assert -4 in registry.constants(hi, lo)
+
+    def test_foreign_var_has_no_bound(self):
+        registry = SepVarRegistry()
+        assert registry.bound_of(BoolVar("other")) is None
+        assert registry.bound_of_literal(BoolVar("other")) is None
+
+
+class TestEqualityVars:
+    def test_symmetric(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        assert registry.eq_var(x, y) is registry.eq_var(y, x)
+
+    def test_pair_lookup(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        var = registry.eq_var(x, y)
+        lo, hi = (x, y) if x.uid < y.uid else (y, x)
+        assert registry.eq_pair_of(var) == (lo, hi)
+        assert registry.eq_pairs() == [(lo, hi)]
+
+    def test_reflexive_rejected(self):
+        registry = SepVarRegistry()
+        x, _ = vars2()
+        with pytest.raises(ValueError):
+            registry.eq_var(x, x)
+
+
+class TestAssertedBounds:
+    def test_polarity_mapping(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        lo, hi = (x, y) if x.uid < y.uid else (y, x)
+        var = registry.literal(lo, hi, 2)
+        asserted_true = registry.asserted_bounds({var: True})
+        assert asserted_true == [Bound(lo, hi, 2)]
+        asserted_false = registry.asserted_bounds({var: False})
+        assert asserted_false == [Bound(hi, lo, -3)]
+
+    def test_unassigned_vars_skipped(self):
+        registry = SepVarRegistry()
+        x, y = vars2()
+        registry.literal(x, y, 0)
+        assert registry.asserted_bounds({}) == []

@@ -1,0 +1,97 @@
+"""Tests for the structural simplifier, including semantic preservation."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import builders as b
+from repro.logic.semantics import Interpretation, evaluate
+from repro.logic.simplify import simplify
+from repro.logic.terms import FALSE, TRUE
+from repro.logic.traversal import collect_bool_vars, collect_vars, dag_size
+
+from helpers import random_suf_formula
+
+
+class TestRewrites:
+    def test_complementary_conjuncts(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        assert simplify(b.band(p, q, b.bnot(p))) is FALSE
+
+    def test_complementary_disjuncts(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        assert simplify(b.bor(p, q, b.bnot(q))) is TRUE
+
+    def test_absorption_and(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        assert simplify(b.band(p, b.bor(p, q))) is p
+
+    def test_absorption_or(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        assert simplify(b.bor(p, b.band(p, q))) is p
+
+    def test_implies_self(self):
+        x, y = b.const("x"), b.const("y")
+        atom = b.lt(x, y)
+        # Implies constructor doesn't fold p -> p; the simplifier does.
+        formula = b.implies(b.band(atom, b.bconst("r")),
+                            b.band(atom, b.bconst("r")))
+        assert simplify(formula) is TRUE
+
+    def test_implies_negation(self):
+        p = b.bconst("p")
+        assert simplify(b.implies(p, b.bnot(p))) is b.bnot(p)
+
+    def test_iff_negation(self):
+        p = b.bconst("p")
+        assert simplify(b.iff(p, b.bnot(p))) is FALSE
+
+    def test_nested_collapse(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        # The inner contradiction propagates outward.
+        inner = b.band(p, b.bnot(p))
+        formula = b.bor(q, b.band(inner, q))
+        assert simplify(formula) is q
+
+    def test_atoms_through_terms(self):
+        x, y = b.const("x"), b.const("y")
+        atom = b.eq(b.ite(b.band(b.bconst("p"), b.bnot(b.bconst("p"))), x, y), y)
+        # The ITE condition simplifies to false, so the ITE collapses and
+        # the equation folds to true.
+        assert simplify(atom) is TRUE
+
+
+class TestSemanticPreservation:
+    @settings(max_examples=120, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_random_formulas_equivalent(self, seed):
+        formula = random_suf_formula(seed)
+        simplified = simplify(formula)
+        rng = random.Random(seed)
+        for _ in range(4):
+            env = Interpretation(
+                vars={
+                    v.name: rng.randint(-4, 4)
+                    for v in collect_vars(formula)
+                },
+                bools={
+                    v.name: rng.random() < 0.5
+                    for v in collect_bool_vars(formula)
+                },
+                funcs={},
+                func_default=rng.randint(-2, 2),
+            )
+            assert evaluate(formula, env) == evaluate(simplified, env)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_idempotent(self, seed):
+        formula = random_suf_formula(seed)
+        once = simplify(formula)
+        assert simplify(once) is once
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 1_000_000))
+    def test_never_grows(self, seed):
+        formula = random_suf_formula(seed)
+        assert dag_size(simplify(formula)) <= dag_size(formula)

@@ -1,0 +1,174 @@
+"""Tests for the SMT-LIB 2 front end."""
+
+import pytest
+
+from repro.logic import builders as b
+from repro.logic.smtlib import (
+    SmtLibError,
+    check_sat_smtlib,
+    parse_smtlib,
+)
+
+
+UF_SCRIPT = """
+(set-logic QF_UF)
+(declare-fun x () Int)
+(declare-const y Int)
+(declare-fun f (Int) Int)
+(assert (= x y))
+(assert (not (= (f x) (f y))))
+(check-sat)
+"""
+
+IDL_SCRIPT = """
+(set-logic QF_IDL)
+(declare-const a Int)
+(declare-const b Int)
+(declare-const c Int)
+(assert (< a b))
+(assert (<= b (+ c 3)))
+(assert (> a (+ c 10)))
+(check-sat)
+"""
+
+
+class TestParsing:
+    def test_declarations(self):
+        script = parse_smtlib(UF_SCRIPT)
+        assert script.logic == "QF_UF"
+        assert set(script.int_consts) == {"x", "y"}
+        assert script.func_sorts["f"] == (1, "Int")
+        assert len(script.assertions) == 2
+        assert script.check_sat_requested
+
+    def test_bool_declarations(self):
+        script = parse_smtlib(
+            "(declare-const p Bool)(declare-fun q (Int) Bool)"
+            "(declare-const z Int)(assert (=> p (q z)))"
+        )
+        assert "p" in script.bool_consts
+        assert script.func_sorts["q"] == (1, "Bool")
+
+    def test_let_bindings(self):
+        script = parse_smtlib(
+            "(declare-const x Int)(declare-const y Int)"
+            "(assert (let ((t (+ x 1))) (< t y)))"
+        )
+        x, y = b.const("x"), b.const("y")
+        assert script.assertions[0] is b.lt(b.succ(x), y)
+
+    def test_chained_equality(self):
+        script = parse_smtlib(
+            "(declare-const x Int)(declare-const y Int)"
+            "(declare-const z Int)(assert (= x y z))"
+        )
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        assert script.assertions[0] is b.band(b.eq(x, y), b.eq(y, z))
+
+    def test_integer_literals_use_zero_origin(self):
+        script = parse_smtlib(
+            "(declare-const x Int)(assert (< x 5))"
+        )
+        assert script.uses_zero
+        from repro.logic.smtlib import ZERO_NAME
+
+        zero = b.const(ZERO_NAME)
+        x = b.const("x")
+        assert script.assertions[0] is b.lt(x, b.offset(zero, 5))
+
+    def test_negative_literals(self):
+        script = parse_smtlib(
+            "(declare-const x Int)(assert (>= x (- 2)))"
+        )
+        assert script.assertions
+
+    def test_ite_both_sorts(self):
+        script = parse_smtlib(
+            "(declare-const x Int)(declare-const y Int)"
+            "(declare-const p Bool)"
+            "(assert (= (ite p x y) x))"
+            "(assert (ite p (< x y) (< y x)))"
+        )
+        assert len(script.assertions) == 2
+
+    def test_comments_and_quoted_symbols(self):
+        script = parse_smtlib(
+            "; a comment\n(declare-const |odd name| Int)\n"
+            "(assert (= |odd name| |odd name|)) ; trailing\n"
+        )
+        assert "odd name" in script.int_consts
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(set-logic QF_LIA)",
+            "(declare-const x Real)",
+            "(declare-const x Int)(assert (* x x))",
+            "(declare-const x Int)(declare-const y Int)(assert (< (+ x y) 3))",
+            "(assert (= x x))",  # undeclared
+            "(declare-const x Int)(declare-const x Int)",
+            "(frobnicate)",
+            "(declare-const x Int)(assert (= x true))",
+        ],
+    )
+    def test_out_of_fragment_rejected(self, text):
+        with pytest.raises(SmtLibError):
+            parse_smtlib(text)
+
+    def test_general_difference_rejected_with_hint(self):
+        with pytest.raises(SmtLibError):
+            parse_smtlib(
+                "(declare-const a Int)(declare-const b Int)"
+                "(assert (< (- a b) 3))"
+            )
+
+
+class TestCheckSat:
+    def test_uf_unsat(self):
+        # x = y but f(x) != f(y): functional consistency forbids it.
+        assert check_sat_smtlib(UF_SCRIPT) == "unsat"
+
+    def test_idl_unsat(self):
+        # a < b <= c+3 and a > c+10 is contradictory.
+        assert check_sat_smtlib(IDL_SCRIPT) == "unsat"
+
+    def test_sat_case(self):
+        text = """
+        (set-logic QF_UFIDL)
+        (declare-const a Int)
+        (declare-const b Int)
+        (declare-fun f (Int) Int)
+        (assert (< a b))
+        (assert (= (f a) (f b)))
+        (check-sat)
+        """
+        assert check_sat_smtlib(text) == "sat"
+
+    def test_literal_bounds(self):
+        text = """
+        (set-logic QF_IDL)
+        (declare-const x Int)
+        (assert (< x 5))
+        (assert (> x 3))
+        (check-sat)
+        """
+        assert check_sat_smtlib(text) == "sat"
+        tight = text.replace("(> x 3)", "(> x 4)")
+        assert check_sat_smtlib(tight) == "unsat"
+
+    @pytest.mark.parametrize("method", ["sd", "eij", "hybrid"])
+    def test_methods_agree(self, method):
+        assert check_sat_smtlib(IDL_SCRIPT, method=method) == "unsat"
+
+    def test_distinct(self):
+        text = """
+        (declare-const a Int)
+        (declare-const b Int)
+        (declare-const c Int)
+        (assert (distinct a b c))
+        (assert (= a b))
+        (check-sat)
+        """
+        assert check_sat_smtlib(text) == "unsat"

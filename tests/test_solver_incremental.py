@@ -1,0 +1,113 @@
+"""Incremental-interface tests for the CDCL solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver
+
+
+def make_cnf(num_vars, clauses):
+    cnf = Cnf()
+    for _ in range(num_vars):
+        cnf.new_var()
+    cnf.add_clauses(clauses)
+    return cnf
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        if all(
+            any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestIncrementalBasics:
+    def test_resolve_after_adding_clause(self):
+        solver = CdclSolver(make_cnf(3, [[1, 2], [2, 3]]))
+        assert solver.solve().is_sat
+        solver.add_clause([-2])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[1] and result.model[3]
+        solver.add_clause([-1])
+        assert solver.solve().is_unsat
+
+    def test_unsat_is_sticky(self):
+        solver = CdclSolver(make_cnf(1, [[1]]))
+        solver.add_clause([-1])
+        assert solver.solve().is_unsat
+        assert solver.solve().is_unsat
+
+    def test_invalid_literal_rejected(self):
+        solver = CdclSolver(make_cnf(2, [[1, 2]]))
+        with pytest.raises(ValueError):
+            solver.add_clause([3])
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_learned_clauses_survive(self):
+        # Force learning, then re-solve: counters keep growing rather
+        # than resetting (the state carries over).
+        clauses = []
+        for a in (1, -1):
+            for b in (2, -2):
+                for c in (3, -3):
+                    clauses.append([a, b, c, 4])
+        solver = CdclSolver(make_cnf(4, clauses))
+        first = solver.solve()
+        assert first.is_sat
+        solver.add_clause([-4])
+        second = solver.solve()
+        assert second.is_unsat
+        assert second.stats is first.stats  # shared accumulator
+
+    def test_stats_accumulate_across_calls(self):
+        solver = CdclSolver(make_cnf(2, [[1, 2]]))
+        solver.solve()
+        first = solver.stats.propagations
+        solver.add_clause([-1])
+        solver.solve()
+        assert solver.stats.propagations >= first
+
+
+class TestIncrementalAgainstRestart:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matches_from_scratch_solving(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 7)
+        base = [
+            [
+                rng.choice([1, -1]) * rng.randint(1, num_vars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(rng.randint(1, 12))
+        ]
+        extra = [
+            [
+                rng.choice([1, -1]) * rng.randint(1, num_vars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(rng.randint(1, 5))
+        ]
+        solver = CdclSolver(make_cnf(num_vars, base))
+        assert solver.solve().is_sat == brute_force_sat(num_vars, base)
+        accumulated = list(base)
+        for clause in extra:
+            solver.add_clause(clause)
+            accumulated.append(clause)
+            expected = brute_force_sat(num_vars, accumulated)
+            result = solver.solve()
+            assert result.is_sat == expected
+            if result.is_sat:
+                for cl in accumulated:
+                    assert any(
+                        (lit > 0) == result.model[abs(lit)] for lit in cl
+                    )

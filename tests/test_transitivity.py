@@ -1,0 +1,125 @@
+"""Transitivity-constraint generation tests.
+
+The central property (completeness): for any truth assignment to the EIJ
+Boolean variables, the generated constraints are all satisfied *iff* the
+asserted difference bounds have no negative cycle.  This is exactly what
+makes ``F_trans ⟹ F_bvar`` equivalid with the input formula.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encodings.sepvars import SepVarRegistry
+from repro.encodings.transitivity import (
+    TransitivityBudgetExceeded,
+    TransitivityStats,
+    generate_transitivity,
+)
+from repro.logic.terms import And, Var
+from repro.theory.difference import check_bounds
+
+
+def make_vars(n):
+    return [Var("tv%d" % i) for i in range(n)]
+
+
+class TestBasicGeneration:
+    def test_empty_registry(self):
+        registry = SepVarRegistry()
+        assert generate_transitivity(registry, make_vars(3)) == []
+
+    def test_triangle_chain(self):
+        registry = SepVarRegistry()
+        x, y, z = make_vars(3)
+        registry.literal(x, y, 0)
+        registry.literal(y, z, 0)
+        registry.literal(x, z, 0)
+        clauses = generate_transitivity(registry, [x, y, z])
+        assert clauses  # at least the chained implication
+
+    def test_budget_exceeded(self):
+        registry = SepVarRegistry()
+        vars_ = make_vars(8)
+        rng = random.Random(0)
+        for _ in range(40):
+            a, c = rng.sample(vars_, 2)
+            registry.literal(a, c, rng.randint(-5, 5))
+        stats = TransitivityStats()
+        with pytest.raises(TransitivityBudgetExceeded):
+            generate_transitivity(registry, vars_, budget=3, stats=stats)
+
+    def test_stats_populated(self):
+        registry = SepVarRegistry()
+        x, y, z = make_vars(3)
+        registry.literal(x, y, 1)
+        registry.literal(y, z, -2)
+        registry.literal(x, z, 0)
+        stats = TransitivityStats()
+        generate_transitivity(registry, [x, y, z], stats=stats)
+        assert stats.eliminated_nodes == 3
+        assert stats.clauses > 0
+
+    def test_other_class_vars_ignored(self):
+        registry = SepVarRegistry()
+        x, y, u, v = make_vars(4)
+        registry.literal(x, y, 0)
+        registry.literal(u, v, 0)
+        clauses = generate_transitivity(registry, [x, y])
+        # No pair inside {x, y} can chain with (u, v).
+        for clause in clauses:
+            for node in clause.children() or [clause]:
+                pass  # structure only; just ensure generation ran
+        assert isinstance(clauses, list)
+
+
+def assignment_consistent(registry, assignment):
+    """Theory-consistency of a full Boolean assignment via Bellman-Ford."""
+    bounds = registry.asserted_bounds(assignment)
+    return check_bounds(bounds).consistent
+
+
+def constraints_satisfied(clauses, assignment, registry):
+    """Is there an extension of ``assignment`` (to the derived variables)
+    satisfying every transitivity clause?  Decided with the SAT solver."""
+    from repro.sat.solver import solve_cnf
+    from repro.sat.tseitin import to_cnf
+
+    cnf = to_cnf(And(*clauses))
+    for var, value in assignment.items():
+        idx = cnf.var_for(var)
+        cnf.add_clause([idx if value else -idx])
+    return solve_cnf(cnf).is_sat
+
+
+class TestCompleteness:
+    """The paper's requirement: F_trans rules out exactly the assignments
+    with no corresponding integer model."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_consistent_iff_extendable(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 5)
+        vars_ = make_vars(n)
+        registry = SepVarRegistry()
+        atoms = []
+        for _ in range(rng.randint(1, 7)):
+            a, c = rng.sample(vars_, 2)
+            atoms.append(registry.literal(a, c, rng.randint(-3, 3)))
+        original_vars = registry.all_vars()
+        clauses = generate_transitivity(registry, vars_)
+
+        # Sample full assignments to the original variables.
+        for _ in range(min(2 ** len(original_vars), 8)):
+            assignment = {
+                v: rng.random() < 0.5 for v in original_vars
+            }
+            consistent = assignment_consistent(registry, assignment)
+            satisfied = constraints_satisfied(
+                clauses, assignment, registry
+            )
+            # Consistent assignments extend to satisfy F_trans;
+            # inconsistent ones must violate it under every extension.
+            assert satisfied == consistent

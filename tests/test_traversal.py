@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.logic.traversal`."""
+
+from repro.logic import builders as b
+from repro.logic.terms import And, Eq, Var
+from repro.logic.traversal import (
+    collect_atoms,
+    collect_bool_vars,
+    collect_func_symbols,
+    collect_pred_symbols,
+    collect_vars,
+    dag_size,
+    iter_dag,
+    map_terms,
+    max_offset_magnitude,
+    postorder,
+)
+
+
+def build_sample():
+    x, y = b.const("x"), b.const("y")
+    f = b.func("f")
+    p = b.pred_symbol("p")
+    return b.band(b.eq(f(x), y), b.lt(x, b.succ(y)), p(x), b.bconst("B"))
+
+
+class TestIteration:
+    def test_iter_dag_visits_each_node_once(self):
+        formula = build_sample()
+        nodes = list(iter_dag(formula))
+        assert len(nodes) == len({id(n) for n in nodes})
+
+    def test_postorder_children_first(self):
+        formula = build_sample()
+        seen = set()
+        for node in postorder(formula):
+            for child in node.children():
+                assert id(child) in seen
+            seen.add(id(node))
+
+    def test_postorder_handles_sharing(self):
+        x, y = b.const("x"), b.const("y")
+        shared = b.eq(x, y)
+        formula = b.band(b.bor(shared, b.bconst("B")), b.bnot(shared))
+        order = list(postorder(formula))
+        assert len(order) == len({id(n) for n in order})
+        assert shared in order
+
+    def test_dag_size_counts_distinct_nodes(self):
+        x, y = b.const("x"), b.const("y")
+        shared = b.eq(x, y)
+        # shared appears twice but is one DAG node.
+        formula = b.band(b.implies(shared, b.bconst("B")), shared)
+        tree_like = b.band(
+            b.implies(b.eq(x, y), b.bconst("B")), b.eq(x, y)
+        )
+        assert dag_size(formula) == dag_size(tree_like)
+
+
+class TestCollectors:
+    def test_collect_vars(self):
+        names = [v.name for v in collect_vars(build_sample())]
+        assert names == ["x", "y"]
+
+    def test_collect_bool_vars(self):
+        names = [v.name for v in collect_bool_vars(build_sample())]
+        assert names == ["B"]
+
+    def test_collect_symbols(self):
+        formula = build_sample()
+        assert collect_func_symbols(formula) == ["f"]
+        assert collect_pred_symbols(formula) == ["p"]
+
+    def test_collect_atoms(self):
+        atoms = collect_atoms(build_sample())
+        assert len(atoms) == 2
+
+    def test_max_offset_magnitude(self):
+        x, y = b.const("x"), b.const("y")
+        assert max_offset_magnitude(b.eq(x, y)) == 0
+        assert max_offset_magnitude(b.eq(b.offset(x, -5), b.succ(y))) == 5
+
+
+class TestMapTerms:
+    def test_substitution(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        formula = b.band(b.eq(x, y), b.lt(x, z))
+
+        def subst(term):
+            if term is x:
+                return b.const("x2")
+            return term
+
+        mapped = map_terms(formula, subst)
+        names = [v.name for v in collect_vars(mapped)]
+        assert "x" not in names
+        assert "x2" in names
+
+    def test_identity_map_preserves_node(self):
+        formula = build_sample()
+        assert map_terms(formula, lambda t: t) is formula

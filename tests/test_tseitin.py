@@ -1,0 +1,131 @@
+"""Tseitin transformation tests: equisatisfiability and model agreement."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import builders as b
+from repro.logic.semantics import Interpretation, evaluate
+from repro.logic.terms import BoolVar
+from repro.logic.traversal import collect_bool_vars
+from repro.sat.solver import solve_cnf
+from repro.sat.tseitin import to_cnf, tseitin
+
+
+def random_prop(rng, atoms, depth):
+    if depth == 0 or rng.random() < 0.3:
+        return rng.choice(atoms)
+    choice = rng.random()
+    if choice < 0.2:
+        return b.bnot(random_prop(rng, atoms, depth - 1))
+    if choice < 0.4:
+        return b.band(
+            random_prop(rng, atoms, depth - 1),
+            random_prop(rng, atoms, depth - 1),
+        )
+    if choice < 0.6:
+        return b.bor(
+            random_prop(rng, atoms, depth - 1),
+            random_prop(rng, atoms, depth - 1),
+        )
+    if choice < 0.8:
+        return b.implies(
+            random_prop(rng, atoms, depth - 1),
+            random_prop(rng, atoms, depth - 1),
+        )
+    return b.iff(
+        random_prop(rng, atoms, depth - 1),
+        random_prop(rng, atoms, depth - 1),
+    )
+
+
+def prop_satisfiable(formula):
+    """Truth-table satisfiability of a propositional formula."""
+    atoms = collect_bool_vars(formula)
+    for bits in itertools.product((False, True), repeat=len(atoms)):
+        env = Interpretation(
+            bools={a.name: v for a, v in zip(atoms, bits)}
+        )
+        if evaluate(formula, env):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_constants(self):
+        assert solve_cnf(to_cnf(b.true())).is_sat
+        assert solve_cnf(to_cnf(b.false())).is_unsat
+
+    def test_single_var(self):
+        p = b.bconst("p")
+        cnf = to_cnf(p)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert result.model[cnf.lookup(p)]
+
+    def test_negation(self):
+        p = b.bconst("p")
+        cnf = to_cnf(b.bnot(p))
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert not result.model[cnf.lookup(p)]
+
+    def test_contradiction(self):
+        p = b.bconst("p")
+        assert solve_cnf(to_cnf(b.band(p, b.bnot(p)))).is_unsat
+
+    def test_sharing_encoded_once(self):
+        p, q = b.bconst("p"), b.bconst("q")
+        shared = b.bor(p, q)
+        formula = b.band(b.implies(p, shared), b.implies(shared, q))
+        cnf1 = to_cnf(formula)
+        # The top-level conjunction is split; each implication costs a
+        # definition (3 clauses) plus its asserting unit, and `shared` is
+        # defined exactly once (3 clauses): 11 total.  A duplicate
+        # definition of `shared` would add 3 more.
+        assert len(cnf1.clauses) == 11
+
+    def test_model_agrees_with_semantics(self):
+        p, q, r = b.bconst("p"), b.bconst("q"), b.bconst("r")
+        formula = b.band(b.iff(p, b.bnot(q)), b.implies(q, r), b.bor(p, q))
+        cnf = to_cnf(formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        env = Interpretation(
+            bools={
+                a.name: result.model[cnf.lookup(a)]
+                for a in collect_bool_vars(formula)
+            }
+        )
+        assert evaluate(formula, env)
+
+    def test_rejects_non_propositional(self):
+        import pytest
+
+        x, y = b.const("x"), b.const("y")
+        with pytest.raises(TypeError):
+            tseitin(b.eq(x, y))
+
+
+class TestEquisatisfiability:
+    @settings(max_examples=120, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_random_formulas(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        atoms = [b.bconst("a%d" % i) for i in range(rng.randint(1, 4))]
+        atoms = atoms + [b.true(), b.false()]
+        formula = random_prop(rng, atoms, rng.randint(1, 4))
+        expected = prop_satisfiable(formula)
+        cnf = to_cnf(formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat == expected
+        if result.is_sat:
+            env = Interpretation(
+                bools={
+                    a.name: result.model.get(cnf.lookup(a), False)
+                    for a in collect_bool_vars(formula)
+                }
+            )
+            assert evaluate(formula, env)
