@@ -1,0 +1,22 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test fuzz fuzz-smoke ci clean
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# The full acceptance campaign (deterministic; ~3s).
+fuzz:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fuzz --iterations 500 --seed 0
+
+# Fixed-seed smoke campaign for CI: fast, deterministic, all profiles.
+fuzz-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fuzz --iterations 200 --seed 0
+
+# Tier-1 tests + fuzz smoke; what .github/workflows/ci.yml runs.
+ci: test fuzz-smoke
+
+clean:
+	rm -rf fuzz-failures .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -16,6 +16,11 @@ Subcommands
     method choice) for a formula — the paper's §4 steps 1–4, visible.
 ``sat FILE``
     Run the built-in CDCL solver on a DIMACS CNF file.
+``fuzz``
+    Run the differential/metamorphic fuzzing campaign over every
+    decision method; discrepancies are shrunk and written to
+    ``fuzz-failures/``.  Exits 0 when clean, 1 on a discrepancy
+    (argparse usage errors exit 2).
 """
 
 from __future__ import annotations
@@ -117,6 +122,54 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("--timeout", type=float, default=None)
     sat.add_argument(
         "--model", action="store_true", help="print the satisfying model"
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential + metamorphic fuzzing across all methods",
+    )
+    fuzz.add_argument(
+        "--iterations", type=int, default=500, help="samples to run"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (echoed in output)"
+    )
+    fuzz.add_argument(
+        "--profile",
+        default="all",
+        help="generator profile: equality, offset, uf, mixed, or all "
+        "(rotate through every profile)",
+    )
+    fuzz.add_argument(
+        "--out",
+        default="fuzz-failures",
+        metavar="DIR",
+        help="directory for shrunk reproducers (.sexpr + .smt2)",
+    )
+    fuzz.add_argument(
+        "--methods",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of brute,sd,eij,hybrid,static,lazy,svc",
+    )
+    fuzz.add_argument(
+        "--no-metamorphic",
+        action="store_true",
+        help="skip the metamorphic transform checks",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failures without delta-debugging them",
+    )
+    fuzz.add_argument(
+        "--max-failures", type=int, default=5, help="stop after N failures"
+    )
+    fuzz.add_argument(
+        "--self-check",
+        action="store_true",
+        help="inject a strictness bug into the hybrid method and verify "
+        "the harness catches it (exits 0 iff the bug is caught)",
     )
     return parser
 
@@ -336,6 +389,55 @@ def _cmd_sat(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import (
+        FuzzConfig,
+        default_methods,
+        inject_strictness_bug,
+        run_campaign,
+    )
+
+    methods = None
+    try:
+        if args.methods is not None:
+            names = [n.strip() for n in args.methods.split(",") if n.strip()]
+            methods = default_methods(names=names)
+        if args.self_check:
+            methods = inject_strictness_bug(
+                methods or default_methods(), victim="hybrid"
+            )
+        config = FuzzConfig(
+            iterations=args.iterations,
+            seed=args.seed,
+            profile=args.profile,
+            metamorphic=not args.no_metamorphic,
+            shrink=not args.no_shrink,
+            out_dir=None if args.self_check else args.out,
+            methods=methods,
+            max_failures=args.max_failures,
+        )
+        config.profile_names()  # validate the profile name up front
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    report = run_campaign(
+        config, log=lambda line: print("fuzz: %s" % line)
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.self_check:
+        if report.ok:
+            print("self-check FAILED: injected bug was not detected")
+            return 1
+        print(
+            "self-check passed: injected strictness bug caught and "
+            "shrunk in %d iteration(s)" % report.iterations_run
+        )
+        return 0
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -345,6 +447,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,
         "sat": _cmd_sat,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

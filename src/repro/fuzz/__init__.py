@@ -1,0 +1,48 @@
+"""Differential and metamorphic fuzzing of the decision procedures.
+
+The paper's argument rests on SD, EIJ, HYBRID and the lazy/SVC baselines
+agreeing on validity; this package turns that agreement into an always-on
+harness:
+
+* :mod:`repro.fuzz.profiles` — tunable generation profiles mirroring the
+  comparison-class structure HYBRID partitions on (equality-heavy,
+  offset-heavy, UF-heavy, mixed);
+* :mod:`repro.fuzz.generator` — a seeded random SUF formula generator;
+* :mod:`repro.fuzz.oracle` — the differential oracle: every procedure is
+  run on each sample, verdicts are cross-checked, and countermodels are
+  re-validated against the reference semantics;
+* :mod:`repro.fuzz.metamorphic` — equivalence-preserving transforms that
+  must not change the verdict;
+* :mod:`repro.fuzz.shrink` — a delta-debugging shrinker that minimises
+  any discrepancy to a small reproducer;
+* :mod:`repro.fuzz.harness` — the campaign driver behind
+  ``repro fuzz`` and the CI smoke test.
+"""
+
+from .generator import generate_formula
+from .harness import FuzzConfig, FuzzReport, run_campaign
+from .metamorphic import TRANSFORMS, apply_transform
+from .oracle import (
+    Discrepancy,
+    default_methods,
+    differential_check,
+    inject_strictness_bug,
+)
+from .profiles import PROFILES, Profile
+from .shrink import shrink
+
+__all__ = [
+    "PROFILES",
+    "Profile",
+    "generate_formula",
+    "Discrepancy",
+    "default_methods",
+    "differential_check",
+    "inject_strictness_bug",
+    "TRANSFORMS",
+    "apply_transform",
+    "shrink",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_campaign",
+]

@@ -1,0 +1,315 @@
+"""The fuzzing campaign driver behind ``repro fuzz``.
+
+One iteration = generate a sample for the next profile, run the
+differential oracle, then (for agreeing samples) check that the
+metamorphic transforms preserve the consensus verdict.  Any failure is
+delta-debugged down to a minimal reproducer and serialized twice — the
+exact s-expression syntax the ``repro check`` CLI reads back, and an
+SMT-LIB 2 script for external solvers — under ``fuzz-failures/``.
+
+Everything is deterministic in ``(seed, profile, iterations)``; the seed
+is echoed in every report and stamped into every reproducer.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..logic.printer import to_sexpr
+from ..logic.smtlib import to_smtlib_script
+from ..logic.terms import Formula
+from ..logic.traversal import collect_atoms, dag_size
+from .generator import generate_formula
+from .metamorphic import TRANSFORMS, apply_transform
+from .oracle import (
+    DEFAULT_ORACLE_LIMIT,
+    Discrepancy,
+    MethodOutcome,
+    check_outcomes,
+    consensus_verdict,
+    decided_verdict,
+    default_methods,
+    run_methods,
+)
+from .profiles import PROFILES, profile_by_name
+from .shrink import shrink_report
+
+__all__ = ["FuzzConfig", "FuzzFailure", "FuzzReport", "run_campaign"]
+
+#: Transforms per agreeing sample; more would slow the loop for little
+#: extra coverage since successive iterations rotate through all of them.
+_TRANSFORMS_PER_SAMPLE = 2
+
+
+@dataclass
+class FuzzConfig:
+    """Campaign parameters; everything downstream is derived from these."""
+
+    iterations: int = 500
+    seed: int = 0
+    profile: str = "all"  # a profile name, or "all" to rotate
+    metamorphic: bool = True
+    shrink: bool = True
+    out_dir: Optional[str] = "fuzz-failures"
+    methods: Optional[Dict[str, Callable[[Formula], MethodOutcome]]] = None
+    oracle_limit: int = DEFAULT_ORACLE_LIMIT
+    max_failures: int = 5
+    max_shrink_checks: int = 600
+
+    def profile_names(self) -> List[str]:
+        if self.profile == "all":
+            return sorted(PROFILES)
+        return [profile_by_name(self.profile).name]
+
+
+@dataclass
+class FuzzFailure:
+    """One discrepancy: the raw sample, its minimised form, and files."""
+
+    iteration: int
+    profile: str
+    discrepancy: Discrepancy
+    original: Formula
+    shrunk: Formula
+    shrink_checks: int = 0
+    paths: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FuzzReport:
+    config: FuzzConfig
+    iterations_run: int = 0
+    decided: int = 0  # samples where the brute/any oracle decided
+    valid_count: int = 0
+    invalid_count: int = 0
+    metamorphic_checks: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> List[str]:
+        config = self.config
+        lines = [
+            "fuzz: %d iteration(s), seed=%d, profile=%s"
+            % (self.iterations_run, config.seed, config.profile),
+            "      %d decided (%d valid, %d invalid), "
+            "%d metamorphic check(s), %.1fs"
+            % (
+                self.decided,
+                self.valid_count,
+                self.invalid_count,
+                self.metamorphic_checks,
+                self.elapsed_seconds,
+            ),
+        ]
+        if self.ok:
+            lines.append("      no discrepancies")
+        for failure in self.failures:
+            lines.append(
+                "FAIL  iteration %d [%s]: %s"
+                % (
+                    failure.iteration,
+                    failure.profile,
+                    failure.discrepancy.describe(),
+                )
+            )
+            lines.append(
+                "      shrunk %d -> %d DAG nodes (%d atoms): %s"
+                % (
+                    dag_size(failure.original),
+                    dag_size(failure.shrunk),
+                    len(collect_atoms(failure.shrunk)),
+                    to_sexpr(failure.shrunk),
+                )
+            )
+            for path in failure.paths:
+                lines.append("      wrote %s" % path)
+        return lines
+
+
+def _metamorphic_discrepancy(
+    formula: Formula,
+    baseline: Optional[bool],
+    methods: Dict[str, Callable[[Formula], MethodOutcome]],
+    rng: random.Random,
+    report: FuzzReport,
+    transform_names: List[str],
+) -> Optional[Discrepancy]:
+    """Check that each transform preserves the consensus verdict."""
+    if baseline is None:
+        return None
+    for name in transform_names:
+        variant = apply_transform(name, formula, rng)
+        if variant is None:
+            continue
+        report.metamorphic_checks += 1
+        verdict = consensus_verdict(variant, methods)
+        if verdict is not None and verdict != baseline:
+            return Discrepancy(
+                kind="metamorphic",
+                formula=formula,
+                detail=(
+                    "verdict flipped from %s to %s under %s"
+                    % (baseline, verdict, name)
+                ),
+                verdicts={"baseline": baseline, "transformed": verdict},
+                transform=name,
+            )
+    return None
+
+
+def _same_failure(
+    discrepancy: Discrepancy,
+    methods: Dict[str, Callable[[Formula], MethodOutcome]],
+    variant_methods: Dict[str, Callable[[Formula], MethodOutcome]],
+    rng: random.Random,
+) -> Callable[[Formula], bool]:
+    """Shrink predicate: a discrepancy of the same kind still reproduces."""
+    if discrepancy.kind == "metamorphic":
+        transform = discrepancy.transform
+        # A fixed transform seed keeps the variant of a given candidate
+        # stable across shrink rounds.
+        transform_seed = rng.random()
+
+        def holds_meta(candidate: Formula) -> bool:
+            baseline = consensus_verdict(candidate, methods)
+            if baseline is None:
+                return False
+            variant = apply_transform(
+                transform, candidate, random.Random(transform_seed)
+            )
+            if variant is None:
+                return False
+            verdict = consensus_verdict(variant, variant_methods)
+            return verdict is not None and verdict != baseline
+
+        return holds_meta
+
+    def holds(candidate: Formula) -> bool:
+        found = check_outcomes(candidate, run_methods(candidate, methods))
+        return found is not None and found.kind == discrepancy.kind
+
+    return holds
+
+
+def _write_reproducer(
+    out_dir: str, config: FuzzConfig, failure: FuzzFailure
+) -> List[str]:
+    os.makedirs(out_dir, exist_ok=True)
+    stem = "seed%d-iter%04d-%s" % (
+        config.seed,
+        failure.iteration,
+        failure.discrepancy.kind,
+    )
+    header = [
+        "fuzz reproducer: %s" % failure.discrepancy.describe(),
+        "campaign: seed=%d profile=%s iteration=%d"
+        % (config.seed, failure.profile, failure.iteration),
+        "replay: repro fuzz --iterations %d --seed %d --profile %s"
+        % (config.iterations, config.seed, config.profile),
+        "check:  repro check %s.sexpr --method <each>" % stem,
+    ]
+    paths = []
+    sexpr_path = os.path.join(out_dir, stem + ".sexpr")
+    with open(sexpr_path, "w") as fp:
+        for line in header:
+            fp.write("; %s\n" % line)
+        fp.write(to_sexpr(failure.shrunk))
+        fp.write("\n")
+    paths.append(sexpr_path)
+    smt_path = os.path.join(out_dir, stem + ".smt2")
+    with open(smt_path, "w") as fp:
+        fp.write(to_smtlib_script(failure.shrunk, comments=header))
+    paths.append(smt_path)
+    return paths
+
+
+def run_campaign(
+    config: FuzzConfig,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run one differential + metamorphic fuzzing campaign."""
+    methods = config.methods
+    if methods is None:
+        methods = default_methods(oracle_limit=config.oracle_limit)
+    # Metamorphic variants are checked with the eager methods only: the
+    # translate-offsets transform can push the brute-force domain bound
+    # past its budget, and one procedure's verdict vs. the baseline is the
+    # whole point of a metamorphic check anyway.
+    variant_methods = {
+        name: methods[name]
+        for name in ("hybrid", "eij", "sd", "static")
+        if name in methods
+    } or methods
+    report = FuzzReport(config=config)
+    profiles = config.profile_names()
+    transform_names = [name for name, _ in TRANSFORMS]
+    started = time.perf_counter()
+
+    for iteration in range(config.iterations):
+        report.iterations_run = iteration + 1
+        profile = profiles[iteration % len(profiles)]
+        formula = generate_formula(config.seed * 1_000_003 + iteration, profile)
+        rng = random.Random(
+            "meta:%d:%d:%s" % (config.seed, iteration, profile)
+        )
+
+        outcomes = run_methods(formula, methods)
+        discrepancy = check_outcomes(formula, outcomes)
+        if discrepancy is None:
+            baseline = decided_verdict(outcomes)
+            if baseline is not None:
+                report.decided += 1
+                if baseline:
+                    report.valid_count += 1
+                else:
+                    report.invalid_count += 1
+            if config.metamorphic:
+                offset = iteration % len(transform_names)
+                rotation = (
+                    transform_names[offset:] + transform_names[:offset]
+                )[:_TRANSFORMS_PER_SAMPLE]
+                discrepancy = _metamorphic_discrepancy(
+                    formula, baseline, variant_methods, rng, report, rotation
+                )
+
+        if discrepancy is not None:
+            shrunk = formula
+            checks = 0
+            if config.shrink:
+                result = shrink_report(
+                    formula,
+                    _same_failure(discrepancy, methods, variant_methods, rng),
+                    max_checks=config.max_shrink_checks,
+                )
+                shrunk, checks = result.formula, result.checks
+            failure = FuzzFailure(
+                iteration=iteration,
+                profile=profile,
+                discrepancy=discrepancy,
+                original=formula,
+                shrunk=shrunk,
+                shrink_checks=checks,
+            )
+            if config.out_dir:
+                failure.paths = _write_reproducer(
+                    config.out_dir, config, failure
+                )
+            report.failures.append(failure)
+            if log:
+                log(
+                    "iteration %d [%s]: %s"
+                    % (iteration, profile, discrepancy.describe())
+                )
+            if len(report.failures) >= config.max_failures:
+                break
+
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

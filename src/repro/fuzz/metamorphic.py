@@ -1,0 +1,211 @@
+"""Verdict-preserving metamorphic transforms.
+
+Each transform maps a SUF formula to an *equivalent* one (same truth value
+under every interpretation, up to a bijective reinterpretation of the
+vocabulary), so validity must be preserved exactly.  A procedure whose
+verdict changes under any of these transforms has a bug even when no
+reference oracle is available — that is the point of metamorphic testing.
+
+The smart constructors fold trivial rewrites away (``Not(Not(f))`` *is*
+``f``), so every transform here is built to survive construction-time
+simplification: tautological guards use ``Or(Q, not Q)`` over a fresh
+Boolean constant (which no constructor folds), and double negation pushes
+the inner negation through connectives and atoms De-Morgan-style before
+re-negating.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..logic.terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    FALSE,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    TRUE,
+    Var,
+)
+from ..logic.traversal import collect_bool_vars, collect_vars, postorder
+from .rewrite import rebuild
+
+__all__ = ["TRANSFORMS", "apply_transform", "structural_negation"]
+
+Transform = Callable[[Formula, random.Random], Optional[Formula]]
+
+
+def _fresh_bool(formula: Formula, rng: random.Random) -> BoolVar:
+    used = {bv.name for bv in collect_bool_vars(formula)}
+    index = rng.randint(0, 999)
+    while "MT%d" % index in used:
+        index += 1
+    return BoolVar("MT%d" % index)
+
+
+def _tautology(formula: Formula, rng: random.Random) -> Formula:
+    """``Q or not Q`` for a fresh ``Q`` — true everywhere, folds nowhere."""
+    q = _fresh_bool(formula, rng)
+    return Or(q, Not(q))
+
+
+def rename_vars(formula: Formula, rng: random.Random) -> Optional[Formula]:
+    """Bijectively rename every constant and uninterpreted symbol."""
+    int_vars = collect_vars(formula)
+    bool_vars = collect_bool_vars(formula)
+    if not int_vars and not bool_vars:
+        return None
+    perm = list(range(len(int_vars)))
+    rng.shuffle(perm)
+    var_map = {
+        old: Var("r%d" % perm[i]) for i, old in enumerate(int_vars)
+    }
+    bool_map = {
+        old: BoolVar("R%d" % i) for i, old in enumerate(bool_vars)
+    }
+    symbol_map: Dict[str, str] = {}
+
+    def map_term(node):
+        if isinstance(node, Var):
+            return var_map.get(node, node)
+        if isinstance(node, FuncApp):
+            fresh = symbol_map.setdefault(
+                "f:" + node.symbol, "rf%d" % len(symbol_map)
+            )
+            return FuncApp(fresh, node.args)
+        return node
+
+    def map_formula(node):
+        if isinstance(node, BoolVar):
+            return bool_map.get(node, node)
+        if isinstance(node, PredApp):
+            fresh = symbol_map.setdefault(
+                "p:" + node.symbol, "rp%d" % len(symbol_map)
+            )
+            return PredApp(fresh, node.args)
+        return node
+
+    return rebuild(formula, term_fn=map_term, formula_fn=map_formula)
+
+
+def translate_offsets(
+    formula: Formula, rng: random.Random
+) -> Optional[Formula]:
+    """Shift every constant by one global ``k`` — a model bijection."""
+    if not collect_vars(formula):
+        return None
+    k = rng.choice([-3, -2, -1, 1, 2, 3])
+
+    def shift(node):
+        if isinstance(node, Var):
+            return Offset(node, k)
+        return node
+
+    return rebuild(formula, term_fn=shift)
+
+
+def strengthen_antecedent(
+    formula: Formula, rng: random.Random
+) -> Optional[Formula]:
+    """Guard with a tautological antecedent: ``F`` -> ``taut => F``."""
+    return Implies(_tautology(formula, rng), formula)
+
+
+def structural_negation(formula: Formula) -> Formula:
+    """``not formula``, with the negation pushed through the structure.
+
+    De Morgan over the connectives; at the atoms, integer reasoning:
+    ``not (a = b)`` becomes ``a < b or b < a`` and ``not (a < b)`` becomes
+    ``b < a + 1``.  The result is equivalent to ``Not(formula)`` but almost
+    never syntactically a ``Not`` node, so re-negating it yields a
+    structurally fresh equivalent of ``formula``.
+    """
+    memo: Dict[Formula, Formula] = {}
+    for node in postorder(formula):
+        if not isinstance(node, Formula):
+            continue
+        if isinstance(node, BoolConst):
+            memo[node] = FALSE if node.value else TRUE
+        elif isinstance(node, (BoolVar, PredApp)):
+            memo[node] = Not(node)
+        elif isinstance(node, Not):
+            memo[node] = node.arg
+        elif isinstance(node, And):
+            memo[node] = Or(*[memo[a] for a in node.args])
+        elif isinstance(node, Or):
+            memo[node] = And(*[memo[a] for a in node.args])
+        elif isinstance(node, Implies):
+            memo[node] = And(node.lhs, memo[node.rhs])
+        elif isinstance(node, Iff):
+            memo[node] = Iff(node.lhs, memo[node.rhs])
+        elif isinstance(node, Eq):
+            memo[node] = Or(
+                Lt(node.lhs, node.rhs), Lt(node.rhs, node.lhs)
+            )
+        elif isinstance(node, Lt):
+            memo[node] = Lt(node.rhs, Offset(node.lhs, 1))
+        else:
+            raise TypeError("unknown formula kind: %r" % (type(node),))
+    return memo[formula]
+
+
+def double_negation(
+    formula: Formula, rng: random.Random
+) -> Optional[Formula]:
+    """``F`` -> ``not (structural negation of F)``."""
+    return Not(structural_negation(formula))
+
+
+def introduce_ite(formula: Formula, rng: random.Random) -> Optional[Formula]:
+    """Wrap one constant in a tautologically-guarded ITE.
+
+    ``v`` becomes ``ITE(taut, v, v + 1)``: the guard is always true, so the
+    value is unchanged, but every encoder now has to thread a guarded term
+    through its atom translation.
+    """
+    int_vars = collect_vars(formula)
+    if not int_vars:
+        return None
+    victim = rng.choice(int_vars)
+    guard = _tautology(formula, rng)
+    wrapped = Ite(guard, victim, Offset(victim, 1))
+
+    def wrap(node):
+        if node is victim:
+            return wrapped
+        return node
+
+    # rebuild() maps bottom-up, so `wrapped` (which contains `victim`)
+    # is not re-entered: the hook fires on the original leaf only.
+    return rebuild(formula, term_fn=wrap)
+
+
+TRANSFORMS: List[Tuple[str, Transform]] = [
+    ("rename_vars", rename_vars),
+    ("translate_offsets", translate_offsets),
+    ("strengthen_antecedent", strengthen_antecedent),
+    ("double_negation", double_negation),
+    ("introduce_ite", introduce_ite),
+]
+
+
+def apply_transform(
+    name: str, formula: Formula, rng: random.Random
+) -> Optional[Formula]:
+    """Apply one named transform; ``None`` when it does not apply."""
+    for tname, fn in TRANSFORMS:
+        if tname == name:
+            result = fn(formula, rng)
+            return None if result is formula else result
+    raise ValueError("unknown transform %r" % name)

@@ -1,0 +1,279 @@
+"""The differential oracle: run every procedure, cross-check everything.
+
+Oracle hierarchy (weakest assumptions first):
+
+1. **brute force** (:mod:`repro.solvers.brute`) — enumeration against the
+   reference semantics over the small-model domain; obviously correct but
+   resource-limited;
+2. **lazy / SVC baselines** — independent algorithms sharing almost no
+   code with the eager pipeline;
+3. **eager methods** (``sd``, ``eij``, ``hybrid``, ``static``) — the
+   procedures under test.
+
+Every decided verdict must agree with every other decided verdict, and
+every INVALID countermodel must falsify the input under
+:func:`repro.logic.semantics.evaluate`.  Resource-limited runs (``None``)
+are excluded from the comparison rather than treated as verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.decision import check_validity
+from ..logic.semantics import evaluate
+from ..logic.terms import Formula, Lt, Offset
+from ..solvers.brute import BruteForceLimitExceeded, brute_force_valid
+from ..solvers.lazy import check_validity_lazy
+from ..solvers.svclike import check_validity_svc
+from .rewrite import rebuild
+
+__all__ = [
+    "MethodOutcome",
+    "Discrepancy",
+    "default_methods",
+    "run_methods",
+    "differential_check",
+    "check_outcomes",
+    "decided_verdict",
+    "consensus_verdict",
+    "inject_strictness_bug",
+]
+
+#: Enumeration budget for the brute-force reference, chosen so the stock
+#: profiles are almost always fully decided in well under a second.
+DEFAULT_ORACLE_LIMIT = 200_000
+
+
+@dataclass
+class MethodOutcome:
+    """One procedure's answer on one sample."""
+
+    name: str
+    valid: Optional[bool] = None  # None = resource-limited / undecided
+    countermodel_ok: Optional[bool] = None  # None = no countermodel to check
+    error: Optional[str] = None
+
+
+@dataclass
+class Discrepancy:
+    """A cross-check failure, ready for shrinking and serialization.
+
+    ``kind`` is one of ``"verdict"`` (two procedures decided differently),
+    ``"countermodel"`` (an INVALID verdict whose model does not falsify the
+    formula), ``"crash"`` (a procedure raised), or ``"metamorphic"`` (a
+    verdict-preserving transform changed the verdict; attached by the
+    harness, not here).
+    """
+
+    kind: str
+    formula: Formula
+    detail: str
+    verdicts: Dict[str, Optional[bool]] = field(default_factory=dict)
+    transform: Optional[str] = None
+
+    def describe(self) -> str:
+        parts = ["%s discrepancy: %s" % (self.kind, self.detail)]
+        if self.transform:
+            parts.append("transform: %s" % self.transform)
+        if self.verdicts:
+            parts.append(
+                "verdicts: "
+                + ", ".join(
+                    "%s=%s" % (name, value)
+                    for name, value in sorted(self.verdicts.items())
+                )
+            )
+        return "; ".join(parts)
+
+
+def _brute(limit: int) -> Callable[[Formula], MethodOutcome]:
+    def run(formula: Formula) -> MethodOutcome:
+        try:
+            return MethodOutcome(
+                "brute", valid=brute_force_valid(formula, limit=limit)
+            )
+        except BruteForceLimitExceeded:
+            return MethodOutcome("brute", valid=None)
+
+    return run
+
+
+def _eager(method: str) -> Callable[[Formula], MethodOutcome]:
+    def run(formula: Formula) -> MethodOutcome:
+        result = check_validity(formula, method=method)
+        outcome = MethodOutcome(method, valid=result.valid)
+        if result.valid is False and result.counterexample is not None:
+            outcome.countermodel_ok = not evaluate(
+                formula, result.counterexample
+            )
+        return outcome
+
+    return run
+
+
+def _lazy(formula: Formula) -> MethodOutcome:
+    result = check_validity_lazy(formula, max_iterations=10_000)
+    outcome = MethodOutcome("lazy", valid=result.valid)
+    if result.valid is False and result.counterexample is not None:
+        outcome.countermodel_ok = not evaluate(formula, result.counterexample)
+    return outcome
+
+
+def _svc(formula: Formula) -> MethodOutcome:
+    result = check_validity_svc(formula, max_splits=200_000)
+    outcome = MethodOutcome("svc", valid=result.valid)
+    if result.valid is False and result.counterexample is not None:
+        outcome.countermodel_ok = not evaluate(formula, result.counterexample)
+    return outcome
+
+
+def default_methods(
+    oracle_limit: int = DEFAULT_ORACLE_LIMIT,
+    names: Optional[List[str]] = None,
+) -> Dict[str, Callable[[Formula], MethodOutcome]]:
+    """The full method registry, optionally restricted to ``names``.
+
+    ``brute`` is the reference; the eager methods and both baselines are
+    the systems under test.
+    """
+    registry: Dict[str, Callable[[Formula], MethodOutcome]] = {
+        "brute": _brute(oracle_limit),
+        "sd": _eager("sd"),
+        "eij": _eager("eij"),
+        "hybrid": _eager("hybrid"),
+        "static": _eager("static"),
+        "lazy": _lazy,
+        "svc": _svc,
+    }
+    if names is None:
+        return registry
+    unknown = sorted(set(names) - set(registry))
+    if unknown:
+        raise ValueError(
+            "unknown method(s) %s; expected a subset of %s"
+            % (", ".join(unknown), ", ".join(registry))
+        )
+    return {name: registry[name] for name in names}
+
+
+def run_methods(
+    formula: Formula,
+    methods: Dict[str, Callable[[Formula], MethodOutcome]],
+) -> List[MethodOutcome]:
+    outcomes: List[MethodOutcome] = []
+    for name, run in methods.items():
+        try:
+            outcome = run(formula)
+        except Exception as exc:  # a crash is a finding, not an abort
+            outcome = MethodOutcome(name, error="%s: %s" % (type(exc).__name__, exc))
+        outcome.name = name
+        outcomes.append(outcome)
+    return outcomes
+
+
+def decided_verdict(outcomes: List[MethodOutcome]) -> Optional[bool]:
+    """The first decided verdict among ``outcomes`` (``None``: undecided)."""
+    for outcome in outcomes:
+        if outcome.error is None and outcome.valid is not None:
+            return outcome.valid
+    return None
+
+
+def differential_check(
+    formula: Formula,
+    methods: Dict[str, Callable[[Formula], MethodOutcome]],
+) -> Optional[Discrepancy]:
+    """Cross-check all methods on ``formula``; ``None`` means agreement."""
+    return check_outcomes(formula, run_methods(formula, methods))
+
+
+def check_outcomes(
+    formula: Formula, outcomes: List[MethodOutcome]
+) -> Optional[Discrepancy]:
+    """Cross-check already-computed outcomes; ``None`` means agreement."""
+    verdicts = {o.name: o.valid for o in outcomes}
+
+    for outcome in outcomes:
+        if outcome.error is not None:
+            return Discrepancy(
+                kind="crash",
+                formula=formula,
+                detail="%s raised %s" % (outcome.name, outcome.error),
+                verdicts=verdicts,
+            )
+    for outcome in outcomes:
+        if outcome.countermodel_ok is False:
+            return Discrepancy(
+                kind="countermodel",
+                formula=formula,
+                detail=(
+                    "%s returned INVALID with a countermodel that does "
+                    "not falsify the formula" % outcome.name
+                ),
+                verdicts=verdicts,
+            )
+    decided = {
+        name: value for name, value in verdicts.items() if value is not None
+    }
+    if len(set(decided.values())) > 1:
+        return Discrepancy(
+            kind="verdict",
+            formula=formula,
+            detail="decided verdicts disagree",
+            verdicts=verdicts,
+        )
+    return None
+
+
+def consensus_verdict(
+    formula: Formula,
+    methods: Dict[str, Callable[[Formula], MethodOutcome]],
+) -> Optional[bool]:
+    """The first decided verdict, or ``None`` if nothing was decided."""
+    for run in methods.values():
+        try:
+            outcome = run(formula)
+        except Exception:
+            continue
+        if outcome.valid is not None:
+            return outcome.valid
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Bug injection (self-check / tests)
+# ---------------------------------------------------------------------------
+
+
+def _drop_strictness(formula: Formula) -> Formula:
+    """Model an off-by-one comparator bug: encode ``a < b`` as ``a <= b``."""
+
+    def weaken(node):
+        if isinstance(node, Lt):
+            return Lt(node.lhs, Offset(node.rhs, 1))
+        return node
+
+    return rebuild(formula, formula_fn=weaken)
+
+
+def inject_strictness_bug(
+    methods: Dict[str, Callable[[Formula], MethodOutcome]],
+    victim: str = "hybrid",
+) -> Dict[str, Callable[[Formula], MethodOutcome]]:
+    """A registry where ``victim`` suffers the strictness-dropping bug.
+
+    Used by ``repro fuzz --self-check`` and the test suite to prove the
+    harness actually catches and shrinks encoder bugs.
+    """
+    if victim not in methods:
+        raise ValueError("victim %r not in the method registry" % victim)
+    sound = methods[victim]
+
+    def buggy(formula: Formula) -> MethodOutcome:
+        return sound(_drop_strictness(formula))
+
+    injected = dict(methods)
+    injected[victim] = buggy
+    return injected

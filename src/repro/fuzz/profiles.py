@@ -1,0 +1,123 @@
+"""Generation profiles for the fuzzer.
+
+Each profile biases the random generator toward one of the comparison
+classes the HYBRID method partitions on (paper §4): equality-only classes
+(EIJ with dedicated equality variables), offset/inequality-heavy classes
+(difference bounds, SD bit-vectors), and positive-equality function
+applications (``V_p`` constants).  Fuzzing each regime separately keeps
+every encoder path exercised even on small formulas.
+
+Sizes are deliberately tiny: the brute-force oracle enumerates
+``domain ** num_vars`` interpretations, so a couple of constants and a
+handful of atoms is the sweet spot where every sample is fully decided
+by the reference semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Profile", "PROFILES", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Tunable knobs for one generation regime.
+
+    ``atom_weights`` is ``(eq, lt, boolvar)`` — relative odds of each leaf
+    kind; ``connective_weights`` is ``(not, and, or, implies, iff)``.
+    """
+
+    name: str
+    description: str
+    max_vars: int = 3
+    num_funcs: int = 0
+    num_preds: int = 0
+    num_bools: int = 1
+    min_depth: int = 1
+    max_depth: int = 3
+    offset_prob: float = 0.3
+    max_offset: int = 2
+    func_prob: float = 0.0
+    ite_prob: float = 0.15
+    atom_weights: Tuple[float, float, float] = (0.5, 0.3, 0.2)
+    connective_weights: Tuple[float, float, float, float, float] = (
+        0.2,
+        0.25,
+        0.25,
+        0.2,
+        0.1,
+    )
+
+
+PROFILES: Dict[str, Profile] = {
+    profile.name: profile
+    for profile in (
+        Profile(
+            name="equality",
+            description=(
+                "equality-only atoms, no offsets — exercises EIJ "
+                "equality variables and polynomial transitivity"
+            ),
+            max_vars=4,
+            num_bools=1,
+            offset_prob=0.0,
+            max_offset=0,
+            ite_prob=0.1,
+            atom_weights=(0.85, 0.0, 0.15),
+        ),
+        Profile(
+            name="offset",
+            description=(
+                "inequality- and offset-heavy — exercises difference "
+                "bounds, Bellman-Ford decoding and SD comparators"
+            ),
+            max_vars=3,
+            num_bools=0,
+            offset_prob=0.6,
+            max_offset=2,
+            ite_prob=0.15,
+            atom_weights=(0.3, 0.7, 0.0),
+        ),
+        Profile(
+            name="uf",
+            description=(
+                "uninterpreted function/predicate applications — "
+                "exercises elimination, V_p constants and lifting"
+            ),
+            max_vars=2,
+            num_funcs=2,
+            num_preds=1,
+            num_bools=0,
+            offset_prob=0.2,
+            max_offset=1,
+            func_prob=0.45,
+            ite_prob=0.1,
+            atom_weights=(0.55, 0.25, 0.2),
+        ),
+        Profile(
+            name="mixed",
+            description="everything at once, mirroring the random cross-method tests",
+            max_vars=3,
+            num_funcs=1,
+            num_preds=1,
+            num_bools=1,
+            offset_prob=0.35,
+            max_offset=2,
+            func_prob=0.3,
+            ite_prob=0.15,
+            atom_weights=(0.45, 0.35, 0.2),
+        ),
+    )
+}
+
+
+def profile_by_name(name: str) -> Profile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown profile %r; expected one of %s"
+            % (name, ", ".join(sorted(PROFILES)))
+        )

@@ -1,0 +1,106 @@
+"""Bottom-up DAG rewriting shared by the metamorphic transforms and the
+shrinker.
+
+:func:`repro.logic.traversal.map_terms` only maps term nodes; the fuzzer
+also needs to rename predicate symbols and Boolean constants and to splice
+an arbitrary replacement in for one chosen node, so this module provides a
+general rebuild with per-node hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..logic.terms import (
+    And,
+    BoolConst,
+    BoolVar,
+    Eq,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Lt,
+    Node,
+    Not,
+    Offset,
+    Or,
+    PredApp,
+    Term,
+    Var,
+)
+from ..logic.traversal import postorder
+
+__all__ = ["rebuild", "replace_node"]
+
+
+def _reconstruct(node: Node, memo: Dict[Node, Node]) -> Node:
+    if isinstance(node, (Var, BoolVar, BoolConst)):
+        return node
+    if isinstance(node, Offset):
+        return Offset(memo[node.base], node.k)
+    if isinstance(node, FuncApp):
+        return FuncApp(node.symbol, [memo[a] for a in node.args])
+    if isinstance(node, Ite):
+        return Ite(memo[node.cond], memo[node.then], memo[node.els])
+    if isinstance(node, PredApp):
+        return PredApp(node.symbol, [memo[a] for a in node.args])
+    if isinstance(node, Not):
+        return Not(memo[node.arg])
+    if isinstance(node, And):
+        return And(*[memo[a] for a in node.args])
+    if isinstance(node, Or):
+        return Or(*[memo[a] for a in node.args])
+    if isinstance(node, Implies):
+        return Implies(memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Iff):
+        return Iff(memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Eq):
+        return Eq(memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Lt):
+        return Lt(memo[node.lhs], memo[node.rhs])
+    raise TypeError("unknown node kind: %r" % (type(node),))
+
+
+def rebuild(
+    root: Node,
+    term_fn: Optional[Callable[[Term], Term]] = None,
+    formula_fn: Optional[Callable[[Formula], Formula]] = None,
+) -> Node:
+    """Reconstruct ``root`` bottom-up, mapping each rebuilt node.
+
+    ``term_fn``/``formula_fn`` run on every node of the matching sort after
+    its children have been rebuilt; either may return the node unchanged.
+    """
+    memo: Dict[Node, Node] = {}
+    for node in postorder(root):
+        new = _reconstruct(node, memo)
+        # Hooks fire per *original* node.  When a smart constructor folds
+        # the reconstruction into a different kind — e.g. shifting the
+        # base of ``(pred v)`` gives ``Offset(succ v, -1)`` which folds
+        # to the bare ``v`` — the folded node was already hooked at its
+        # own visit, and hooking it again would apply the map twice.
+        if type(new) is type(node):
+            if term_fn is not None and isinstance(new, Term):
+                new = term_fn(new)
+            if formula_fn is not None and isinstance(new, Formula):
+                new = formula_fn(new)
+        memo[node] = new
+    return memo[root]
+
+
+def replace_node(root: Node, target: Node, replacement: Node) -> Node:
+    """``root`` with every occurrence of ``target`` replaced.
+
+    Occurrence is DAG identity: the hash-consed ``target`` node is one
+    object however many syntactic positions it fills.
+    """
+    if root is target:
+        return replacement
+    memo: Dict[Node, Node] = {target: replacement}
+    for node in postorder(root):
+        if node in memo:
+            continue
+        memo[node] = _reconstruct(node, memo)
+    return memo[root]

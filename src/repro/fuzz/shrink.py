@@ -1,0 +1,148 @@
+"""Delta-debugging shrinker: minimise a formula that exhibits a failure.
+
+Classic greedy ddmin over the hash-consed DAG: propose structurally
+smaller variants (drop a conjunct, promote a child, collapse a term),
+keep any variant for which the caller's predicate still holds, and repeat
+to a fixpoint.  The predicate is arbitrary — the harness passes "the same
+kind of discrepancy still reproduces", re-running the full differential
+oracle on every candidate, which stays cheap because candidates only ever
+get smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..logic.terms import (
+    And,
+    BoolConst,
+    FALSE,
+    Formula,
+    FuncApp,
+    Iff,
+    Implies,
+    Ite,
+    Node,
+    Not,
+    Offset,
+    Or,
+    Term,
+    TRUE,
+    Var,
+)
+from ..logic.traversal import collect_vars, dag_size, iter_dag
+from .rewrite import replace_node
+
+__all__ = ["shrink", "shrink_report", "ShrinkResult"]
+
+
+def _formula_candidates(node: Formula) -> Iterator[Formula]:
+    """Smaller formulas that could replace ``node``."""
+    yield TRUE
+    yield FALSE
+    if isinstance(node, Not):
+        yield node.arg
+    elif isinstance(node, (And, Or)):
+        cls = type(node)
+        for arg in node.args:
+            yield arg
+        if len(node.args) > 2:
+            for i in range(len(node.args)):
+                yield cls(*(node.args[:i] + node.args[i + 1:]))
+    elif isinstance(node, Implies):
+        yield node.rhs
+        yield Not(node.lhs)
+        yield node.lhs
+    elif isinstance(node, Iff):
+        yield node.lhs
+        yield node.rhs
+
+
+def _term_candidates(node: Term, leaf: Optional[Var]) -> Iterator[Term]:
+    """Smaller terms that could replace ``node``."""
+    if leaf is not None and node is not leaf:
+        yield leaf
+    if isinstance(node, Offset):
+        yield node.base
+        if abs(node.k) > 1:
+            yield Offset(node.base, node.k // 2)
+    elif isinstance(node, Ite):
+        yield node.then
+        yield node.els
+    elif isinstance(node, FuncApp):
+        for arg in node.args:
+            yield arg
+
+
+def _candidates(root: Formula) -> Iterator[Formula]:
+    """All one-step reductions of ``root``, largest targets first."""
+    int_vars = collect_vars(root)
+    leaf = int_vars[0] if int_vars else None
+    nodes = sorted(iter_dag(root), key=dag_size, reverse=True)
+    for node in nodes:
+        if isinstance(node, Formula) and not isinstance(node, BoolConst):
+            replacements: Iterator[Node] = _formula_candidates(node)
+        elif isinstance(node, Term) and not isinstance(node, Var):
+            replacements = _term_candidates(node, leaf)
+        else:
+            continue
+        for replacement in replacements:
+            if replacement is node:
+                continue
+            if node is root:
+                if isinstance(replacement, Formula):
+                    yield replacement
+                continue
+            reduced = replace_node(root, node, replacement)
+            if reduced is not root:
+                yield reduced
+
+
+class ShrinkResult:
+    """The minimised formula plus shrink-loop accounting."""
+
+    def __init__(self, formula: Formula, checks: int, rounds: int) -> None:
+        self.formula = formula
+        self.checks = checks
+        self.rounds = rounds
+
+
+def shrink_report(
+    formula: Formula,
+    predicate: Callable[[Formula], bool],
+    max_checks: int = 600,
+) -> ShrinkResult:
+    """Greedily minimise ``formula`` while ``predicate`` keeps holding.
+
+    ``predicate(formula)`` is assumed true on entry.  ``max_checks`` caps
+    predicate evaluations so a pathological failure cannot stall a
+    campaign; the best formula found so far is returned either way.
+    """
+    current = formula
+    checks = 0
+    rounds = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        rounds += 1
+        current_size = dag_size(current)
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            if dag_size(candidate) >= current_size:
+                continue
+            checks += 1
+            if predicate(candidate):
+                current = candidate
+                improved = True
+                break
+    return ShrinkResult(current, checks, rounds)
+
+
+def shrink(
+    formula: Formula,
+    predicate: Callable[[Formula], bool],
+    max_checks: int = 600,
+) -> Formula:
+    """:func:`shrink_report` returning just the minimised formula."""
+    return shrink_report(formula, predicate, max_checks).formula

@@ -45,7 +45,14 @@ from .terms import (
 )
 from . import builders as b
 
-__all__ = ["SmtLibError", "SmtScript", "parse_smtlib", "check_sat_smtlib"]
+__all__ = [
+    "SmtLibError",
+    "SmtScript",
+    "parse_smtlib",
+    "check_sat_smtlib",
+    "to_smtlib",
+    "to_smtlib_script",
+]
 
 #: Designated origin for interpreting bare integer literals (IDL shift).
 ZERO_NAME = "$smt_zero"
@@ -58,6 +65,11 @@ class SmtLibError(ValueError):
 
 
 SExpr = Union[str, List["SExpr"]]
+
+
+class _Quoted(str):
+    """A ``|quoted|`` symbol token: always a name, never an integer
+    literal, even when its spelling looks numeric (e.g. ``|0|``)."""
 
 
 def _tokenize(text: str) -> List[str]:
@@ -74,7 +86,7 @@ def _tokenize(text: str) -> List[str]:
             j = text.find("|", i + 1)
             if j < 0:
                 raise SmtLibError("unterminated quoted symbol")
-            tokens.append(text[i + 1:j])
+            tokens.append(_Quoted(text[i + 1:j]))
             i = j + 1
             continue
         if ch in "()":
@@ -127,6 +139,8 @@ def _read_all_one(tokens, pos, read):
 
 def _int_literal(tok: SExpr) -> Optional[int]:
     if isinstance(tok, str):
+        if isinstance(tok, _Quoted):
+            return None
         try:
             return int(tok)
         except ValueError:
@@ -230,9 +244,9 @@ class _Parser:
         if isinstance(sx, str):
             if sx in env:
                 return env[sx]
-            if sx == "true":
+            if sx == "true" and not isinstance(sx, _Quoted):
                 return TRUE
-            if sx == "false":
+            if sx == "false" and not isinstance(sx, _Quoted):
                 return FALSE
             if sx in script.int_consts:
                 return script.int_consts[sx]
@@ -465,3 +479,158 @@ def parse_smtlib(text: str) -> SmtScript:
 def check_sat_smtlib(text: str, method: str = "hybrid", **kw) -> str:
     """One-shot: parse a script and answer its ``check-sat``."""
     return parse_smtlib(text).check_sat(method=method, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Printing (inverse direction: SUF formula -> SMT-LIB 2 script)
+# ---------------------------------------------------------------------------
+
+
+#: Names the reader would mistake for literals or operators when printed
+#: bare; `|...|` quoting keeps them plain symbols.
+_RESERVED_SYMBOLS = frozenset(
+    [
+        "true",
+        "false",
+        "let",
+        "ite",
+        "and",
+        "or",
+        "not",
+        "xor",
+        "distinct",
+        "=",
+        "=>",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "+",
+        "-",
+        "succ",
+        "pred",
+    ]
+)
+
+
+def _smt_symbol(name: str) -> str:
+    """Quote a symbol with ``|...|`` when it needs it."""
+    simple = (
+        name
+        and name not in _RESERVED_SYMBOLS
+        and not name[0].isdigit()
+        and all(
+            ch.isalnum() or ch in "_-.~!@$%^&*+=<>?/" for ch in name
+        )
+    )
+    if simple:
+        return name
+    if "|" in name or "\\" in name:
+        raise SmtLibError("symbol %r is not expressible in SMT-LIB" % name)
+    return "|%s|" % name
+
+
+def to_smtlib(root) -> str:
+    """Render a term or formula as an SMT-LIB 2 expression."""
+    from .traversal import postorder
+
+    memo: Dict[object, str] = {}
+    for node in postorder(root):
+        memo[node] = _render_smt(node, memo)
+    return memo[root]
+
+
+def _render_smt(node, memo) -> str:
+    if node is TRUE:
+        return "true"
+    if node is FALSE:
+        return "false"
+    if isinstance(node, (Var, BoolVar)):
+        return _smt_symbol(node.name)
+    if isinstance(node, Offset):
+        return "(+ %s %d)" % (memo[node.base], node.k)
+    if isinstance(node, (FuncApp, PredApp)):
+        return "(%s %s)" % (
+            _smt_symbol(node.symbol),
+            " ".join(memo[a] for a in node.args),
+        )
+    if isinstance(node, Ite):
+        return "(ite %s %s %s)" % (
+            memo[node.cond],
+            memo[node.then],
+            memo[node.els],
+        )
+    if isinstance(node, Not):
+        return "(not %s)" % memo[node.arg]
+    if isinstance(node, And):
+        return "(and %s)" % " ".join(memo[a] for a in node.args)
+    if isinstance(node, Or):
+        return "(or %s)" % " ".join(memo[a] for a in node.args)
+    if isinstance(node, Implies):
+        return "(=> %s %s)" % (memo[node.lhs], memo[node.rhs])
+    if isinstance(node, (Iff, Eq)):
+        return "(= %s %s)" % (memo[node.lhs], memo[node.rhs])
+    if isinstance(node, Lt):
+        return "(< %s %s)" % (memo[node.lhs], memo[node.rhs])
+    raise SmtLibError("cannot render %r as SMT-LIB" % (type(node),))
+
+
+def to_smtlib_script(
+    formula: Formula,
+    negate: bool = True,
+    logic: Optional[str] = None,
+    comments: Optional[List[str]] = None,
+) -> str:
+    """A complete SMT-LIB 2 script for ``formula``.
+
+    With ``negate=True`` (the default) the script asserts the *negation*,
+    so ``check-sat`` answers ``unsat`` exactly when ``formula`` is valid —
+    the convention the ``repro check`` CLI and external solvers share.
+    Round-trips through :func:`parse_smtlib`.
+    """
+    from .traversal import collect_bool_vars, collect_vars, iter_dag
+
+    func_arities: Dict[str, int] = {}
+    pred_arities: Dict[str, int] = {}
+    has_offsets = False
+    has_lt = False
+    for node in iter_dag(formula):
+        if isinstance(node, FuncApp):
+            func_arities[node.symbol] = len(node.args)
+        elif isinstance(node, PredApp):
+            pred_arities[node.symbol] = len(node.args)
+        elif isinstance(node, Offset):
+            has_offsets = True
+        elif isinstance(node, Lt):
+            has_lt = True
+
+    if logic is None:
+        has_apps = bool(func_arities or pred_arities)
+        if has_offsets or has_lt:
+            logic = "QF_UFIDL" if has_apps else "QF_IDL"
+        else:
+            logic = "QF_UF"
+
+    lines: List[str] = []
+    for comment in comments or ():
+        for part in comment.splitlines():
+            lines.append("; %s" % part)
+    lines.append("(set-logic %s)" % logic)
+    for var in collect_vars(formula):
+        lines.append("(declare-fun %s () Int)" % _smt_symbol(var.name))
+    for bvar in collect_bool_vars(formula):
+        lines.append("(declare-fun %s () Bool)" % _smt_symbol(bvar.name))
+    for symbol in sorted(func_arities):
+        lines.append(
+            "(declare-fun %s (%s) Int)"
+            % (_smt_symbol(symbol), " ".join(["Int"] * func_arities[symbol]))
+        )
+    for symbol in sorted(pred_arities):
+        lines.append(
+            "(declare-fun %s (%s) Bool)"
+            % (_smt_symbol(symbol), " ".join(["Int"] * pred_arities[symbol]))
+        )
+    body = Not(formula) if negate else formula
+    lines.append("(assert %s)" % to_smtlib(body))
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

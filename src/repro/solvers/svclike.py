@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core.decision import lift_countermodel
 from ..core.result import DecisionResult, DecisionStats
 from ..encodings.sepvars import Bound
 from ..logic.terms import (
@@ -189,7 +190,7 @@ def check_validity_svc(
     stats.dag_size_suf = dag_size(formula)
     start = time.perf_counter()
 
-    f_sep, _ = eliminate_applications(formula)
+    f_sep, elim_info = eliminate_applications(formula)
     stats.dag_size_sep = dag_size(f_sep)
     flat = _flatten_ites(f_sep)
     stats.encode_seconds = time.perf_counter() - start
@@ -206,7 +207,8 @@ def check_validity_svc(
     assignment, bounds = found
     counterexample = None
     if want_countermodel:
-        counterexample = _build_countermodel(f_sep, assignment, bounds)
+        sep_model = _build_countermodel(f_sep, assignment, bounds)
+        counterexample = lift_countermodel(elim_info, f_sep, sep_model)
     return DecisionResult(
         status=DecisionResult.INVALID,
         stats=stats,

@@ -59,8 +59,16 @@ class TestGeneratorCorrectness:
         bench = FACTORIES[family](seed=2)
         try:
             assert brute_force_valid(bench.formula, limit=500_000)
-        except BruteForceLimitExceeded:
-            pytest.skip("instance too large for the oracle")
+        except BruteForceLimitExceeded as exc:
+            # The remaining families exceed the oracle by orders of
+            # magnitude (4e8 .. 1e17 interpretations) at their *smallest*
+            # usable sizes, so no limit bump can unskip them; their
+            # verdicts are cross-checked by the eager/lazy/SVC agreement
+            # tests and the differential fuzz campaign instead.
+            pytest.skip(
+                "%s (%d DAG nodes) is beyond brute force: %s"
+                % (bench.name, bench.dag_size, exc)
+            )
 
 
 class TestDeterminism:

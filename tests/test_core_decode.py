@@ -13,6 +13,7 @@ from repro.logic.semantics import evaluate, evaluate_term
 from repro.sat.solver import solve_cnf
 from repro.sat.tseitin import to_cnf
 from repro.logic.terms import BoolVar
+from repro.logic.traversal import collect_vars
 from repro.transform.func_elim import eliminate_applications
 
 
@@ -102,6 +103,144 @@ class TestLift:
         model = result.counterexample
         assert not evaluate(formula, model)
         assert "x" in model.vars
+
+
+class TestEqualityOnlyClasses:
+    """Equality-only EIJ classes decode through the eq-var union-find,
+    not through difference bounds (`_decode_equality_class`)."""
+
+    def test_transitive_merge_collapses_to_one_value(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        # Falsified by x = y = z: both eq-vars true, one merged group.
+        formula = b.bnot(b.band(b.eq(x, y), b.eq(y, z)))
+        encoding = encode_eij(formula)
+        assert encoding.uses_eq_vars
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        model = decode_countermodel(
+            encoding, boolvar_model(cnf, result.model)
+        )
+        assert model.vars["x"] == model.vars["y"] == model.vars["z"]
+
+    def test_all_false_eq_vars_stay_distinct(self):
+        x, y, z = b.const("x"), b.const("y"), b.const("z")
+        # Falsified only when all three constants are pairwise distinct.
+        formula = b.bor(b.eq(x, y), b.eq(y, z), b.eq(x, z))
+        encoding = encode_eij(formula)
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        model = decode_countermodel(
+            encoding, boolvar_model(cnf, result.model)
+        )
+        assert len({model.vars[n] for n in ("x", "y", "z")}) == 3
+        assert not evaluate(formula, model)
+
+    def test_uncompared_constant_defaults(self):
+        # A constant never compared in any atom still gets a value.
+        x, y, w = b.const("x"), b.const("y"), b.const("w")
+        formula = b.band(b.eq(x, y), b.eq(w, w))  # w folds away
+        encoding = encode_eij(formula)
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        model = decode_countermodel(
+            encoding, boolvar_model(cnf, result.model)
+        )
+        assert not evaluate(formula, model)
+
+
+class TestPureVpOffsetAtoms:
+    """Atoms comparing only positive-equality (V_p) constants — possibly
+    through offsets — are recorded by no separation class; the maximal-
+    diversity spacing must still exceed every offset in the formula."""
+
+    def test_offset_between_two_vp_constants(self):
+        x, y = b.const("x"), b.const("y")
+        f = b.func("f")
+        # f(x) and f(y) become V_p constants; the atom compares them
+        # through an offset larger than any class-recorded span.
+        formula = b.eq(f(x), b.offset(f(y), 7))
+        result = check_validity(formula, method="hybrid")
+        assert result.valid is False
+        assert not evaluate(formula, result.counterexample)
+
+    def test_vp_spacing_exceeds_offsets(self):
+        x, y = b.const("x"), b.const("y")
+        f = b.func("f")
+        formula = b.eq(f(x), b.offset(f(y), 7))
+        f_sep, _ = eliminate_applications(formula)
+        encoding = encode_eij(f_sep)
+        analysis = encoding.analysis
+        assert len(analysis.p_vars) >= 2
+        cnf = to_cnf(encoding.check_formula)
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        model = decode_countermodel(
+            encoding, boolvar_model(cnf, result.model)
+        )
+        p_values = sorted(
+            model.vars[v.name] for v in analysis.p_vars
+        )
+        for lo, hi in zip(p_values, p_values[1:]):
+            assert hi - lo > 7  # spacing beats the largest offset
+        assert not evaluate(f_sep, model)
+
+    def test_vp_values_clear_general_values(self):
+        x, y, u = b.const("x"), b.const("y"), b.const("u")
+        f = b.func("f")
+        formula = b.implies(b.lt(u, x), b.eq(f(x), b.offset(f(y), 3)))
+        result = check_validity(formula, method="eij")
+        assert result.valid is False
+        assert not evaluate(formula, result.counterexample)
+
+
+class TestSingleOccurrenceApplications:
+    """The first occurrence of ``f(a)`` is replaced by its fresh constant
+    alone, so ``a``'s constants can vanish from F_sep; the lift must
+    re-materialize them (with defaults) to build the table key."""
+
+    def test_nested_single_occurrences(self):
+        x, y = b.const("x"), b.const("y")
+        f, g = b.func("f"), b.func("g")
+        formula = b.eq(g(f(x)), y)
+        result = check_validity(formula)
+        assert result.valid is False
+        model = result.counterexample
+        assert not evaluate(formula, model)
+        # The chain must be table-consistent: g(f(x)) evaluated through
+        # the lifted tables equals the value the atom was decided on.
+        fx = model.apply_func("f", (evaluate_term(x, model),))
+        gfx = model.apply_func("g", (fx,))
+        assert gfx != model.vars["y"]
+
+    def test_single_occurrence_predicate(self):
+        x = b.const("x")
+        p = b.pred_symbol("p")
+        formula = p(b.succ(x))
+        result = check_validity(formula)
+        assert result.valid is False
+        model = result.counterexample
+        assert not evaluate(formula, model)
+        assert model.apply_pred("p", (model.vars["x"] + 1,)) is False
+
+    def test_lift_defaults_vanished_constants_directly(self):
+        from repro.logic.semantics import Interpretation
+
+        x, y = b.const("x"), b.const("y")
+        f = b.func("f")
+        formula = b.eq(f(x), y)
+        f_sep, info = eliminate_applications(formula)
+        # A sep-level model that only mentions what survives in F_sep.
+        sep_names = {v.name for v in collect_vars(f_sep)}
+        assert "x" not in sep_names  # x vanished with the single occurrence
+        sep_model = Interpretation(
+            vars={name: 5 for name in sep_names}, bools={}
+        )
+        lifted = lift_countermodel(info, f_sep, sep_model)
+        assert "x" in lifted.vars  # defaulted, not KeyError
+        assert lifted.apply_func("f", (lifted.vars["x"],)) == 5
 
 
 class TestMixedClassDecoding:
