@@ -1,10 +1,15 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fuzz fuzz-smoke ci clean
+.PHONY: test fuzz fuzz-smoke bench-smoke ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Fixed benchmark subset through every engine; per-engine wall/encode/sat
+# seconds land in BENCH_PR2.json (CI uploads it as an artifact).
+bench-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke --out BENCH_PR2.json
 
 # The full acceptance campaign (deterministic; ~3s).
 fuzz:

@@ -26,6 +26,7 @@ paper's evaluation.
 
 from .core.decision import check_validity
 from .core.result import DecisionResult, DecisionStats
+from .core.status import Status
 from .logic import builders
 from .logic.parser import parse_formula, parse_term
 from .logic.printer import pretty, to_sexpr
@@ -36,6 +37,7 @@ __all__ = [
     "check_validity",
     "DecisionResult",
     "DecisionStats",
+    "Status",
     "builders",
     "parse_formula",
     "parse_term",

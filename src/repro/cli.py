@@ -4,11 +4,20 @@ Subcommands
 -----------
 ``check FILE``
     Decide the validity of the SUF formula in ``FILE`` (s-expression
-    syntax, see :mod:`repro.logic.parser`); ``-`` reads stdin.
+    syntax, see :mod:`repro.logic.parser`); ``-`` reads stdin.  Every
+    registered engine is available via ``--method`` (including
+    ``portfolio``, the parallel race); ``--stats`` prints the per-stage
+    timing/counter telemetry.
 ``bench NAME``
     Generate a suite benchmark, print its statistics, and decide it.
 ``suite``
     List the 49-benchmark suite.
+``portfolio FILE...``
+    Race every engine on each formula (first decided verdict wins);
+    multiple files are decided concurrently by a worker pool.
+``bench-smoke``
+    Run the fixed smoke benchmark subset through every registered engine
+    and write per-engine timings to ``BENCH_PR2.json``.
 ``experiment {fig2,fig3,fig4,fig5,fig6,threshold,ablation,all}``
     Run one of the paper's experiments and print its table/figure.
 ``analyze FILE``
@@ -21,6 +30,10 @@ Subcommands
     decision method; discrepancies are shrunk and written to
     ``fuzz-failures/``.  Exits 0 when clean, 1 on a discrepancy
     (argparse usage errors exit 2).
+
+All decision-procedure dispatch goes through
+:mod:`repro.engine.registry`; this module never imports a solver
+directly.
 """
 
 from __future__ import annotations
@@ -31,7 +44,9 @@ from typing import List, Optional
 
 from . import experiments
 from .benchgen.suite import benchmark_by_name, suite
-from .core.decision import check_validity
+from .core.status import Status
+from .engine import registry
+from .engine.contract import SolveOutcome, SolveRequest
 from .logic.parser import parse_formula
 from .logic.printer import pretty
 
@@ -39,6 +54,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    engine_names = registry.list_engines()
     parser = argparse.ArgumentParser(
         prog="repro-suf",
         description=(
@@ -52,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("file", help="formula file, or - for stdin")
     check.add_argument(
         "--method",
-        choices=["hybrid", "sd", "eij", "static", "lazy", "svc"],
+        choices=engine_names,
         default="hybrid",
     )
     check.add_argument(
@@ -76,18 +92,74 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a countermodel when the formula is invalid",
     )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage timing and counter telemetry",
+    )
 
     bench = sub.add_parser("bench", help="decide one suite benchmark")
     bench.add_argument("name")
     bench.add_argument(
         "--method",
-        choices=["hybrid", "sd", "eij", "static"],
+        choices=engine_names,
         default="hybrid",
     )
     bench.add_argument("--invalid", action="store_true")
     bench.add_argument("--print-formula", action="store_true")
 
     sub.add_parser("suite", help="list the 49-benchmark suite")
+
+    portfolio = sub.add_parser(
+        "portfolio",
+        help="race engines on formulas; the first decided verdict wins",
+    )
+    portfolio.add_argument(
+        "files", nargs="+", help="formula files, or - for stdin"
+    )
+    portfolio.add_argument(
+        "--engines",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated member subset in priority order "
+        "(default: every engine)",
+    )
+    portfolio.add_argument("--timeout", type=float, default=None)
+    portfolio.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker-pool size when deciding multiple files",
+    )
+    portfolio.add_argument(
+        "--sequential",
+        action="store_true",
+        help="run members in-process in priority order (no multiprocessing)",
+    )
+    portfolio.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the winner's per-stage telemetry",
+    )
+
+    smoke = sub.add_parser(
+        "bench-smoke",
+        help="run the fixed smoke benchmarks through every engine, "
+        "write per-engine timings as JSON",
+    )
+    smoke.add_argument(
+        "--out",
+        default="BENCH_PR2.json",
+        metavar="FILE",
+        help="JSON output path (default BENCH_PR2.json)",
+    )
+    smoke.add_argument("--timeout", type=float, default=None)
+    smoke.add_argument(
+        "--engines",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated engine subset (default: every engine)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument(
@@ -174,11 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _looks_like_smtlib(args, text: str) -> bool:
-    fmt = getattr(args, "format", "auto")
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as fp:
+        return fp.read()
+
+
+def _looks_like_smtlib(path: str, text: str, fmt: str = "auto") -> bool:
     if fmt != "auto":
         return fmt == "smtlib"
-    if args.file.endswith(".smt2"):
+    if path.endswith(".smt2"):
         return True
     head = text.lstrip()
     return head.startswith("(set-logic") or head.startswith(
@@ -186,43 +264,55 @@ def _looks_like_smtlib(args, text: str) -> bool:
     ) or head.startswith("(assert")
 
 
-def _cmd_check(args) -> int:
-    if args.file == "-":
-        text = sys.stdin.read()
-    else:
-        with open(args.file) as fp:
-            text = fp.read()
-    smtlib_mode = _looks_like_smtlib(args, text)
-    if smtlib_mode:
+def _read_formula(path: str, fmt: str = "auto"):
+    """Parse a formula file; returns (formula, smtlib_mode)."""
+    text = _read_text(path)
+    if _looks_like_smtlib(path, text, fmt):
         from .logic.smtlib import parse_smtlib
         from .logic.terms import Not
 
         script = parse_smtlib(text)
         # SMT-LIB semantics: check-sat == invalidity of the negation.
-        formula = Not(script.conjunction())
-    else:
-        formula = parse_formula(text)
+        return Not(script.conjunction()), True
+    return parse_formula(text), False
 
-    if args.method == "lazy":
-        from .solvers.lazy import check_validity_lazy
 
-        result = check_validity_lazy(formula, time_limit=args.timeout)
-    elif args.method == "svc":
-        from .solvers.svclike import check_validity_svc
+def _parse_engine_list(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    names = [n.strip() for n in text.split(",") if n.strip()]
+    known = registry.list_engines()
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ValueError(
+            "unknown engine(s) %s; registered: %s"
+            % (", ".join(unknown), ", ".join(known))
+        )
+    return names
 
-        result = check_validity_svc(formula, time_limit=args.timeout)
-    else:
-        result = check_validity(
-            formula,
-            method=args.method,
+
+def _print_stats(outcome: SolveOutcome) -> None:
+    label = outcome.winner or outcome.engine
+    print("stages (%s):" % label)
+    for record in outcome.stages:
+        print("  %s" % record.describe())
+
+
+def _cmd_check(args) -> int:
+    formula, smtlib_mode = _read_formula(args.file, args.format)
+    engine = registry.get(args.method)
+    result = engine.solve(
+        SolveRequest(
+            formula=formula,
+            time_limit=args.timeout,
             sep_thold=args.sep_thold,
-            sat_time_limit=args.timeout,
             sd_ranges=args.sd_ranges,
         )
+    )
     if smtlib_mode:
         verdict = {
-            result.VALID: "unsat",
-            result.INVALID: "sat",
+            Status.VALID: "unsat",
+            Status.INVALID: "sat",
         }.get(result.status, "unknown")
         print(verdict)
     print("status: %s" % result.status)
@@ -234,7 +324,11 @@ def _cmd_check(args) -> int:
             result.stats.sat_seconds,
         )
     )
-    if result.status == result.INVALID and args.countermodel:
+    if result.winner is not None:
+        print("winner: %s" % result.winner)
+    if args.stats:
+        _print_stats(result)
+    if result.status == Status.INVALID and args.countermodel:
         model = result.counterexample
         if model is not None:
             print("countermodel:")
@@ -242,7 +336,7 @@ def _cmd_check(args) -> int:
                 print("  %s = %d" % (name, value))
             for name, value in sorted(model.bools.items()):
                 print("  %s = %s" % (name, value))
-    return 0 if result.status == result.VALID else 1
+    return 0 if result.status == Status.VALID else 1
 
 
 def _cmd_bench(args) -> int:
@@ -252,15 +346,19 @@ def _cmd_bench(args) -> int:
         return 2
     if args.print_formula:
         print(pretty(bench.formula))
-    result = check_validity(bench.formula, method=args.method)
+    result = registry.get(args.method).solve(
+        SolveRequest(formula=bench.formula)
+    )
+    won = " [winner: %s]" % result.winner if result.winner else ""
     print(
-        "%s: %s in %.3fs (expected valid=%s, %d DAG nodes)"
+        "%s: %s in %.3fs (expected valid=%s, %d DAG nodes)%s"
         % (
             bench.name,
             result.status,
             result.stats.total_seconds,
             bench.expected_valid,
             bench.dag_size,
+            won,
         )
     )
     return 0
@@ -273,6 +371,74 @@ def _cmd_suite(_args) -> int:
             "%-28s %-10s %-9s %6d nodes"
             % (bench.name, bench.domain, kind, bench.dag_size)
         )
+    return 0
+
+
+def _cmd_portfolio(args) -> int:
+    from .engine.portfolio import solve_batch, solve_portfolio
+
+    try:
+        engines = _parse_engine_list(args.engines)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if engines is None:
+        engines = [n for n in registry.list_engines() if n != "portfolio"]
+
+    formulas = [_read_formula(path, "auto")[0] for path in args.files]
+    if len(formulas) == 1:
+        outcomes = [
+            solve_portfolio(
+                SolveRequest(formula=formulas[0], time_limit=args.timeout),
+                engines=engines,
+                parallel=not args.sequential,
+            )
+        ]
+    else:
+        outcomes = solve_batch(
+            formulas,
+            engines=engines,
+            jobs=args.jobs,
+            time_limit=args.timeout,
+        )
+    exit_code = 0
+    for path, outcome in zip(args.files, outcomes):
+        print(
+            "%s: %s winner=%s time=%.3fs"
+            % (
+                path,
+                outcome.status,
+                outcome.winner or "-",
+                outcome.wall_seconds,
+            )
+        )
+        if args.stats:
+            _print_stats(outcome)
+        if outcome.status != Status.VALID:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_bench_smoke(args) -> int:
+    from .engine.bench_smoke import (
+        DEFAULT_TIMEOUT,
+        format_table,
+        run_bench_smoke,
+        write_report,
+    )
+
+    try:
+        engines = _parse_engine_list(args.engines)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    report = run_bench_smoke(
+        timeout=args.timeout or DEFAULT_TIMEOUT, engines=engines
+    )
+    print(format_table(report))
+    if args.out:
+        write_report(report, args.out)
+        print("wrote %s" % args.out)
     return 0
 
 
@@ -307,11 +473,7 @@ def _cmd_analyze(args) -> int:
     from .separation.analysis import analyze_separation
     from .transform.func_elim import eliminate_applications
 
-    if args.file == "-":
-        text = sys.stdin.read()
-    else:
-        with open(args.file) as fp:
-            text = fp.read()
+    text = _read_text(args.file)
     formula = parse_formula(text)
     f_sep, info = eliminate_applications(formula)
     analysis = analyze_separation(f_sep)
@@ -444,6 +606,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": _cmd_check,
         "bench": _cmd_bench,
         "suite": _cmd_suite,
+        "portfolio": _cmd_portfolio,
+        "bench-smoke": _cmd_bench_smoke,
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,
         "sat": _cmd_sat,

@@ -1,7 +1,8 @@
 """Public decision-procedure API."""
 
 from .decision import check_validity, decode_countermodel, lift_countermodel
-from .result import DecisionResult, DecisionStats
+from .result import DecisionResult, DecisionStats, StageRecord
+from .status import Status
 
 __all__ = [
     "check_validity",
@@ -9,4 +10,6 @@ __all__ = [
     "lift_countermodel",
     "DecisionResult",
     "DecisionStats",
+    "StageRecord",
+    "Status",
 ]

@@ -13,32 +13,28 @@ Pipeline (paper §2.1):
    and lifted to function tables.
 
 :func:`check_validity` is the main public entry point of the library.
+The pipeline itself lives in :mod:`repro.engine.stages` (each stage
+individually timed and counted); this module keeps the historical API
+plus the model-decoding helpers shared by the lazy and SVC baselines.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..encodings.hybrid import (
-    DEFAULT_SEP_THOLD,
-    Encoding,
-    encode_eij,
-    encode_hybrid,
-    encode_sd,
-    encode_static_hybrid,
+from ..encodings.bitvector import bv_value
+from ..encodings.hybrid import DEFAULT_SEP_THOLD, Encoding
+from ..logic.semantics import Interpretation, evaluate_term
+from ..logic.terms import BoolVar, Formula
+from ..logic.traversal import (
+    collect_bool_vars,
+    collect_vars,
+    max_offset_magnitude,
 )
-from ..encodings.sepvars import Bound
-from ..encodings.transitivity import TransitivityBudgetExceeded
-from ..logic.semantics import Interpretation, evaluate, evaluate_term
-from ..logic.terms import BoolVar, Formula, Var
-from ..logic.traversal import collect_bool_vars, collect_vars, dag_size
-from ..sat.solver import CdclSolver, SatStats
-from ..sat.tseitin import to_cnf
+from ..separation.unionfind import DisjointSet
 from ..theory.difference import check_bounds
-from ..transform.func_elim import FuncElimInfo, eliminate_applications
-from .result import DecisionResult, DecisionStats
+from ..transform.func_elim import FuncElimInfo
+from .result import DecisionResult
 
 __all__ = ["check_validity", "decode_countermodel", "lift_countermodel"]
 
@@ -79,75 +75,25 @@ def check_validity(
     if method not in METHODS:
         raise ValueError("unknown method %r; expected one of %r" % (method, METHODS))
 
-    stats = DecisionStats(method=method.upper())
-    stats.dag_size_suf = dag_size(formula)
+    # Deferred import: repro.engine builds on this module (it reuses the
+    # decoding helpers below), so the dependency must not be circular at
+    # import time.
+    from ..engine.contract import SolveRequest
+    from ..engine.stages import run_eager
 
-    t0 = time.perf_counter()
-    f_sep, elim_info = eliminate_applications(formula)
-    stats.dag_size_sep = dag_size(f_sep)
-
-    try:
-        if method == "sd":
-            encoding = encode_sd(f_sep, sd_ranges=sd_ranges)
-        elif method == "eij":
-            encoding = encode_eij(f_sep, trans_budget=trans_budget)
-        elif method == "static":
-            encoding = encode_static_hybrid(f_sep, trans_budget=trans_budget)
-        else:
-            encoding = encode_hybrid(
-                f_sep, sep_thold=sep_thold, trans_budget=trans_budget
-            )
-    except TransitivityBudgetExceeded as exc:
-        stats.encode_seconds = time.perf_counter() - t0
-        return DecisionResult(
-            status=DecisionResult.TRANSLATION_LIMIT,
-            stats=stats,
-            detail=str(exc),
-        )
-
-    cnf = to_cnf(encoding.check_formula)
-    stats.encode_seconds = time.perf_counter() - t0
-    stats.cnf_vars = cnf.num_vars
-    stats.cnf_clauses = len(cnf.clauses)
-    stats.encoding = encoding.stats
-
-    t1 = time.perf_counter()
-    solver = CdclSolver(
-        cnf,
-        max_conflicts=sat_conflict_limit,
-        time_limit=sat_time_limit,
+    outcome = run_eager(
+        SolveRequest(
+            formula=formula,
+            sep_thold=sep_thold,
+            trans_budget=trans_budget,
+            time_limit=sat_time_limit,
+            conflict_limit=sat_conflict_limit,
+            want_countermodel=want_countermodel,
+            sd_ranges=sd_ranges,
+        ),
+        method=method,
     )
-    sat_result = solver.solve()
-    stats.sat_seconds = time.perf_counter() - t1
-    stats.sat = sat_result.stats
-
-    if sat_result.status == "UNKNOWN":
-        return DecisionResult(status=DecisionResult.UNKNOWN, stats=stats)
-    if sat_result.is_unsat:
-        return DecisionResult(status=DecisionResult.VALID, stats=stats)
-
-    counterexample = None
-    if want_countermodel:
-        boolvar_model = _boolvar_model(cnf, sat_result.model)
-        sep_model = decode_countermodel(encoding, boolvar_model)
-        counterexample = lift_countermodel(elim_info, f_sep, sep_model)
-        if evaluate(f_sep, sep_model):
-            raise AssertionError(
-                "decoded countermodel does not falsify F_sep — encoding bug"
-            )
-    return DecisionResult(
-        status=DecisionResult.INVALID,
-        stats=stats,
-        counterexample=counterexample,
-    )
-
-
-def _boolvar_model(cnf, model: Dict[int, bool]) -> Dict[BoolVar, bool]:
-    out: Dict[BoolVar, bool] = {}
-    for var, name in cnf.names.items():
-        if isinstance(name, BoolVar) and var in model:
-            out[name] = model[var]
-    return out
+    return outcome.to_decision_result()
 
 
 def decode_countermodel(
@@ -167,8 +113,6 @@ def decode_countermodel(
 
     # SD classes: direct bit readout.
     for var, bits in encoding.var_bits.items():
-        from ..encodings.bitvector import bv_value
-
         values[var.name] = bv_value(bits, boolvar_model)
 
     # EIJ classes with bounds: complete the asserted bounds per class.
@@ -210,8 +154,6 @@ def decode_countermodel(
     # spacing must exceed every offset in the formula (including offsets in
     # pure-V_p atoms, which no class records), so it derives from the whole
     # pushed formula.
-    from ..logic.traversal import max_offset_magnitude
-
     span = max_offset_magnitude(analysis.pushed)
     floor = max(values.values(), default=0) + 10 * (span + 1) + 1
     step = 2 * span + 2
@@ -235,8 +177,6 @@ def _decode_equality_class(vclass, registry, boolvar_model, values) -> None:
     True equality variables merge constants; each resulting group gets a
     distinct value (F_trans guarantees the merge respects the false
     variables, so groups really are separable)."""
-    from ..separation.unionfind import DisjointSet
-
     members = set(vclass.vars)
     union = DisjointSet(vclass.vars)
     for var in registry.all_eq_vars():

@@ -3,13 +3,37 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional
 
 from ..encodings.hybrid import EncodingStats
 from ..logic.semantics import Interpretation
 from ..sat.solver import SatStats
+from .status import Status
 
-__all__ = ["DecisionStats", "DecisionResult"]
+__all__ = ["StageRecord", "DecisionStats", "DecisionResult", "Status"]
+
+
+@dataclass
+class StageRecord:
+    """One pipeline stage's wall time and counters.
+
+    Every engine reports the same record shape (the counters differ), so
+    telemetry can be aggregated uniformly across procedures — this is the
+    per-stage breakdown behind ``repro check --stats``.
+    """
+
+    name: str
+    seconds: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        parts = "%-10s %8.3fs" % (self.name, self.seconds)
+        if self.counters:
+            parts += "  " + " ".join(
+                "%s=%s" % (key, value)
+                for key, value in sorted(self.counters.items())
+            )
+        return parts
 
 
 @dataclass
@@ -19,7 +43,9 @@ class DecisionStats:
     ``encode_seconds`` covers everything up to and including CNF
     generation (the paper's "time taken to translate the formula to a
     Boolean formula"); ``sat_seconds`` is the SAT search.  Their sum is the
-    paper's "total time".
+    paper's "total time".  ``stages`` is the finer-grained uniform
+    telemetry recorded by the engine layer (func-elim → encode → CNF →
+    SAT → decode for the eager pipeline).
     """
 
     method: str = ""
@@ -31,6 +57,7 @@ class DecisionStats:
     cnf_clauses: int = 0
     encoding: Optional[EncodingStats] = None
     sat: Optional[SatStats] = None
+    stages: List[StageRecord] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -57,12 +84,15 @@ class DecisionStats:
 class DecisionResult:
     """Outcome of :func:`repro.core.decision.check_validity`."""
 
-    VALID = "VALID"
-    INVALID = "INVALID"
-    UNKNOWN = "UNKNOWN"
-    TRANSLATION_LIMIT = "TRANSLATION_LIMIT"
+    # String-compatible class constants, kept for backward compatibility
+    # (``result.status == DecisionResult.VALID`` and ``== "VALID"`` both
+    # keep working; see :class:`repro.core.status.Status`).
+    VALID = Status.VALID
+    INVALID = Status.INVALID
+    UNKNOWN = Status.UNKNOWN
+    TRANSLATION_LIMIT = Status.TRANSLATION_LIMIT
 
-    status: str
+    status: Status
     stats: DecisionStats = field(default_factory=DecisionStats)
     counterexample: Optional[Interpretation] = None
     detail: str = ""

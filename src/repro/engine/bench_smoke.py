@@ -1,0 +1,102 @@
+"""``repro bench-smoke``: a fixed micro-benchmark over every engine.
+
+Runs a small, deterministic suite subset through each registered engine
+and writes per-engine wall/encode/sat seconds to a JSON file
+(``BENCH_PR2.json`` by default).  CI runs it on every push, so the file
+seeds a perf trajectory: later PRs can diff the numbers to show a hot
+path got faster (or catch one getting slower) without re-running the
+full paper experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Dict, List, Optional
+
+from ..benchgen.suite import benchmark_by_name
+from .contract import SolveRequest
+
+__all__ = ["SMOKE_BENCHMARKS", "run_bench_smoke", "format_table"]
+
+#: Small members of three suite domains — decided in well under a second
+#: by every unbounded engine, so the whole matrix stays CI-friendly.
+SMOKE_BENCHMARKS = (
+    "pipeline_s2_r2_1",
+    "transval_s1_i3_1",
+    "ooo_t4_1",
+    "loadstore_e3_p6_1",
+    "driver_s3_1",
+)
+
+DEFAULT_TIMEOUT = 5.0
+
+
+def run_bench_smoke(
+    timeout: float = DEFAULT_TIMEOUT,
+    engines: Optional[List[str]] = None,
+    benchmarks: Optional[List[str]] = None,
+) -> Dict:
+    """Run the smoke matrix; returns the JSON-ready report dict."""
+    from . import registry
+
+    engine_names = engines if engines is not None else registry.list_engines()
+    bench_names = list(benchmarks or SMOKE_BENCHMARKS)
+
+    report: Dict = {
+        "meta": {
+            "benchmarks": bench_names,
+            "timeout_seconds": timeout,
+            "python": platform.python_version(),
+            "generated_by": "repro bench-smoke",
+        },
+        "engines": {},
+    }
+    for name in engine_names:
+        engine = registry.get(name)
+        rows: Dict[str, Dict] = {}
+        for bench_name in bench_names:
+            bench = benchmark_by_name(bench_name)
+            if bench is None:
+                raise ValueError("unknown benchmark %r" % bench_name)
+            outcome = engine.solve(
+                SolveRequest(
+                    formula=bench.formula,
+                    time_limit=timeout,
+                    want_countermodel=False,
+                )
+            )
+            rows[bench_name] = {
+                "status": str(outcome.status),
+                "wall_seconds": round(outcome.wall_seconds, 6),
+                "encode_seconds": round(outcome.stats.encode_seconds, 6),
+                "sat_seconds": round(outcome.stats.sat_seconds, 6),
+                "winner": outcome.winner,
+            }
+        report["engines"][name] = rows
+    return report
+
+
+def format_table(report: Dict) -> str:
+    """Human-readable summary of a smoke report (one row per engine)."""
+    bench_names = report["meta"]["benchmarks"]
+    lines = [
+        "%-10s %10s %10s %10s  %s"
+        % ("engine", "wall", "encode", "sat", "statuses")
+    ]
+    for name, rows in report["engines"].items():
+        wall = sum(r["wall_seconds"] for r in rows.values())
+        encode = sum(r["encode_seconds"] for r in rows.values())
+        sat = sum(r["sat_seconds"] for r in rows.values())
+        statuses = ",".join(rows[b]["status"] for b in bench_names)
+        lines.append(
+            "%-10s %9.3fs %9.3fs %9.3fs  %s"
+            % (name, wall, encode, sat, statuses)
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")

@@ -1,0 +1,387 @@
+"""The parallel portfolio driver: race engines, first decided verdict wins.
+
+The paper's HYBRID exists because neither SD nor EIJ is robust across
+workloads; the portfolio applies the same argument across whole
+procedures.  Members run in separate processes (the CDCL search is pure
+Python and CPU-bound, so threads would serialize on the GIL); the first
+``VALID``/``INVALID`` verdict is adopted and every still-running member
+is terminated.  Ties — two members decided within the same poll tick —
+are broken by registry priority order, which makes the winning engine
+deterministic whenever completion order is (and is also what the
+sequential fallback and the batch API use).
+
+``solve_batch`` decides many formulas with a worker pool; pool workers
+are daemonic (they cannot fork grandchildren), so each item runs the
+sequential portfolio in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.status import Status
+from ..logic.printer import to_sexpr
+from ..logic.terms import Formula
+from .base import Engine, EngineCapabilities
+from .contract import SolveOutcome, SolveRequest
+
+__all__ = [
+    "PortfolioEngine",
+    "solve_portfolio",
+    "solve_batch",
+    "default_members",
+]
+
+#: How long a cancelled member may take to die before escalating to kill.
+_TERMINATE_GRACE = 2.0
+
+#: Poll granularity while waiting for results with no deadline.
+_POLL_SECONDS = 0.05
+
+
+def default_members(exclude: Sequence[str] = ("portfolio",)) -> List[str]:
+    """Every registered engine except the portfolio itself."""
+    from . import registry
+
+    return [name for name in registry.list_engines() if name not in exclude]
+
+
+def _request_payload(request: SolveRequest) -> Dict[str, Any]:
+    """A picklable, process-independent image of ``request``.
+
+    The formula travels as its s-expression text and is re-parsed in the
+    worker, which re-establishes hash-consing in that process regardless
+    of the multiprocessing start method.
+    """
+    options = {
+        key: value
+        for key, value in request.options.items()
+        if key not in ("engines", "parallel", "deadline", "wait_all")
+    }
+    return {
+        "formula": to_sexpr(request.formula),
+        "want_countermodel": request.want_countermodel,
+        "time_limit": request.time_limit,
+        "conflict_limit": request.conflict_limit,
+        "sep_thold": request.sep_thold,
+        "trans_budget": request.trans_budget,
+        "sd_ranges": request.sd_ranges,
+        "options": options,
+    }
+
+
+def _request_from_payload(payload: Dict[str, Any]) -> SolveRequest:
+    from ..logic.parser import parse_formula
+
+    return SolveRequest(
+        formula=parse_formula(payload["formula"]),
+        want_countermodel=payload["want_countermodel"],
+        time_limit=payload["time_limit"],
+        conflict_limit=payload["conflict_limit"],
+        sep_thold=payload["sep_thold"],
+        trans_budget=payload["trans_budget"],
+        sd_ranges=payload["sd_ranges"],
+        options=dict(payload["options"]),
+    )
+
+
+def _member_worker(name: str, payload: Dict[str, Any], out_queue) -> None:
+    """Run one member engine in a child process; always reports back."""
+    from . import registry
+
+    try:
+        outcome = registry.get(name).solve(_request_from_payload(payload))
+    except Exception as exc:  # a member crash must not kill the race
+        outcome = SolveOutcome(
+            engine=name,
+            status=Status.ERROR,
+            detail="%s: %s" % (type(exc).__name__, exc),
+        )
+    out_queue.put((name, outcome))
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+def _pick_winner(
+    decided: Dict[str, SolveOutcome], members: Sequence[str]
+) -> Tuple[str, SolveOutcome]:
+    """Deterministic tie-break: lowest member-priority index wins."""
+    name = min(decided, key=lambda n: members.index(n))
+    return name, decided[name]
+
+
+def _portfolio_outcome(
+    winner_name: Optional[str],
+    winner: Optional[SolveOutcome],
+    members: Sequence[str],
+    finished: Dict[str, SolveOutcome],
+    cancelled: Sequence[str],
+    started: float,
+) -> SolveOutcome:
+    wall = time.perf_counter() - started
+    if winner is None:
+        # Nothing decided: adopt the highest-priority finished outcome
+        # (keeps TRANSLATION_LIMIT vs UNKNOWN distinctions) or report
+        # a bare timeout.
+        summary = ", ".join(
+            "%s=%s" % (name, finished[name].status)
+            for name in members
+            if name in finished
+        )
+        if finished:
+            name, best = _pick_winner(dict(finished), members)
+            status = best.status
+            if status is Status.ERROR:
+                status = Status.UNKNOWN
+            return SolveOutcome(
+                engine="portfolio",
+                status=status,
+                stats=best.stats,
+                detail="no engine decided (%s)" % summary,
+                wall_seconds=wall,
+            )
+        return SolveOutcome(
+            engine="portfolio",
+            status=Status.UNKNOWN,
+            detail="deadline reached before any engine finished",
+            wall_seconds=wall,
+        )
+    outcome = SolveOutcome(
+        engine="portfolio",
+        status=winner.status,
+        stats=winner.stats,
+        counterexample=winner.counterexample,
+        detail=winner.detail,
+        wall_seconds=wall,
+        winner=winner_name,
+    )
+    if cancelled:
+        extra = "cancelled: %s" % ", ".join(cancelled)
+        outcome.detail = (
+            "%s; %s" % (outcome.detail, extra) if outcome.detail else extra
+        )
+    return outcome
+
+
+def _solve_sequential(
+    request: SolveRequest,
+    members: Sequence[str],
+    deadline: Optional[float] = None,
+) -> SolveOutcome:
+    """In-process fallback: priority order, stop at the first verdict."""
+    from . import registry
+
+    started = time.perf_counter()
+    finished: Dict[str, SolveOutcome] = {}
+    if deadline is None:
+        deadline = request.time_limit
+    cutoff = started + deadline if deadline is not None else None
+    for name in members:
+        if cutoff is not None and time.perf_counter() >= cutoff:
+            break
+        try:
+            outcome = registry.get(name).solve(request)
+        except Exception as exc:
+            outcome = SolveOutcome(
+                engine=name,
+                status=Status.ERROR,
+                detail="%s: %s" % (type(exc).__name__, exc),
+            )
+        finished[name] = outcome
+        if outcome.decided:
+            return _portfolio_outcome(
+                name, outcome, members, finished, [], started
+            )
+    return _portfolio_outcome(None, None, members, finished, [], started)
+
+
+def solve_portfolio(
+    request: SolveRequest,
+    engines: Optional[Sequence[str]] = None,
+    parallel: bool = True,
+    deadline: Optional[float] = None,
+    wait_all: bool = False,
+) -> SolveOutcome:
+    """Race ``engines`` on ``request``; first decided verdict wins.
+
+    ``deadline`` (seconds, default ``request.time_limit``) bounds the
+    whole race; members additionally receive ``request.time_limit`` as
+    their own budget.  With ``parallel=False`` the members run in-process
+    in priority order instead (deterministic, multiprocessing-free).
+    With ``wait_all=True`` the race waits for every member (or the
+    deadline) and then applies the priority tie-break — fully
+    deterministic regardless of completion order, at the cost of the
+    slowest member's runtime.
+    """
+    members = list(engines) if engines is not None else default_members()
+    if not members:
+        raise ValueError("portfolio needs at least one member engine")
+    if deadline is None:
+        deadline = request.time_limit
+    if not parallel:
+        return _solve_sequential(request, members, deadline=deadline)
+
+    ctx = _mp_context()
+    results = ctx.Queue()
+    payload = _request_payload(request)
+    started = time.perf_counter()
+    procs: Dict[str, multiprocessing.Process] = {}
+    for name in members:
+        proc = ctx.Process(
+            target=_member_worker,
+            args=(name, payload, results),
+            name="portfolio-%s" % name,
+            daemon=True,
+        )
+        proc.start()
+        procs[name] = proc
+
+    finished: Dict[str, SolveOutcome] = {}
+    decided: Dict[str, SolveOutcome] = {}
+    try:
+        while len(finished) < len(members):
+            if deadline is not None:
+                remaining = deadline - (time.perf_counter() - started)
+                if remaining <= 0:
+                    break
+                timeout = min(remaining, _POLL_SECONDS * 4)
+            else:
+                timeout = _POLL_SECONDS * 4
+            try:
+                name, outcome = results.get(timeout=timeout)
+            except queue_mod.Empty:
+                # A member that died without reporting (OOM-kill, signal)
+                # must not hang the race forever.
+                for name, proc in procs.items():
+                    if name not in finished and not proc.is_alive():
+                        finished[name] = SolveOutcome(
+                            engine=name,
+                            status=Status.ERROR,
+                            detail="worker exited without a result "
+                            "(exitcode %s)" % proc.exitcode,
+                        )
+                continue
+            finished[name] = outcome
+            if outcome.decided:
+                decided[name] = outcome
+                if wait_all:
+                    continue
+                # Drain same-tick arrivals so the priority tie-break sees
+                # every verdict that is already available.
+                while True:
+                    try:
+                        other_name, other = results.get_nowait()
+                    except queue_mod.Empty:
+                        break
+                    finished[other_name] = other
+                    if other.decided:
+                        decided[other_name] = other
+                break
+    finally:
+        cancelled = _cancel_losers(procs, finished)
+
+    if decided:
+        winner_name, winner = _pick_winner(decided, members)
+        return _portfolio_outcome(
+            winner_name, winner, members, finished, cancelled, started
+        )
+    return _portfolio_outcome(
+        None, None, members, finished, cancelled, started
+    )
+
+
+def _cancel_losers(
+    procs: Dict[str, multiprocessing.Process],
+    finished: Dict[str, SolveOutcome],
+) -> List[str]:
+    """Terminate members that are still running; return their names."""
+    cancelled = []
+    for name, proc in procs.items():
+        if proc.is_alive():
+            proc.terminate()
+            if name not in finished:
+                cancelled.append(name)
+    for proc in procs.values():
+        proc.join(timeout=_TERMINATE_GRACE)
+        if proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            proc.kill()
+            proc.join(timeout=_TERMINATE_GRACE)
+    return cancelled
+
+
+# ---------------------------------------------------------------------------
+# Batch API
+# ---------------------------------------------------------------------------
+
+
+def _batch_worker(item: Tuple[Dict[str, Any], List[str]]) -> SolveOutcome:
+    payload, members = item
+    return _solve_sequential(_request_from_payload(payload), members)
+
+
+def solve_batch(
+    formulas: Sequence[Formula],
+    engines: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    **request_kwargs,
+) -> List[SolveOutcome]:
+    """Decide many formulas with a pool of portfolio workers.
+
+    Each formula is decided by the *sequential* portfolio inside one pool
+    worker (pool children are daemonic and cannot fork the parallel
+    race); parallelism comes from deciding ``jobs`` formulas at once.
+    Results keep the input order.
+    """
+    members = list(engines) if engines is not None else default_members()
+    if not members:
+        raise ValueError("portfolio needs at least one member engine")
+    items = [
+        (
+            _request_payload(SolveRequest(formula=f, **request_kwargs)),
+            members,
+        )
+        for f in formulas
+    ]
+    if not items:
+        return []
+    if jobs is None:
+        jobs = min(len(items), multiprocessing.cpu_count())
+    if jobs <= 1 or len(items) == 1:
+        return [_batch_worker(item) for item in items]
+    ctx = _mp_context()
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(_batch_worker, items)
+
+
+class PortfolioEngine(Engine):
+    """The portfolio as a registry engine of its own.
+
+    ``request.options`` knobs: ``engines`` (member subset, priority
+    order), ``parallel`` (default True), ``deadline`` (seconds),
+    ``wait_all`` (wait for every member before tie-breaking).
+    """
+
+    name = "portfolio"
+    capabilities = EngineCapabilities(
+        description="process-parallel race of all engines, first verdict wins",
+        complete=True,
+        countermodels=True,
+        time_limit=True,
+    )
+
+    def solve(self, request: SolveRequest) -> SolveOutcome:
+        return solve_portfolio(
+            request,
+            engines=request.options.get("engines"),
+            parallel=request.options.get("parallel", True),
+            deadline=request.options.get("deadline"),
+            wait_all=request.options.get("wait_all", False),
+        )

@@ -1,0 +1,102 @@
+"""The engine registry: the single dispatch point for every front end.
+
+``cli.py``, ``fuzz.oracle`` and ``experiments.runner`` all resolve
+procedures here instead of importing solver modules directly, so adding
+an engine (or swapping an implementation) is a one-file change::
+
+    from repro.engine import registry
+
+    outcome = registry.get("hybrid").decide(formula)
+    registry.list_engines()   # priority order, portfolio included
+
+Registration order defines the default priority used by the portfolio
+driver's deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Engine
+from .contract import SolveOutcome, SolveRequest
+
+__all__ = [
+    "register",
+    "unregister",
+    "get",
+    "list_engines",
+    "engines",
+    "priority",
+]
+
+_REGISTRY: Dict[str, Engine] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    """Populate the registry on first use (deferred to avoid cycles)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from . import engines as _engines
+    from . import portfolio as _portfolio
+
+    for factory in _engines.BUILTIN_ENGINES:
+        register(factory())
+    register(_portfolio.PortfolioEngine())
+
+
+def register(engine: Engine, replace: bool = False) -> Engine:
+    """Add ``engine`` under ``engine.name``; appended to priority order."""
+    if not engine.name:
+        raise ValueError("engine has no name: %r" % (engine,))
+    if engine.name in _REGISTRY and not replace:
+        raise ValueError(
+            "engine %r is already registered (pass replace=True to swap)"
+            % engine.name
+        )
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> Engine:
+    """The engine registered under ``name`` (KeyError lists known names)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown engine %r; registered: %s"
+            % (name, ", ".join(list_engines()))
+        ) from None
+
+
+def list_engines() -> List[str]:
+    """Registered engine names in priority (registration) order."""
+    _ensure_builtins()
+    return list(_REGISTRY)
+
+
+def engines() -> List[Engine]:
+    _ensure_builtins()
+    return list(_REGISTRY.values())
+
+
+def priority(name: str) -> int:
+    """Rank of ``name`` in the tie-break order (lower wins)."""
+    _ensure_builtins()
+    names = list(_REGISTRY)
+    try:
+        return names.index(name)
+    except ValueError:
+        return len(names)
+
+
+def solve(name: str, request: SolveRequest) -> SolveOutcome:
+    """Shorthand for ``get(name).solve(request)``."""
+    return get(name).solve(request)

@@ -1,0 +1,172 @@
+"""The eager pipeline, restructured as individually-timed stages.
+
+``func-elim → encode → cnf → sat → decode`` is the paper's §2.1 flow;
+this module is the single implementation behind the ``sd`` / ``eij`` /
+``hybrid`` / ``static`` engines *and* the historical
+:func:`repro.core.decision.check_validity` entry point.  Every stage
+appends a :class:`~repro.core.result.StageRecord` (wall seconds plus
+counters) so telemetry has the same shape for every engine.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+from ..core.decision import decode_countermodel, lift_countermodel
+from ..core.result import DecisionStats, StageRecord
+from ..core.status import Status
+from ..encodings.hybrid import (
+    encode_eij,
+    encode_hybrid,
+    encode_sd,
+    encode_static_hybrid,
+)
+from ..encodings.transitivity import TransitivityBudgetExceeded
+from ..logic.semantics import evaluate
+from ..logic.terms import BoolVar
+from ..logic.traversal import dag_size
+from ..sat.solver import CdclSolver
+from ..sat.tseitin import to_cnf
+from ..transform.func_elim import eliminate_applications
+from .contract import SolveOutcome, SolveRequest
+
+__all__ = ["StageClock", "run_eager", "boolvar_model"]
+
+
+class StageClock:
+    """Collects :class:`StageRecord` entries with wall-clock timing.
+
+    Use as ``with clock.stage("encode") as rec: ...``; counters added to
+    ``rec.counters`` inside the block are kept, the elapsed time is
+    stamped on exit (also on exceptions, so failed stages still report
+    how long they ran).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[StageRecord] = []
+
+    @contextmanager
+    def stage(self, name: str):
+        record = StageRecord(name=name)
+        self.records.append(record)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+
+    def seconds(self, *names: str) -> float:
+        return sum(r.seconds for r in self.records if r.name in names)
+
+
+def boolvar_model(cnf, model: Dict[int, bool]) -> Dict[BoolVar, bool]:
+    """Restrict a DIMACS model to the named Boolean variables."""
+    out: Dict[BoolVar, bool] = {}
+    for var, name in cnf.names.items():
+        if isinstance(name, BoolVar) and var in model:
+            out[name] = model[var]
+    return out
+
+
+_ENCODERS = {
+    "sd": lambda f_sep, req: encode_sd(f_sep, sd_ranges=req.sd_ranges),
+    "eij": lambda f_sep, req: encode_eij(f_sep, trans_budget=req.trans_budget),
+    "static": lambda f_sep, req: encode_static_hybrid(
+        f_sep, trans_budget=req.trans_budget
+    ),
+    "hybrid": lambda f_sep, req: encode_hybrid(
+        f_sep, sep_thold=req.sep_thold, trans_budget=req.trans_budget
+    ),
+}
+
+
+def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
+    """Run the eager pipeline end to end with per-stage telemetry.
+
+    The returned outcome's ``stats`` keeps the historical field split
+    (``encode_seconds`` covers func-elim + encode + CNF, ``sat_seconds``
+    the SAT search) on top of the finer-grained ``stats.stages``.
+    """
+    if method not in _ENCODERS:
+        raise ValueError(
+            "unknown eager method %r; expected one of %r"
+            % (method, tuple(_ENCODERS))
+        )
+    clock = StageClock()
+    stats = DecisionStats(method=method.upper(), stages=clock.records)
+    start = time.perf_counter()
+
+    def outcome(status, counterexample=None, detail=""):
+        stats.encode_seconds = clock.seconds("func-elim", "encode", "cnf")
+        stats.sat_seconds = clock.seconds("sat")
+        return SolveOutcome(
+            engine=method,
+            status=status,
+            stats=stats,
+            counterexample=counterexample,
+            detail=detail,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    with clock.stage("func-elim") as rec:
+        stats.dag_size_suf = dag_size(request.formula)
+        f_sep, elim_info = eliminate_applications(request.formula)
+        stats.dag_size_sep = dag_size(f_sep)
+        rec.counters["dag_suf"] = stats.dag_size_suf
+        rec.counters["dag_sep"] = stats.dag_size_sep
+        rec.counters["fresh_consts"] = len(elim_info.fresh_func_vars()) + len(
+            elim_info.fresh_pred_vars()
+        )
+
+    try:
+        with clock.stage("encode") as rec:
+            encoding = _ENCODERS[method](f_sep, request)
+            rec.counters["classes"] = encoding.stats.num_classes
+            rec.counters["sd_classes"] = encoding.stats.sd_classes
+            rec.counters["eij_classes"] = encoding.stats.eij_classes
+            rec.counters["sep_vars"] = encoding.stats.sep_vars
+            rec.counters["trans_clauses"] = encoding.stats.trans_clauses
+    except TransitivityBudgetExceeded as exc:
+        return outcome(Status.TRANSLATION_LIMIT, detail=str(exc))
+    stats.encoding = encoding.stats
+
+    with clock.stage("cnf") as rec:
+        cnf = to_cnf(encoding.check_formula)
+        stats.cnf_vars = cnf.num_vars
+        stats.cnf_clauses = len(cnf.clauses)
+        rec.counters["vars"] = cnf.num_vars
+        rec.counters["clauses"] = len(cnf.clauses)
+
+    with clock.stage("sat") as rec:
+        solver = CdclSolver(
+            cnf,
+            max_conflicts=request.conflict_limit,
+            time_limit=request.time_limit,
+        )
+        sat_result = solver.solve()
+        stats.sat = sat_result.stats
+        rec.counters["decisions"] = sat_result.stats.decisions
+        rec.counters["propagations"] = sat_result.stats.propagations
+        rec.counters["conflicts"] = sat_result.stats.conflicts
+        rec.counters["learned"] = sat_result.stats.learned_clauses
+
+    if sat_result.status == "UNKNOWN":
+        return outcome(Status.UNKNOWN)
+    if sat_result.is_unsat:
+        return outcome(Status.VALID)
+
+    counterexample = None
+    if request.want_countermodel:
+        with clock.stage("decode") as rec:
+            model = boolvar_model(cnf, sat_result.model)
+            sep_model = decode_countermodel(encoding, model)
+            counterexample = lift_countermodel(elim_info, f_sep, sep_model)
+            rec.counters["model_vars"] = len(counterexample.vars)
+            if evaluate(f_sep, sep_model):
+                raise AssertionError(
+                    "decoded countermodel does not falsify F_sep — "
+                    "encoding bug"
+                )
+    return outcome(Status.INVALID, counterexample=counterexample)

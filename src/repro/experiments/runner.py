@@ -15,10 +15,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..benchgen.base import Benchmark
-from ..core.decision import check_validity
-from ..core.result import DecisionResult
-from ..solvers.lazy import check_validity_lazy
-from ..solvers.svclike import check_validity_svc
+from ..core.status import Status
+from ..engine import registry
+from ..engine.contract import SolveOutcome, SolveRequest
 
 __all__ = [
     "RunRow",
@@ -71,35 +70,48 @@ class RunRow:
         return self.total_seconds / max(self.dag_size / 1000.0, 1e-9)
 
 
-def _run_eager(bench: Benchmark, method: str, timeout: float, **kw) -> DecisionResult:
-    return check_validity(
-        bench.formula,
-        method=method,
-        sat_time_limit=timeout,
-        trans_budget=kw.get("trans_budget", DEFAULT_TRANS_BUDGET),
-        sep_thold=kw.get("sep_thold", CALIBRATED_SEP_THOLD),
-        want_countermodel=False,
+def _run_engine(
+    bench: Benchmark, engine: str, timeout: float, **kw
+) -> SolveOutcome:
+    """Resolve ``engine`` through the registry and decide the benchmark.
+
+    ``kw`` carries the experiment knobs: ``trans_budget`` / ``sep_thold``
+    for the eager encodings, engine-specific limits via ``options``.
+    """
+    return registry.get(engine).solve(
+        SolveRequest(
+            formula=bench.formula,
+            time_limit=timeout,
+            trans_budget=kw.get("trans_budget", DEFAULT_TRANS_BUDGET),
+            sep_thold=kw.get("sep_thold", CALIBRATED_SEP_THOLD),
+            want_countermodel=False,
+            options=kw.get("options", {}),
+        )
     )
 
 
+def _procedure(engine: str, **default_options) -> Callable:
+    def run(bench: Benchmark, timeout: float, **kw) -> SolveOutcome:
+        options = dict(default_options)
+        for key in list(default_options):
+            if key in kw:
+                options[key] = kw[key]
+        kw = {k: v for k, v in kw.items() if k not in options}
+        return _run_engine(bench, engine, timeout, options=options, **kw)
+
+    return run
+
+
+#: Display name → runner.  Every procedure dispatches through
+#: :mod:`repro.engine.registry`; the keys are the paper's labels.
 PROCEDURES: Dict[str, Callable] = {
-    "SD": lambda bench, timeout, **kw: _run_eager(bench, "sd", timeout, **kw),
-    "EIJ": lambda bench, timeout, **kw: _run_eager(bench, "eij", timeout, **kw),
-    "HYBRID": lambda bench, timeout, **kw: _run_eager(
-        bench, "hybrid", timeout, **kw
-    ),
-    "STATIC": lambda bench, timeout, **kw: _run_eager(
-        bench, "static", timeout, **kw
-    ),
-    "CVC(lazy)": lambda bench, timeout, **kw: check_validity_lazy(
-        bench.formula, time_limit=timeout, want_countermodel=False
-    ),
-    "SVC(split)": lambda bench, timeout, **kw: check_validity_svc(
-        bench.formula,
-        time_limit=timeout,
-        max_splits=kw.get("max_splits", 2_000_000),
-        want_countermodel=False,
-    ),
+    "SD": _procedure("sd"),
+    "EIJ": _procedure("eij"),
+    "HYBRID": _procedure("hybrid"),
+    "STATIC": _procedure("static"),
+    "CVC(lazy)": _procedure("lazy"),
+    "SVC(split)": _procedure("svc", max_splits=2_000_000),
+    "PORTFOLIO": _procedure("portfolio"),
 }
 
 
@@ -116,14 +128,14 @@ def run_benchmark(
     elapsed = time.perf_counter() - start
 
     status = result.status
-    if status in (DecisionResult.VALID, DecisionResult.INVALID):
+    if status in (Status.VALID, Status.INVALID):
         if result.valid != bench.expected_valid:
             raise AssertionError(
                 "%s decided %s as %s but the generator expects valid=%s"
                 % (procedure, bench.name, status, bench.expected_valid)
             )
     else:
-        status = "TIMEOUT" if status == DecisionResult.UNKNOWN else status
+        status = "TIMEOUT" if status == Status.UNKNOWN else status
 
     stats = result.stats
     return RunRow(

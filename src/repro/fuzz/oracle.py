@@ -21,12 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..core.decision import check_validity
+from ..engine import registry
+from ..engine.contract import SolveRequest
 from ..logic.semantics import evaluate
 from ..logic.terms import Formula, Lt, Offset
-from ..solvers.brute import BruteForceLimitExceeded, brute_force_valid
-from ..solvers.lazy import check_validity_lazy
-from ..solvers.svclike import check_validity_svc
 from .rewrite import rebuild
 
 __all__ = [
@@ -88,22 +86,20 @@ class Discrepancy:
         return "; ".join(parts)
 
 
-def _brute(limit: int) -> Callable[[Formula], MethodOutcome]:
+def _engine_method(name: str, **options) -> Callable[[Formula], MethodOutcome]:
+    """Wrap a registry engine as a differential-oracle method.
+
+    Limit-style knobs travel in the request's ``options``; resource-
+    limited outcomes map to ``valid=None`` (excluded from comparison),
+    and every INVALID countermodel is replayed against the reference
+    semantics.
+    """
+
     def run(formula: Formula) -> MethodOutcome:
-        try:
-            return MethodOutcome(
-                "brute", valid=brute_force_valid(formula, limit=limit)
-            )
-        except BruteForceLimitExceeded:
-            return MethodOutcome("brute", valid=None)
-
-    return run
-
-
-def _eager(method: str) -> Callable[[Formula], MethodOutcome]:
-    def run(formula: Formula) -> MethodOutcome:
-        result = check_validity(formula, method=method)
-        outcome = MethodOutcome(method, valid=result.valid)
+        result = registry.get(name).solve(
+            SolveRequest(formula=formula, options=dict(options))
+        )
+        outcome = MethodOutcome(name, valid=result.valid)
         if result.valid is False and result.counterexample is not None:
             outcome.countermodel_ok = not evaluate(
                 formula, result.counterexample
@@ -113,22 +109,6 @@ def _eager(method: str) -> Callable[[Formula], MethodOutcome]:
     return run
 
 
-def _lazy(formula: Formula) -> MethodOutcome:
-    result = check_validity_lazy(formula, max_iterations=10_000)
-    outcome = MethodOutcome("lazy", valid=result.valid)
-    if result.valid is False and result.counterexample is not None:
-        outcome.countermodel_ok = not evaluate(formula, result.counterexample)
-    return outcome
-
-
-def _svc(formula: Formula) -> MethodOutcome:
-    result = check_validity_svc(formula, max_splits=200_000)
-    outcome = MethodOutcome("svc", valid=result.valid)
-    if result.valid is False and result.counterexample is not None:
-        outcome.countermodel_ok = not evaluate(formula, result.counterexample)
-    return outcome
-
-
 def default_methods(
     oracle_limit: int = DEFAULT_ORACLE_LIMIT,
     names: Optional[List[str]] = None,
@@ -136,26 +116,27 @@ def default_methods(
     """The full method registry, optionally restricted to ``names``.
 
     ``brute`` is the reference; the eager methods and both baselines are
-    the systems under test.
+    the systems under test.  Every method dispatches through
+    :mod:`repro.engine.registry`.
     """
-    registry: Dict[str, Callable[[Formula], MethodOutcome]] = {
-        "brute": _brute(oracle_limit),
-        "sd": _eager("sd"),
-        "eij": _eager("eij"),
-        "hybrid": _eager("hybrid"),
-        "static": _eager("static"),
-        "lazy": _lazy,
-        "svc": _svc,
+    methods: Dict[str, Callable[[Formula], MethodOutcome]] = {
+        "brute": _engine_method("brute", limit=oracle_limit),
+        "sd": _engine_method("sd"),
+        "eij": _engine_method("eij"),
+        "hybrid": _engine_method("hybrid"),
+        "static": _engine_method("static"),
+        "lazy": _engine_method("lazy", max_iterations=10_000),
+        "svc": _engine_method("svc", max_splits=200_000),
     }
     if names is None:
-        return registry
-    unknown = sorted(set(names) - set(registry))
+        return methods
+    unknown = sorted(set(names) - set(methods))
     if unknown:
         raise ValueError(
             "unknown method(s) %s; expected a subset of %s"
-            % (", ".join(unknown), ", ".join(registry))
+            % (", ".join(unknown), ", ".join(methods))
         )
-    return {name: registry[name] for name in names}
+    return {name: methods[name] for name in names}
 
 
 def run_methods(

@@ -1,0 +1,224 @@
+"""Tests for the engine layer: contract, registry, stage telemetry."""
+
+import pytest
+
+from repro.benchgen.suite import benchmark_by_name
+from repro.core.result import DecisionResult
+from repro.core.status import Status
+from repro.engine import registry
+from repro.engine.base import Engine, EngineCapabilities
+from repro.engine.contract import SolveOutcome, SolveRequest
+from repro.logic.parser import parse_formula
+
+VALID_F = "(=> (and (< x y) (< y z)) (< x z))"
+INVALID_F = "(= x y)"
+UF_VALID_F = "(=> (= a b) (= (f a) (f b)))"
+
+ALL_ENGINES = ("hybrid", "static", "eij", "sd", "lazy", "svc", "brute")
+
+
+class TestStatus:
+    def test_string_compatible(self):
+        assert Status.VALID == "VALID"
+        assert "%s" % Status.INVALID == "INVALID"
+        assert "{}".format(Status.UNKNOWN) == "UNKNOWN"
+        assert Status("VALID") is Status.VALID
+
+    def test_decision_result_constants_are_statuses(self):
+        assert DecisionResult.VALID is Status.VALID
+        assert DecisionResult.TRANSLATION_LIMIT is Status.TRANSLATION_LIMIT
+
+    def test_as_valid(self):
+        assert Status.VALID.as_valid is True
+        assert Status.INVALID.as_valid is False
+        assert Status.UNKNOWN.as_valid is None
+        assert Status.ERROR.as_valid is None
+
+    def test_decided(self):
+        assert Status.VALID.decided and Status.INVALID.decided
+        assert not Status.TRANSLATION_LIMIT.decided
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        names = registry.list_engines()
+        for name in ALL_ENGINES + ("portfolio",):
+            assert name in names
+
+    def test_priority_order_starts_with_hybrid(self):
+        assert registry.list_engines()[0] == "hybrid"
+
+    def test_unknown_engine_lists_known_names(self):
+        with pytest.raises(KeyError, match="hybrid"):
+            registry.get("no-such-engine")
+
+    def test_register_and_unregister(self):
+        class Fake(Engine):
+            name = "fake-test-engine"
+
+            def solve(self, request):
+                return SolveOutcome(engine=self.name, status=Status.UNKNOWN)
+
+        try:
+            registry.register(Fake())
+            assert registry.get("fake-test-engine").name == "fake-test-engine"
+            with pytest.raises(ValueError):
+                registry.register(Fake())
+        finally:
+            registry.unregister("fake-test-engine")
+        assert "fake-test-engine" not in registry.list_engines()
+
+    def test_capability_metadata(self):
+        assert registry.get("brute").capabilities.bounded
+        assert not registry.get("brute").capabilities.countermodels
+        for name in ("hybrid", "lazy", "svc"):
+            caps = registry.get(name).capabilities
+            assert caps.complete
+            assert caps.countermodels
+            assert caps.description
+
+
+class TestEngineContract:
+    @pytest.mark.parametrize("name", ALL_ENGINES)
+    def test_valid_formula(self, name):
+        outcome = registry.get(name).decide(parse_formula(VALID_F))
+        assert outcome.status == Status.VALID
+        assert outcome.engine == name
+        assert outcome.wall_seconds >= 0
+
+    @pytest.mark.parametrize("name", ALL_ENGINES)
+    def test_invalid_formula(self, name):
+        outcome = registry.get(name).decide(parse_formula(INVALID_F))
+        assert outcome.status == Status.INVALID
+        if registry.get(name).capabilities.countermodels:
+            assert outcome.counterexample is not None
+
+    @pytest.mark.parametrize("name", ALL_ENGINES)
+    def test_agreement_on_suite_subset(self, name):
+        for bench_name in ("pipeline_s2_r2_1", "transval_s1_i3_1"):
+            bench = benchmark_by_name(bench_name)
+            outcome = registry.get(name).solve(
+                SolveRequest(
+                    formula=bench.formula,
+                    want_countermodel=False,
+                    time_limit=30.0,
+                )
+            )
+            if name == "brute" and outcome.status == Status.UNKNOWN:
+                continue  # enumeration space exceeds the oracle budget
+            assert outcome.valid == bench.expected_valid, (
+                name,
+                bench_name,
+                outcome.status,
+            )
+
+    def test_to_decision_result_round_trip(self):
+        outcome = registry.get("hybrid").decide(parse_formula(INVALID_F))
+        result = outcome.to_decision_result()
+        assert isinstance(result, DecisionResult)
+        assert result.status == Status.INVALID
+        assert result.counterexample is outcome.counterexample
+        assert result.stats is outcome.stats
+
+    def test_replace_formula_keeps_knobs(self):
+        request = SolveRequest(
+            formula=parse_formula(VALID_F),
+            sep_thold=123,
+            options={"limit": 7},
+        )
+        clone = request.replace_formula(parse_formula(INVALID_F))
+        assert clone.sep_thold == 123
+        assert clone.options == {"limit": 7}
+        assert clone.formula is not request.formula
+
+
+class TestStageTelemetry:
+    def test_eager_stage_names(self):
+        outcome = registry.get("hybrid").decide(parse_formula(VALID_F))
+        assert [s.name for s in outcome.stages] == [
+            "func-elim",
+            "encode",
+            "cnf",
+            "sat",
+        ]
+
+    def test_eager_decode_stage_on_invalid(self):
+        outcome = registry.get("hybrid").decide(parse_formula(INVALID_F))
+        assert [s.name for s in outcome.stages][-1] == "decode"
+
+    def test_stage_seconds_match_legacy_split(self):
+        outcome = registry.get("sd").decide(parse_formula(UF_VALID_F))
+        by_name = {s.name: s for s in outcome.stages}
+        front = sum(
+            by_name[n].seconds for n in ("func-elim", "encode", "cnf")
+        )
+        assert outcome.stats.encode_seconds == pytest.approx(front)
+        assert outcome.stats.sat_seconds == pytest.approx(
+            by_name["sat"].seconds
+        )
+
+    def test_eager_counters(self):
+        outcome = registry.get("eij").decide(parse_formula(VALID_F))
+        by_name = {s.name: s for s in outcome.stages}
+        assert by_name["func-elim"].counters["dag_suf"] > 0
+        assert by_name["cnf"].counters["clauses"] == outcome.stats.cnf_clauses
+        assert "decisions" in by_name["sat"].counters
+
+    def test_lazy_stages(self):
+        outcome = registry.get("lazy").decide(parse_formula(VALID_F))
+        by_name = {s.name: s for s in outcome.stages}
+        assert "iterations" in by_name["refine"].counters
+        assert by_name["refine"].counters["iterations"] >= 1
+
+    def test_svc_stages(self):
+        outcome = registry.get("svc").decide(parse_formula(VALID_F))
+        names = [s.name for s in outcome.stages]
+        assert names == ["flatten", "split"]
+
+    def test_brute_stages(self):
+        outcome = registry.get("brute").decide(parse_formula(VALID_F))
+        assert [s.name for s in outcome.stages] == ["enumerate"]
+        assert outcome.stages[0].counters["limit"] > 0
+
+    def test_check_validity_carries_stages(self):
+        from repro.core.decision import check_validity
+
+        result = check_validity(parse_formula(VALID_F), method="hybrid")
+        assert result.stats.stages
+        assert result.stats.stages[0].name == "func-elim"
+
+    def test_stage_record_describe(self):
+        outcome = registry.get("hybrid").decide(parse_formula(VALID_F))
+        line = outcome.stages[0].describe()
+        assert "func-elim" in line and "dag_suf=" in line
+
+
+class TestEngineOptions:
+    def test_brute_limit_option(self):
+        outcome = registry.get("brute").solve(
+            SolveRequest(
+                formula=parse_formula(VALID_F), options={"limit": 1}
+            )
+        )
+        assert outcome.status == Status.UNKNOWN
+        assert "limit" in outcome.detail
+
+    def test_lazy_iteration_cap(self):
+        outcome = registry.get("lazy").solve(
+            SolveRequest(
+                formula=parse_formula(INVALID_F),
+                options={"max_iterations": 10_000},
+            )
+        )
+        assert outcome.status == Status.INVALID
+
+    def test_translation_limit_surfaces(self):
+        bench = benchmark_by_name("pipeline_s2_r2_1")
+        outcome = registry.get("eij").solve(
+            SolveRequest(formula=bench.formula, trans_budget=1)
+        )
+        assert outcome.status == Status.TRANSLATION_LIMIT
+
+    def test_capabilities_dataclass(self):
+        caps = EngineCapabilities(description="x", bounded=True)
+        assert caps.bounded and caps.description == "x"

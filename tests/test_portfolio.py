@@ -1,0 +1,224 @@
+"""Tests for the parallel portfolio driver and the batch API."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core.status import Status
+from repro.engine import registry
+from repro.engine.base import Engine, EngineCapabilities
+from repro.engine.contract import SolveOutcome, SolveRequest
+from repro.engine.portfolio import (
+    default_members,
+    solve_batch,
+    solve_portfolio,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+
+VALID_F = "(=> (and (< x y) (< y z)) (< x z))"
+INVALID_F = "(= x y)"
+UF_VALID_F = "(=> (= a b) (= (f a) (f b)))"
+
+FORMULAS = [VALID_F, INVALID_F, UF_VALID_F, "(< x (+ x 1))", "(< (+ x 1) x)"]
+EXPECTED = [True, False, True, True, False]
+
+
+class SleepyEngine(Engine):
+    """Decides nothing for 30 s — the designated race loser."""
+
+    name = "sleepy-test"
+    capabilities = EngineCapabilities(description="sleeps", complete=False)
+
+    def solve(self, request):
+        deadline = time.time() + 30.0
+        while time.time() < deadline:
+            time.sleep(0.05)
+        return SolveOutcome(engine=self.name, status=Status.UNKNOWN)
+
+
+class CrashyEngine(Engine):
+    name = "crashy-test"
+    capabilities = EngineCapabilities(description="raises", complete=False)
+
+    def solve(self, request):
+        raise RuntimeError("intentional test crash")
+
+
+@pytest.fixture
+def sleepy():
+    registry.register(SleepyEngine())
+    try:
+        yield
+    finally:
+        registry.unregister("sleepy-test")
+
+
+@pytest.fixture
+def crashy():
+    registry.register(CrashyEngine())
+    try:
+        yield
+    finally:
+        registry.unregister("crashy-test")
+
+
+def request_for(text, **kw):
+    return SolveRequest(formula=parse_formula(text), **kw)
+
+
+class TestSequentialPortfolio:
+    @pytest.mark.parametrize(
+        "text,expected", list(zip(FORMULAS, EXPECTED))
+    )
+    def test_agreement_with_hybrid(self, text, expected):
+        request = request_for(text)
+        single = registry.get("hybrid").solve(request)
+        combined = solve_portfolio(request, parallel=False)
+        assert combined.valid == expected
+        assert combined.valid == single.valid
+        assert combined.engine == "portfolio"
+        assert combined.winner in default_members()
+
+    def test_priority_order_decides_winner(self):
+        request = request_for(VALID_F)
+        first = solve_portfolio(
+            request, engines=["eij", "hybrid"], parallel=False
+        )
+        second = solve_portfolio(
+            request, engines=["hybrid", "eij"], parallel=False
+        )
+        assert first.winner == "eij"
+        assert second.winner == "hybrid"
+
+    def test_adopts_winner_stats_and_countermodel(self):
+        formula = parse_formula(INVALID_F)
+        outcome = solve_portfolio(
+            SolveRequest(formula=formula), parallel=False
+        )
+        assert outcome.status == Status.INVALID
+        assert outcome.counterexample is not None
+        assert not evaluate(formula, outcome.counterexample)
+        assert outcome.stats.stages  # winner's telemetry adopted
+
+    def test_crash_falls_through_to_next_member(self, crashy):
+        outcome = solve_portfolio(
+            request_for(VALID_F),
+            engines=["crashy-test", "hybrid"],
+            parallel=False,
+        )
+        assert outcome.status == Status.VALID
+        assert outcome.winner == "hybrid"
+
+    def test_nothing_decided(self):
+        # brute alone on a formula far beyond its enumeration budget.
+        outcome = solve_portfolio(
+            request_for(VALID_F, options={"limit": 1}),
+            engines=["brute"],
+            parallel=False,
+        )
+        assert outcome.status == Status.UNKNOWN
+        assert "no engine decided" in outcome.detail
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            solve_portfolio(request_for(VALID_F), engines=[])
+
+
+class TestParallelPortfolio:
+    def test_race_decides_and_reports_winner(self):
+        outcome = solve_portfolio(
+            request_for(VALID_F), engines=["hybrid", "eij", "sd"]
+        )
+        assert outcome.status == Status.VALID
+        assert outcome.winner in ("hybrid", "eij", "sd")
+
+    def test_invalid_countermodel_survives_process_hop(self):
+        formula = parse_formula(INVALID_F)
+        outcome = solve_portfolio(
+            SolveRequest(formula=formula), engines=["hybrid", "sd"]
+        )
+        assert outcome.status == Status.INVALID
+        assert outcome.counterexample is not None
+        assert not evaluate(formula, outcome.counterexample)
+
+    def test_first_win_cancels_losers(self, sleepy):
+        started = time.perf_counter()
+        outcome = solve_portfolio(
+            request_for(VALID_F), engines=["sleepy-test", "hybrid"]
+        )
+        elapsed = time.perf_counter() - started
+        assert outcome.status == Status.VALID
+        assert outcome.winner == "hybrid"
+        # The 30 s sleeper must have been terminated, not awaited.
+        assert elapsed < 15.0
+        assert "cancelled: sleepy-test" in outcome.detail
+        # No portfolio worker is left running after the call returns.
+        leftovers = [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith("portfolio-")
+        ]
+        assert leftovers == []
+
+    def test_deadline_terminates_everything(self, sleepy):
+        started = time.perf_counter()
+        outcome = solve_portfolio(
+            request_for(VALID_F),
+            engines=["sleepy-test"],
+            deadline=1.0,
+            # single-member portfolios normally fall back to sequential;
+            # force the parallel path to exercise deadline cancellation
+            parallel=True,
+        )
+        elapsed = time.perf_counter() - started
+        assert outcome.status == Status.UNKNOWN
+        assert elapsed < 15.0
+
+    def test_deterministic_priority_tie_break(self, sleepy):
+        # wait_all waits for every member, then the fixed priority order
+        # decides — the same winner on every run, regardless of timing.
+        winners = set()
+        for _ in range(3):
+            outcome = solve_portfolio(
+                request_for(VALID_F),
+                engines=["sd", "hybrid", "eij"],
+                wait_all=True,
+            )
+            winners.add(outcome.winner)
+        assert winners == {"sd"}
+
+    def test_crashed_member_does_not_poison_race(self, crashy):
+        outcome = solve_portfolio(
+            request_for(VALID_F), engines=["crashy-test", "hybrid"]
+        )
+        assert outcome.status == Status.VALID
+        assert outcome.winner == "hybrid"
+
+    def test_registered_as_engine(self):
+        outcome = registry.get("portfolio").solve(
+            request_for(VALID_F, options={"engines": ["hybrid", "eij"]})
+        )
+        assert outcome.status == Status.VALID
+        assert outcome.engine == "portfolio"
+
+
+class TestBatch:
+    def test_batch_preserves_order_and_verdicts(self):
+        formulas = [parse_formula(t) for t in FORMULAS]
+        outcomes = solve_batch(formulas, jobs=2)
+        assert len(outcomes) == len(formulas)
+        assert [o.valid for o in outcomes] == EXPECTED
+        for outcome in outcomes:
+            assert outcome.engine == "portfolio"
+            assert outcome.winner is not None
+
+    def test_batch_single_job_inline(self):
+        outcomes = solve_batch(
+            [parse_formula(VALID_F)], engines=["hybrid"], jobs=1
+        )
+        assert [o.valid for o in outcomes] == [True]
+
+    def test_batch_empty(self):
+        assert solve_batch([]) == []
