@@ -7,9 +7,11 @@ test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Fixed benchmark subset through every engine; per-engine wall/encode/sat
-# seconds land in BENCH_PR2.json (CI uploads it as an artifact).
+# seconds plus the preprocessing on/off comparison land in BENCH_PR3.json
+# (CI uploads it as an artifact and fails if preprocessing changes a
+# verdict).
 bench-smoke:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke --out BENCH_PR2.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke --out BENCH_PR3.json
 
 # The full acceptance campaign (deterministic; ~3s).
 fuzz:

@@ -17,7 +17,9 @@ Subcommands
     multiple files are decided concurrently by a worker pool.
 ``bench-smoke``
     Run the fixed smoke benchmark subset through every registered engine
-    and write per-engine timings to ``BENCH_PR2.json``.
+    and write per-engine timings to ``BENCH_PR3.json``, including a
+    preprocessing on/off comparison (vars/clauses/sat-wall) for the
+    eager engines; exits nonzero if preprocessing changes any verdict.
 ``experiment {fig2,fig3,fig4,fig5,fig6,threshold,ablation,all}``
     Run one of the paper's experiments and print its table/figure.
 ``analyze FILE``
@@ -97,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-stage timing and counter telemetry",
     )
+    check.add_argument(
+        "--no-preprocess",
+        action="store_true",
+        help="skip the SatELite-style CNF simplification stage (eager "
+        "methods; useful to isolate encoder/solver behaviour or to "
+        "rule the preprocessor out when debugging a verdict)",
+    )
 
     bench = sub.add_parser("bench", help="decide one suite benchmark")
     bench.add_argument("name")
@@ -145,13 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
     smoke = sub.add_parser(
         "bench-smoke",
         help="run the fixed smoke benchmarks through every engine, "
-        "write per-engine timings as JSON",
+        "write per-engine timings plus a preprocessing on/off "
+        "comparison as JSON",
     )
     smoke.add_argument(
         "--out",
-        default="BENCH_PR2.json",
+        default="BENCH_PR3.json",
         metavar="FILE",
-        help="JSON output path (default BENCH_PR2.json)",
+        help="JSON output path (default BENCH_PR3.json)",
     )
     smoke.add_argument("--timeout", type=float, default=None)
     smoke.add_argument(
@@ -222,7 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--methods",
         default=None,
         metavar="NAMES",
-        help="comma-separated subset of brute,sd,eij,hybrid,static,lazy,svc",
+        help="comma-separated subset of brute,sd,eij,hybrid,static,"
+        "sd+preprocess,hybrid+preprocess,lazy,svc",
     )
     fuzz.add_argument(
         "--no-metamorphic",
@@ -307,6 +318,7 @@ def _cmd_check(args) -> int:
             time_limit=args.timeout,
             sep_thold=args.sep_thold,
             sd_ranges=args.sd_ranges,
+            preprocess=not args.no_preprocess,
         )
     )
     if smtlib_mode:
@@ -439,6 +451,13 @@ def _cmd_bench_smoke(args) -> int:
     if args.out:
         write_report(report, args.out)
         print("wrote %s" % args.out)
+    if not report["meta"]["preprocess_verdicts_match"]:
+        print(
+            "error: preprocessing changed a verdict on the smoke suite "
+            "(see the preprocess section of the report)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

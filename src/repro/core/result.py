@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 from ..encodings.hybrid import EncodingStats
 from ..logic.semantics import Interpretation
+from ..sat.preprocess import PreprocessStats
 from ..sat.solver import SatStats
 from .status import Status
 
@@ -56,6 +57,7 @@ class DecisionStats:
     cnf_vars: int = 0
     cnf_clauses: int = 0
     encoding: Optional[EncodingStats] = None
+    preprocess: Optional[PreprocessStats] = None
     sat: Optional[SatStats] = None
     stages: List[StageRecord] = field(default_factory=list)
 

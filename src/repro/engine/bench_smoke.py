@@ -2,10 +2,17 @@
 
 Runs a small, deterministic suite subset through each registered engine
 and writes per-engine wall/encode/sat seconds to a JSON file
-(``BENCH_PR2.json`` by default).  CI runs it on every push, so the file
+(``BENCH_PR3.json`` by default).  CI runs it on every push, so the file
 seeds a perf trajectory: later PRs can diff the numbers to show a hot
 path got faster (or catch one getting slower) without re-running the
 full paper experiments.
+
+For engines that honour ``SolveRequest.preprocess`` (the eager
+encodings) every benchmark is additionally run with the CNF
+simplification stage disabled, and the report's ``preprocess`` section
+records the before/after variable and clause counts, the sat-stage wall
+time of both arms, and whether the verdicts agree — so the preprocessing
+win (or a soundness regression) is recorded, not asserted.
 """
 
 from __future__ import annotations
@@ -32,6 +39,36 @@ SMOKE_BENCHMARKS = (
 DEFAULT_TIMEOUT = 5.0
 
 
+def _solve(engine, formula, timeout: float, preprocess: bool) -> Dict:
+    outcome = engine.solve(
+        SolveRequest(
+            formula=formula,
+            time_limit=timeout,
+            want_countermodel=False,
+            preprocess=preprocess,
+        )
+    )
+    row = {
+        "status": str(outcome.status),
+        "wall_seconds": round(outcome.wall_seconds, 6),
+        "encode_seconds": round(outcome.stats.encode_seconds, 6),
+        "sat_seconds": round(outcome.stats.sat_seconds, 6),
+        "winner": outcome.winner,
+    }
+    pre = outcome.stats.preprocess
+    if pre is not None:
+        row["preprocess"] = {
+            "vars_before": pre.vars_before,
+            "vars_after": pre.vars_after,
+            "clauses_before": pre.clauses_before,
+            "clauses_after": pre.clauses_after,
+            "vars_eliminated": pre.vars_eliminated,
+            "clauses_subsumed": pre.clauses_subsumed,
+            "seconds": round(pre.seconds, 6),
+        }
+    return row
+
+
 def run_bench_smoke(
     timeout: float = DEFAULT_TIMEOUT,
     engines: Optional[List[str]] = None,
@@ -49,31 +86,42 @@ def run_bench_smoke(
             "timeout_seconds": timeout,
             "python": platform.python_version(),
             "generated_by": "repro bench-smoke",
+            "preprocess_verdicts_match": True,
         },
         "engines": {},
+        "preprocess": {},
     }
     for name in engine_names:
         engine = registry.get(name)
         rows: Dict[str, Dict] = {}
+        compare: Dict[str, Dict] = {}
         for bench_name in bench_names:
             bench = benchmark_by_name(bench_name)
             if bench is None:
                 raise ValueError("unknown benchmark %r" % bench_name)
-            outcome = engine.solve(
-                SolveRequest(
-                    formula=bench.formula,
-                    time_limit=timeout,
-                    want_countermodel=False,
+            row = _solve(engine, bench.formula, timeout, preprocess=True)
+            rows[bench_name] = row
+            if engine.capabilities.preprocessing:
+                raw = _solve(
+                    engine, bench.formula, timeout, preprocess=False
                 )
-            )
-            rows[bench_name] = {
-                "status": str(outcome.status),
-                "wall_seconds": round(outcome.wall_seconds, 6),
-                "encode_seconds": round(outcome.stats.encode_seconds, 6),
-                "sat_seconds": round(outcome.stats.sat_seconds, 6),
-                "winner": outcome.winner,
-            }
+                verdicts_match = row["status"] == raw["status"]
+                if not verdicts_match:
+                    report["meta"]["preprocess_verdicts_match"] = False
+                entry = {
+                    "status_on": row["status"],
+                    "status_off": raw["status"],
+                    "verdicts_match": verdicts_match,
+                    "sat_seconds_on": row["sat_seconds"],
+                    "sat_seconds_off": raw["sat_seconds"],
+                    "wall_seconds_on": row["wall_seconds"],
+                    "wall_seconds_off": raw["wall_seconds"],
+                }
+                entry.update(row.get("preprocess", {}))
+                compare[bench_name] = entry
         report["engines"][name] = rows
+        if compare:
+            report["preprocess"][name] = compare
     return report
 
 
@@ -93,6 +141,41 @@ def format_table(report: Dict) -> str:
             "%-10s %9.3fs %9.3fs %9.3fs  %s"
             % (name, wall, encode, sat, statuses)
         )
+    if report.get("preprocess"):
+        lines.append("")
+        lines.append(
+            "%-10s %9s %9s %9s %9s  %s"
+            % (
+                "preprocess",
+                "clauses",
+                "reduced",
+                "sat-on",
+                "sat-off",
+                "verdicts",
+            )
+        )
+        for name, compare in report["preprocess"].items():
+            before = sum(r.get("clauses_before", 0) for r in compare.values())
+            after = sum(r.get("clauses_after", 0) for r in compare.values())
+            sat_on = sum(r["sat_seconds_on"] for r in compare.values())
+            sat_off = sum(r["sat_seconds_off"] for r in compare.values())
+            ok = all(r["verdicts_match"] for r in compare.values())
+            reduced = (
+                "%.0f%%" % (100.0 * (before - after) / before)
+                if before
+                else "-"
+            )
+            lines.append(
+                "%-10s %9d %9s %8.3fs %8.3fs  %s"
+                % (
+                    name,
+                    before,
+                    reduced,
+                    sat_on,
+                    sat_off,
+                    "ok" if ok else "MISMATCH",
+                )
+            )
     return "\n".join(lines)
 
 

@@ -41,6 +41,10 @@ class SolveRequest:
     sep_thold: int = DEFAULT_SEP_THOLD
     trans_budget: Optional[int] = None
     sd_ranges: str = "uniform"
+    #: Run the SatELite-style CNF simplifier between CNF generation and
+    #: the SAT search (eager engines only; ``repro check --no-preprocess``
+    #: is the escape hatch).
+    preprocess: bool = True
     options: Dict[str, Any] = field(default_factory=dict)
 
     def replace_formula(self, formula: Formula) -> "SolveRequest":
@@ -52,6 +56,7 @@ class SolveRequest:
             sep_thold=self.sep_thold,
             trans_budget=self.trans_budget,
             sd_ranges=self.sd_ranges,
+            preprocess=self.preprocess,
             options=dict(self.options),
         )
 

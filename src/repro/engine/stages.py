@@ -1,11 +1,16 @@
 """The eager pipeline, restructured as individually-timed stages.
 
-``func-elim → encode → cnf → sat → decode`` is the paper's §2.1 flow;
-this module is the single implementation behind the ``sd`` / ``eij`` /
-``hybrid`` / ``static`` engines *and* the historical
-:func:`repro.core.decision.check_validity` entry point.  Every stage
-appends a :class:`~repro.core.result.StageRecord` (wall seconds plus
-counters) so telemetry has the same shape for every engine.
+``func-elim → encode → cnf → preprocess → sat → decode`` is the paper's
+§2.1 flow plus a SatELite-style CNF simplification stage
+(:mod:`repro.sat.preprocess`); this module is the single implementation
+behind the ``sd`` / ``eij`` / ``hybrid`` / ``static`` engines *and* the
+historical :func:`repro.core.decision.check_validity` entry point.
+Every stage appends a :class:`~repro.core.result.StageRecord` (wall
+seconds plus counters) so telemetry has the same shape for every engine.
+The preprocess stage is skipped when ``SolveRequest.preprocess`` is
+false (``repro check --no-preprocess``); when it runs, eliminated
+variables are re-derived through the model-reconstruction stack before
+countermodel decode.
 """
 
 from __future__ import annotations
@@ -27,7 +32,8 @@ from ..encodings.transitivity import TransitivityBudgetExceeded
 from ..logic.semantics import evaluate
 from ..logic.terms import BoolVar
 from ..logic.traversal import dag_size
-from ..sat.solver import CdclSolver
+from ..sat.preprocess import preprocess_cnf
+from ..sat.solver import CdclSolver, SatStats
 from ..sat.tseitin import to_cnf
 from ..transform.func_elim import eliminate_applications
 from .contract import SolveOutcome, SolveRequest
@@ -99,7 +105,9 @@ def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
     start = time.perf_counter()
 
     def outcome(status, counterexample=None, detail=""):
-        stats.encode_seconds = clock.seconds("func-elim", "encode", "cnf")
+        stats.encode_seconds = clock.seconds(
+            "func-elim", "encode", "cnf", "preprocess"
+        )
         stats.sat_seconds = clock.seconds("sat")
         return SolveOutcome(
             engine=method,
@@ -133,15 +141,37 @@ def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
     stats.encoding = encoding.stats
 
     with clock.stage("cnf") as rec:
-        cnf = to_cnf(encoding.check_formula)
+        cnf = to_cnf(encoding.check_formula, mode="pg")
         stats.cnf_vars = cnf.num_vars
         stats.cnf_clauses = len(cnf.clauses)
         rec.counters["vars"] = cnf.num_vars
         rec.counters["clauses"] = len(cnf.clauses)
 
+    pre = None
+    solver_cnf = cnf
+    if request.preprocess:
+        with clock.stage("preprocess") as rec:
+            pre = preprocess_cnf(cnf)
+            stats.preprocess = pre.stats
+            solver_cnf = pre.simplified
+            rec.counters["clauses_before"] = pre.stats.clauses_before
+            rec.counters["clauses_after"] = pre.stats.clauses_after
+            rec.counters["vars_before"] = pre.stats.vars_before
+            rec.counters["vars_after"] = pre.stats.vars_after
+            rec.counters["units"] = pre.stats.units_fixed
+            rec.counters["pure"] = pre.stats.pure_literals
+            rec.counters["subsumed"] = pre.stats.clauses_subsumed
+            rec.counters["strengthened"] = pre.stats.literals_strengthened
+            rec.counters["eliminated"] = pre.stats.vars_eliminated
+        if pre.status == "UNSAT":
+            # Preprocessing closed the instance; the search never runs,
+            # so report truthful all-zero SAT counters.
+            stats.sat = SatStats(original_clauses=pre.stats.clauses_before)
+            return outcome(Status.VALID)
+
     with clock.stage("sat") as rec:
         solver = CdclSolver(
-            cnf,
+            solver_cnf,
             max_conflicts=request.conflict_limit,
             time_limit=request.time_limit,
         )
@@ -160,7 +190,12 @@ def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
     counterexample = None
     if request.want_countermodel:
         with clock.stage("decode") as rec:
-            model = boolvar_model(cnf, sat_result.model)
+            sat_model = sat_result.model
+            if pre is not None:
+                # Re-derive eliminated/fixed variables so the model
+                # satisfies the *original* CNF before decoding.
+                sat_model = pre.reconstruct(sat_model)
+            model = boolvar_model(cnf, sat_model)
             sep_model = decode_countermodel(encoding, model)
             counterexample = lift_countermodel(elim_info, f_sep, sep_model)
             rec.counters["model_vars"] = len(counterexample.vars)

@@ -86,18 +86,26 @@ class Discrepancy:
         return "; ".join(parts)
 
 
-def _engine_method(name: str, **options) -> Callable[[Formula], MethodOutcome]:
+def _engine_method(
+    name: str, preprocess: bool = True, **options
+) -> Callable[[Formula], MethodOutcome]:
     """Wrap a registry engine as a differential-oracle method.
 
     Limit-style knobs travel in the request's ``options``; resource-
     limited outcomes map to ``valid=None`` (excluded from comparison),
     and every INVALID countermodel is replayed against the reference
-    semantics.
+    semantics.  ``preprocess`` toggles the eager pipeline's CNF
+    simplification stage, so the same engine can be registered as two
+    differential configurations (with and without preprocessing).
     """
 
     def run(formula: Formula) -> MethodOutcome:
         result = registry.get(name).solve(
-            SolveRequest(formula=formula, options=dict(options))
+            SolveRequest(
+                formula=formula,
+                preprocess=preprocess,
+                options=dict(options),
+            )
         )
         outcome = MethodOutcome(name, valid=result.valid)
         if result.valid is False and result.counterexample is not None:
@@ -116,15 +124,22 @@ def default_methods(
     """The full method registry, optionally restricted to ``names``.
 
     ``brute`` is the reference; the eager methods and both baselines are
-    the systems under test.  Every method dispatches through
+    the systems under test.  The bare eager methods run with the CNF
+    preprocessing stage off (the raw encodings the paper describes);
+    ``sd+preprocess`` / ``hybrid+preprocess`` run the same engines with
+    preprocessing on, so every verdict *and* every countermodel coming
+    back through the model-reconstruction stack is cross-checked against
+    all other procedures.  Every method dispatches through
     :mod:`repro.engine.registry`.
     """
     methods: Dict[str, Callable[[Formula], MethodOutcome]] = {
         "brute": _engine_method("brute", limit=oracle_limit),
-        "sd": _engine_method("sd"),
-        "eij": _engine_method("eij"),
-        "hybrid": _engine_method("hybrid"),
-        "static": _engine_method("static"),
+        "sd": _engine_method("sd", preprocess=False),
+        "eij": _engine_method("eij", preprocess=False),
+        "hybrid": _engine_method("hybrid", preprocess=False),
+        "static": _engine_method("static", preprocess=False),
+        "sd+preprocess": _engine_method("sd"),
+        "hybrid+preprocess": _engine_method("hybrid"),
         "lazy": _engine_method("lazy", max_iterations=10_000),
         "svc": _engine_method("svc", max_splits=200_000),
     }

@@ -1,9 +1,10 @@
-"""Propositional substrate: CNF, DIMACS I/O, Tseitin, CDCL solver."""
+"""Propositional substrate: CNF, DIMACS I/O, Tseitin, preprocessing, CDCL."""
 
 from .cnf import Cnf
 from .dimacs import dumps, loads, read_dimacs, write_dimacs
+from .preprocess import PreprocessResult, PreprocessStats, preprocess_cnf
 from .solver import CdclSolver, SatResult, SatStats, solve_cnf
-from .tseitin import to_cnf, tseitin
+from .tseitin import compute_polarities, to_cnf, tseitin
 
 __all__ = [
     "Cnf",
@@ -11,10 +12,14 @@ __all__ = [
     "loads",
     "read_dimacs",
     "write_dimacs",
+    "PreprocessResult",
+    "PreprocessStats",
+    "preprocess_cnf",
     "CdclSolver",
     "SatResult",
     "SatStats",
     "solve_cnf",
+    "compute_polarities",
     "to_cnf",
     "tseitin",
 ]

@@ -44,6 +44,14 @@ class Cnf:
         return self._by_name.get(name)
 
     def add_clause(self, lits: Iterable[int]) -> None:
+        """Append a clause after validating every literal.
+
+        This is the safe path for externally-supplied clauses (DIMACS
+        input, tests).  Encoders that generate literals from variables
+        they just allocated should use :meth:`add_clause_unchecked` /
+        :meth:`add_clauses_unchecked` instead — the per-literal loop here
+        dominates CNF construction time on large encodings.
+        """
         clause = list(lits)
         for lit in clause:
             var = abs(lit)
@@ -58,6 +66,30 @@ class Cnf:
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
         for clause in clauses:
             self.add_clause(clause)
+
+    def add_clause_unchecked(self, clause: List[int]) -> None:
+        """Append ``clause`` without validation (hot-path bulk insert).
+
+        The caller guarantees every literal is nonzero and references an
+        allocated variable (allocate with :meth:`new_var` or declare in
+        bulk with :meth:`ensure_vars`), and hands over ownership of the
+        list — it must not be mutated afterwards.
+        """
+        self.clauses.append(clause)
+
+    def add_clauses_unchecked(self, clauses: Iterable[List[int]]) -> None:
+        """Bulk :meth:`add_clause_unchecked` (a single ``list.extend``)."""
+        self.clauses.extend(clauses)
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Declare variables ``1..num_vars`` allocated.
+
+        Max-var tracking for bulk inserts: raises nothing and never
+        shrinks — callers that know the largest variable in a clause
+        batch declare it once instead of paying per-literal checks.
+        """
+        if num_vars > self.num_vars:
+            self.num_vars = num_vars
 
     def __len__(self) -> int:
         return len(self.clauses)

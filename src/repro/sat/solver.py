@@ -60,12 +60,13 @@ class SatResult:
 
 
 class _Clause:
-    __slots__ = ("lits", "learned", "activity")
+    __slots__ = ("lits", "learned", "activity", "lbd")
 
     def __init__(self, lits: List[int], learned: bool = False):
         self.lits = lits
         self.learned = learned
         self.activity = 0.0
+        self.lbd = 0  # literal-block distance, stamped at learn time
 
 
 def _luby(i: int) -> int:
@@ -99,6 +100,9 @@ class CdclSolver:
     RESTART_BASE = 128
     VAR_DECAY = 0.95
     CLAUSE_DECAY = 0.999
+    #: Learned clauses with LBD at or below this are never deleted
+    #: ("glue" clauses in Glucose terminology).
+    GLUE_LBD = 3
 
     def __init__(
         self,
@@ -123,8 +127,11 @@ class CdclSolver:
         self.var_inc = 1.0
         self.cla_inc = 1.0
 
-        # watches indexed by literal key: pos lit v -> 2v, neg lit v -> 2v+1
-        self.watches: List[List[_Clause]] = [[] for _ in range(2 * n)]
+        # watches indexed by literal key: pos lit v -> 2v, neg lit v -> 2v+1.
+        # Each entry is a (blocker, clause) pair: the blocker is the other
+        # watched literal at registration time, and a true blocker lets
+        # propagation skip the clause without touching its literal list.
+        self.watches: List[List[tuple]] = [[] for _ in range(2 * n)]
         self.clauses: List[_Clause] = []
         self.learned: List[_Clause] = []
         self._ok = True
@@ -161,8 +168,9 @@ class CdclSolver:
         self._watch(clause)
 
     def _watch(self, clause: _Clause) -> None:
-        self.watches[self._key(clause.lits[0])].append(clause)
-        self.watches[self._key(clause.lits[1])].append(clause)
+        lits = clause.lits
+        self.watches[self._key(lits[0])].append((lits[1], clause))
+        self.watches[self._key(lits[1])].append((lits[0], clause))
 
     def add_clause(self, lits) -> None:
         """Add a clause between :meth:`solve` calls (incremental use).
@@ -213,8 +221,11 @@ class CdclSolver:
     def _propagate(self) -> Optional[_Clause]:
         """Unit propagation; returns the conflicting clause or ``None``.
 
-        This is the solver's hot loop: locals are cached and literal
-        valuation is inlined (``values[var]`` with a sign flip).
+        This is the solver's hot loop: locals are cached, literal
+        valuation is inlined (``values[var]`` with a sign flip), and each
+        watch entry carries a *blocking literal* — when the blocker is
+        already true the clause is satisfied and is skipped without even
+        loading its literal list.
         """
         values = self.values
         watches = self.watches
@@ -239,8 +250,16 @@ class CdclSolver:
             j = 0
             n = len(watchlist)
             while i < n:
-                clause = watchlist[i]
+                entry = watchlist[i]
                 i += 1
+                blocker = entry[0]
+                if (
+                    values[blocker] if blocker > 0 else -values[-blocker]
+                ) == 1:
+                    watchlist[j] = entry
+                    j += 1
+                    continue
+                clause = entry[1]
                 lits = clause.lits
                 # Ensure the falsified literal sits at index 1.
                 if lits[0] == falsified:
@@ -248,7 +267,7 @@ class CdclSolver:
                 first = lits[0]
                 first_val = values[first] if first > 0 else -values[-first]
                 if first_val == 1:
-                    watchlist[j] = clause
+                    watchlist[j] = (first, clause)
                     j += 1
                     continue
                 # Search for a replacement watch.
@@ -264,13 +283,13 @@ class CdclSolver:
                             if other > 0
                             else ((-other << 1) | 1)
                         )
-                        watches[okey].append(clause)
+                        watches[okey].append((first, clause))
                         moved = True
                         break
                 if moved:
                     continue
                 # No replacement: clause is unit or conflicting.
-                watchlist[j] = clause
+                watchlist[j] = (first, clause)
                 j += 1
                 if first_val == -1:
                     # Conflict: keep remaining watches in place.
@@ -418,13 +437,25 @@ class CdclSolver:
     # -- learned clause DB ----------------------------------------------------
 
     def _reduce_db(self) -> None:
-        self.learned.sort(key=lambda c: c.activity)
+        """Drop the worse half of the learned-clause database.
+
+        Retention is LBD-aware (Glucose-style): clauses are ranked by
+        literal-block distance first (high LBD goes first) and activity
+        second, and "glue" clauses (LBD <= :attr:`GLUE_LBD`), binary
+        clauses, and clauses locked as reasons are never deleted.
+        """
+        self.learned.sort(key=lambda c: (-c.lbd, c.activity))
         locked = {id(r) for r in self.reasons if r is not None}
         keep: List[_Clause] = []
         drop = set()
         half = len(self.learned) // 2
         for i, clause in enumerate(self.learned):
-            if i < half and id(clause) not in locked and len(clause.lits) > 2:
+            if (
+                i < half
+                and clause.lbd > self.GLUE_LBD
+                and id(clause) not in locked
+                and len(clause.lits) > 2
+            ):
                 drop.add(id(clause))
                 self.stats.deleted_clauses += 1
             else:
@@ -432,7 +463,7 @@ class CdclSolver:
         self.learned = keep
         if drop:
             for wl in self.watches:
-                wl[:] = [c for c in wl if id(c) not in drop]
+                wl[:] = [entry for entry in wl if id(entry[1]) not in drop]
 
     # -- main loop ------------------------------------------------------------
 
@@ -491,6 +522,10 @@ class CdclSolver:
                         self._assign(learnt[0], None)
                 else:
                     clause = _Clause(learnt, learned=True)
+                    levels = self.levels
+                    clause.lbd = len(
+                        {levels[abs(q)] for q in learnt}
+                    )
                     self.learned.append(clause)
                     self.stats.learned_clauses += 1
                     self._watch(clause)

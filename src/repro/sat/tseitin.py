@@ -7,11 +7,23 @@ definition variable per internal connective node.  Sharing in the DAG is
 preserved: each distinct node is defined exactly once, which is what keeps
 the CNF size linear in DAG size (the property the paper's size analysis
 relies on).
+
+Two encodings are supported:
+
+* **classic** Tseitin — every definition variable is constrained in both
+  directions (``out ↔ definition``);
+* **Plaisted–Greenbaum** (``mode="pg"``) — polarity-aware: a node that
+  only occurs positively under the asserted roots gets only the
+  ``out → definition`` clauses, a negative-only node gets only the
+  ``definition → out`` clauses, and bipolar nodes (e.g. under ``Iff``)
+  keep both.  The CNF is equisatisfiable and any model of it, projected
+  onto the input variables, satisfies the original formula — which is the
+  property countermodel decoding needs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..logic.terms import (
     And,
@@ -29,11 +41,60 @@ from ..logic.terms import (
 from ..logic.traversal import postorder
 from .cnf import Cnf
 
-__all__ = ["tseitin", "to_cnf"]
+__all__ = ["tseitin", "to_cnf", "compute_polarities", "POS", "NEG", "BOTH"]
+
+#: Polarity bitmask values: a node needs the positive direction of its
+#: definition (``out → def``), the negative one (``¬out → ¬def``), or both.
+POS = 1
+NEG = 2
+BOTH = POS | NEG
+
+
+def _flip(mask: int) -> int:
+    return ((mask << 1) | (mask >> 1)) & BOTH
+
+
+def compute_polarities(
+    roots: Iterable[Formula],
+    polarities: Optional[Dict[Node, int]] = None,
+) -> Dict[Node, int]:
+    """Polarity mask of every node reachable from ``roots``.
+
+    Each root is taken positively (it will be asserted).  ``Not`` and the
+    antecedent of ``Implies`` flip polarity, ``And``/``Or`` preserve it,
+    and both sides of an ``Iff`` are bipolar.  Pass the same dict across
+    calls to accumulate polarities over several roots that will share a
+    Tseitin memo.
+    """
+    if polarities is None:
+        polarities = {}
+    stack = [(root, POS) for root in roots]
+    while stack:
+        node, mask = stack.pop()
+        current = polarities.get(node, 0)
+        added = mask & ~current
+        if not added:
+            continue
+        polarities[node] = current | added
+        if isinstance(node, Not):
+            stack.append((node.arg, _flip(added)))
+        elif isinstance(node, (And, Or)):
+            for arg in node.args:
+                stack.append((arg, added))
+        elif isinstance(node, Implies):
+            stack.append((node.lhs, _flip(added)))
+            stack.append((node.rhs, added))
+        elif isinstance(node, Iff):
+            stack.append((node.lhs, BOTH))
+            stack.append((node.rhs, BOTH))
+    return polarities
 
 
 def tseitin(
-    formula: Formula, cnf: Cnf = None, lits: Dict[Node, int] = None
+    formula: Formula,
+    cnf: Cnf = None,
+    lits: Dict[Node, int] = None,
+    polarities: Optional[Dict[Node, int]] = None,
 ) -> Tuple[Cnf, int]:
     """Encode ``formula``; returns ``(cnf, root_literal)``.
 
@@ -41,11 +102,18 @@ def tseitin(
     clause (:func:`to_cnf` does exactly that).  Passing an existing ``cnf``
     allows several formulas to share one variable space, and passing the
     same ``lits`` memo across calls keeps shared sub-DAGs defined once.
+
+    ``polarities`` switches on the Plaisted–Greenbaum mode: only the
+    clause direction(s) a node's mask requires are emitted.  The mask must
+    cover *every* root that will share the ``lits`` memo (compute it once
+    with :func:`compute_polarities` over all of them) — a memoised node is
+    never revisited, so directions missing from the mask would be lost.
     """
     if cnf is None:
         cnf = Cnf()
     if lits is None:
         lits = {}
+    emit = cnf.add_clause_unchecked
 
     # TRUE/FALSE get a dedicated always-true variable so that constant
     # sub-formulas need no special-casing in parents.
@@ -55,7 +123,7 @@ def tseitin(
         nonlocal const_var
         if const_var is None:
             const_var = cnf.new_var(("tseitin", "const_true"))
-            cnf.add_clause([const_var])
+            emit([const_var])
         return const_var if value else -const_var
 
     for node in postorder(formula):
@@ -63,38 +131,50 @@ def tseitin(
             continue
         if isinstance(node, BoolConst):
             lits[node] = const_lit(node.value)
-        elif isinstance(node, BoolVar):
+            continue
+        if isinstance(node, BoolVar):
             lits[node] = cnf.var_for(node)
-        elif isinstance(node, Not):
+            continue
+        if isinstance(node, Not):
             lits[node] = -lits[node.arg]
-        elif isinstance(node, And):
+            continue
+        mask = BOTH if polarities is None else polarities.get(node, BOTH)
+        if isinstance(node, And):
             out = cnf.new_var()
             kids = [lits[a] for a in node.args]
-            for k in kids:
-                cnf.add_clause([-out, k])
-            cnf.add_clause([out] + [-k for k in kids])
+            if mask & POS:
+                for k in kids:
+                    emit([-out, k])
+            if mask & NEG:
+                emit([out] + [-k for k in kids])
             lits[node] = out
         elif isinstance(node, Or):
             out = cnf.new_var()
             kids = [lits[a] for a in node.args]
-            for k in kids:
-                cnf.add_clause([out, -k])
-            cnf.add_clause([-out] + kids)
+            if mask & NEG:
+                for k in kids:
+                    emit([out, -k])
+            if mask & POS:
+                emit([-out] + kids)
             lits[node] = out
         elif isinstance(node, Implies):
             out = cnf.new_var()
             a, b = lits[node.lhs], lits[node.rhs]
-            cnf.add_clause([-out, -a, b])
-            cnf.add_clause([out, a])
-            cnf.add_clause([out, -b])
+            if mask & POS:
+                emit([-out, -a, b])
+            if mask & NEG:
+                emit([out, a])
+                emit([out, -b])
             lits[node] = out
         elif isinstance(node, Iff):
             out = cnf.new_var()
             a, b = lits[node.lhs], lits[node.rhs]
-            cnf.add_clause([-out, -a, b])
-            cnf.add_clause([-out, a, -b])
-            cnf.add_clause([out, a, b])
-            cnf.add_clause([out, -a, -b])
+            if mask & POS:
+                emit([-out, -a, b])
+                emit([-out, a, -b])
+            if mask & NEG:
+                emit([out, a, b])
+                emit([out, -a, -b])
             lits[node] = out
         else:
             raise TypeError(
@@ -103,7 +183,7 @@ def tseitin(
     return cnf, lits[formula]
 
 
-def to_cnf(formula: Formula) -> Cnf:
+def to_cnf(formula: Formula, mode: str = "classic") -> Cnf:
     """Encode ``formula`` and assert it, returning a self-contained CNF.
 
     Top-level conjunctions are asserted conjunct by conjunct, and asserted
@@ -111,7 +191,14 @@ def to_cnf(formula: Formula) -> Cnf:
     variables.  This matters a lot for the encoders' output shape
     ``F_trans ∧ ¬F_bvar``, where ``F_trans`` is a large conjunction of
     literal clauses (transitivity constraints).
+
+    ``mode`` selects the definitional encoding: ``"classic"`` (both
+    directions of every definition) or ``"pg"`` (Plaisted–Greenbaum,
+    polarity-aware — the eager pipeline's default since it emits up to
+    half the definitional clauses).
     """
+    if mode not in ("classic", "pg"):
+        raise ValueError("unknown Tseitin mode %r" % (mode,))
     cnf = Cnf()
     if formula is TRUE:
         return cnf
@@ -123,6 +210,7 @@ def to_cnf(formula: Formula) -> Cnf:
 
     asserted: list = [formula]
     complex_nodes: list = []
+    literal_clauses: list = []
     while asserted:
         node = asserted.pop()
         if node is TRUE:
@@ -137,14 +225,20 @@ def to_cnf(formula: Formula) -> Cnf:
             continue
         lits = _literal_clause(node, cnf)
         if lits is not None:
-            cnf.add_clause(lits)
+            # var_for above already allocated every variable, so the
+            # checked add_clause loop would only re-validate them.
+            literal_clauses.append(lits)
             continue
         complex_nodes.append(node)
+    cnf.add_clauses_unchecked(literal_clauses)
 
+    polarities = None
+    if mode == "pg":
+        polarities = compute_polarities(complex_nodes)
     shared_memo: dict = {}
     for node in complex_nodes:
-        _, root = tseitin(node, cnf, shared_memo)
-        cnf.add_clause([root])
+        _, root = tseitin(node, cnf, shared_memo, polarities=polarities)
+        cnf.add_clause_unchecked([root])
     return cnf
 
 

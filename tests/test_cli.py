@@ -162,3 +162,27 @@ class TestSmtLibInput:
             stdin_text="(= x x)",
         )
         assert code == 0
+
+
+class TestNoPreprocessFlag:
+    def test_flag_parsed(self):
+        args = build_parser().parse_args(["check", "-", "--no-preprocess"])
+        assert args.no_preprocess is True
+
+    def test_verdict_unchanged_without_preprocessing(self):
+        formula = "(=> (and (= x y) (= y z)) (= x z))"
+        code_on, out_on = run_cli(["check", "-"], stdin_text=formula)
+        code_off, out_off = run_cli(
+            ["check", "-", "--no-preprocess"], stdin_text=formula
+        )
+        assert code_on == code_off == 0
+        assert "VALID" in out_on and "VALID" in out_off
+
+    def test_countermodel_survives_reconstruction(self):
+        # INVALID + --countermodel exercises the decode path through the
+        # preprocessor's model-reconstruction stack.
+        code, out = run_cli(
+            ["check", "-", "--countermodel"], stdin_text="(= x y)"
+        )
+        assert code == 1
+        assert "countermodel:" in out

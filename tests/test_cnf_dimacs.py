@@ -73,3 +73,78 @@ class TestDimacs:
         text = "p cnf 3 4\n1 2 0\n-1 3 0\n-2 -3 0\n-1 -2 0\n"
         result = solve_cnf(loads(text))
         assert result.is_sat
+
+
+class TestUncheckedInserts:
+    def test_add_clause_unchecked(self):
+        cnf = Cnf()
+        for _ in range(3):
+            cnf.new_var()
+        cnf.add_clause_unchecked([1, -2, 3])
+        assert cnf.clauses == [[1, -2, 3]]
+
+    def test_add_clauses_unchecked_bulk(self):
+        cnf = Cnf()
+        for _ in range(4):
+            cnf.new_var()
+        batch = [[1, 2], [-3, 4], [2, -4]]
+        cnf.add_clauses_unchecked(batch)
+        assert cnf.clauses == batch
+
+    def test_unchecked_skips_validation(self):
+        # The checked path rejects out-of-range vars; the unchecked path
+        # is an ownership transfer with no bounds check, paired with
+        # ensure_vars for callers that track the max var themselves.
+        cnf = Cnf()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([5])
+        cnf.add_clause_unchecked([5])
+        cnf.ensure_vars(5)
+        assert cnf.num_vars == 5
+        cnf.add_clause([5])  # now in range for the checked path
+
+    def test_ensure_vars_never_shrinks(self):
+        cnf = Cnf()
+        for _ in range(7):
+            cnf.new_var()
+        cnf.ensure_vars(3)
+        assert cnf.num_vars == 7
+
+    def test_mixed_checked_and_unchecked_solve(self):
+        from repro.sat.solver import solve_cnf
+
+        cnf = Cnf()
+        for _ in range(3):
+            cnf.new_var()
+        cnf.add_clause([1, 2])
+        cnf.add_clauses_unchecked([[-1, 3], [-2, 3]])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+
+
+class TestLargeRoundTrip:
+    def test_large_cnf_round_trips(self):
+        # Exercises the batched serialization path on a CNF big enough
+        # that per-clause writes would dominate.
+        import random
+
+        rng = random.Random(7)
+        nvars, nclauses = 600, 4000
+        cnf = Cnf()
+        for _ in range(nvars):
+            cnf.new_var()
+        cnf.add_clauses_unchecked(
+            [
+                [
+                    rng.choice([-1, 1]) * rng.randint(1, nvars)
+                    for _ in range(rng.randint(1, 6))
+                ]
+                for _ in range(nclauses)
+            ]
+        )
+        rendered = dumps(cnf)
+        assert rendered.endswith("\n")
+        parsed = loads(rendered)
+        assert parsed.num_vars == nvars
+        assert parsed.clauses == cnf.clauses

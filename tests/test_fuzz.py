@@ -275,3 +275,34 @@ class TestCli:
             ]
         )
         assert code == 0
+
+
+class TestPreprocessConfigs:
+    def test_default_methods_include_preprocess_arms(self):
+        methods = default_methods()
+        assert "sd+preprocess" in methods
+        assert "hybrid+preprocess" in methods
+
+    def test_preprocess_arm_agrees_with_bare_method(self):
+        from repro.fuzz.generator import generate_formula
+
+        methods = default_methods(names=["hybrid"])
+        methods.update(
+            {
+                k: v
+                for k, v in default_methods().items()
+                if k == "hybrid+preprocess"
+            }
+        )
+        for seed in range(25):
+            formula = generate_formula(seed, profile="mixed")
+            outcomes = {
+                name: fn(formula) for name, fn in methods.items()
+            }
+            verdicts = {n: o.valid for n, o in outcomes.items()}
+            assert len(set(verdicts.values())) == 1, (seed, verdicts)
+            for outcome in outcomes.values():
+                # Any countermodel (including reconstructed ones) must
+                # have re-validated against the input formula.
+                assert outcome.countermodel_ok in (None, True)
+                assert outcome.error is None

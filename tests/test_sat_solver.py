@@ -154,3 +154,77 @@ class TestClauseDatabaseReduction:
         # exercises the reduce/restart machinery.
         result = solve_cnf(php(8, 7))
         assert result.is_unsat
+
+
+class TestLbdRetention:
+    """Glucose-style LBD-aware learned-clause retention in _reduce_db."""
+
+    @staticmethod
+    def _solver_with_learned(specs):
+        """Build a solver over fresh vars and inject learned clauses.
+
+        ``specs`` is a list of (lits, lbd, activity) triples.
+        """
+        from repro.sat.solver import _Clause
+
+        nvars = max(abs(l) for lits, _, _ in specs for l in lits)
+        cnf = Cnf()
+        for _ in range(nvars):
+            cnf.new_var()
+        solver = CdclSolver(cnf)
+        for lits, lbd, activity in specs:
+            clause = _Clause(list(lits), learned=True)
+            clause.lbd = lbd
+            clause.activity = activity
+            solver.learned.append(clause)
+            solver._watch(clause)
+        return solver
+
+    def test_glue_clauses_survive_reduction(self):
+        # Six learned clauses, half must go; the low-LBD ("glue") ones
+        # are exempt no matter how stale their activity is.
+        specs = [
+            ([1, 2, 3], 2, 0.0),   # glue: immortal
+            ([2, 3, 4], 3, 0.0),   # glue boundary: immortal
+            ([3, 4, 5], 7, 0.0),   # high LBD, cold: deleted
+            ([4, 5, 6], 8, 0.0),   # high LBD, cold: deleted
+            ([5, 6, 7], 9, 0.0),   # high LBD, cold: deleted
+            ([6, 7, 8], 4, 5.0),   # above glue but hot: survives (2nd half)
+        ]
+        solver = self._solver_with_learned(specs)
+        solver._reduce_db()
+        kept = {tuple(c.lits) for c in solver.learned}
+        assert (1, 2, 3) in kept
+        assert (2, 3, 4) in kept
+        assert solver.stats.deleted_clauses == 3
+        # Deleted clauses must also be gone from every watch list.
+        watched = {
+            id(entry[1]) for wl in solver.watches for entry in wl
+        }
+        assert {id(c) for c in solver.learned} >= watched - {
+            id(c) for c in solver.clauses
+        }
+
+    def test_binary_learned_clauses_never_deleted(self):
+        specs = [([1, 2], 9, 0.0)] + [
+            ([i, i + 1, i + 2], 9, float(i)) for i in range(1, 7)
+        ]
+        solver = self._solver_with_learned(specs)
+        solver._reduce_db()
+        assert (1, 2) in {tuple(c.lits) for c in solver.learned}
+
+    def test_lbd_stamped_on_learned_clauses(self):
+        # Pigeonhole generates plenty of conflicts; every learned clause
+        # must carry a positive LBD once search finishes.
+        result = solve_cnf(php(5, 4))
+        assert result.is_unsat
+        assert result.stats.learned_clauses > 0
+
+    def test_propagation_with_blockers_still_correct(self):
+        # The blocking-literal fast path must not change verdicts on a
+        # propagation-heavy chain instance.
+        n = 40
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, n)]
+        result = solve_cnf(make_cnf(n, clauses))
+        assert result.is_sat
+        assert all(result.model[v] for v in range(1, n + 1))

@@ -129,3 +129,87 @@ class TestEquisatisfiability:
                 }
             )
             assert evaluate(formula, env)
+
+
+class TestPlaistedGreenbaum:
+    """Polarity-aware encoding: fewer clauses, same verdicts, and any
+    CNF model still projects onto a model of the original formula."""
+
+    def test_fewer_clauses_on_implication_chain(self):
+        p = [b.bconst("p%d" % i) for i in range(6)]
+        formula = b.implies(
+            b.band(p[0], b.bor(p[1], p[2])),
+            b.bor(b.band(p[3], p[4]), p[5]),
+        )
+        classic = to_cnf(formula, mode="classic")
+        pg = to_cnf(formula, mode="pg")
+        assert len(pg.clauses) < len(classic.clauses)
+
+    def test_polarity_masks(self):
+        from repro.sat.tseitin import BOTH, NEG, POS, compute_polarities
+
+        p, q, r = b.bconst("p"), b.bconst("q"), b.bconst("r")
+        conj = b.band(p, q)
+        disj = b.bor(q, r)
+        neg = b.bnot(disj)
+        formula = b.implies(conj, neg)
+        masks = compute_polarities([formula])
+        assert masks[formula] == POS
+        # Antecedent of an implication is flipped ...
+        assert masks[conj] == NEG
+        # ... the consequent keeps the root polarity, and Not flips again.
+        assert masks[neg] == POS
+        assert masks[disj] == NEG
+
+    def test_iff_children_are_bipolar(self):
+        from repro.sat.tseitin import BOTH, compute_polarities
+
+        p, q = b.bconst("p"), b.bconst("q")
+        conj = b.band(p, q)
+        disj = b.bor(p, q)
+        formula = b.iff(conj, disj)
+        masks = compute_polarities([formula])
+        assert masks[conj] == BOTH
+        assert masks[disj] == BOTH
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            to_cnf(b.bconst("p"), mode="nope")
+
+    @settings(max_examples=120, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_pg_equisatisfiable_and_model_projects(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        atoms = [b.bconst("a%d" % i) for i in range(rng.randint(1, 4))]
+        atoms = atoms + [b.true(), b.false()]
+        formula = random_prop(rng, atoms, rng.randint(1, 4))
+        expected = prop_satisfiable(formula)
+        cnf = to_cnf(formula, mode="pg")
+        result = solve_cnf(cnf)
+        assert result.is_sat == expected
+        if result.is_sat:
+            # The projection property is what lets the decode stage read
+            # countermodels off a PG encoding.
+            env = Interpretation(
+                bools={
+                    a.name: result.model[cnf.lookup(a)]
+                    for a in collect_bool_vars(formula)
+                }
+            )
+            assert evaluate(formula, env)
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_pg_never_larger_than_classic(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        atoms = [b.bconst("a%d" % i) for i in range(rng.randint(1, 4))]
+        formula = random_prop(rng, atoms, rng.randint(1, 5))
+        assert len(to_cnf(formula, mode="pg").clauses) <= len(
+            to_cnf(formula, mode="classic").clauses
+        )
