@@ -1,17 +1,24 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fuzz fuzz-smoke bench-smoke ci clean
+.PHONY: test fuzz fuzz-smoke bench-smoke coverage ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Fixed benchmark subset through every engine; per-engine wall/encode/sat
-# seconds plus the preprocessing on/off comparison land in BENCH_PR3.json
-# (CI uploads it as an artifact and fails if preprocessing changes a
-# verdict).
+# seconds, the preprocessing on/off comparison, and the cold-vs-warm
+# result-cache comparison land in BENCH_PR4.json (CI uploads it as an
+# artifact and fails if preprocessing or the cache changes a verdict).
 bench-smoke:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke --out BENCH_PR3.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke --out BENCH_PR4.json
+
+# Line coverage with floors (requires pytest-cov; CI installs it — the
+# local dev container intentionally has no coverage tooling).
+coverage:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q \
+		--cov=repro --cov-report=json --cov-report=term
+	$(PYTHON) tools/coverage_gate.py
 
 # The full acceptance campaign (deterministic; ~3s).
 fuzz:

@@ -37,6 +37,19 @@ class Benchmark:
     def dag_size(self) -> int:
         return dag_size(self.formula)
 
+    @property
+    def canonical_key(self) -> str:
+        """Alpha-invariant, process-stable identity of the formula.
+
+        The single shared keying helper
+        (:func:`repro.logic.canonical.canonical_key`) — the same digest
+        the result cache and batch dedupe use, so a benchmark's identity
+        in reports lines up with its cache entry.
+        """
+        from ..logic.canonical import canonical_key
+
+        return canonical_key(self.formula)
+
     def __repr__(self) -> str:
         return "Benchmark(%s, domain=%s, nodes=%d, valid=%s)" % (
             self.name,

@@ -17,9 +17,15 @@ Subcommands
     multiple files are decided concurrently by a worker pool.
 ``bench-smoke``
     Run the fixed smoke benchmark subset through every registered engine
-    and write per-engine timings to ``BENCH_PR3.json``, including a
+    and write per-engine timings to ``BENCH_PR4.json``, including a
     preprocessing on/off comparison (vars/clauses/sat-wall) for the
-    eager engines; exits nonzero if preprocessing changes any verdict.
+    eager engines and a cold-vs-warm result-cache comparison; exits
+    nonzero if preprocessing or the cache changes any verdict.
+``serve``
+    Serve validity requests as line-delimited JSON over stdin/stdout
+    (see ``docs/serve-protocol.md``): a worker pool with per-request
+    deadlines, bounded-queue backpressure, a shared result cache, and
+    graceful drain on SIGTERM.
 ``experiment {fig2,fig3,fig4,fig5,fig6,threshold,ablation,all}``
     Run one of the paper's experiments and print its table/figure.
 ``analyze FILE``
@@ -159,9 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     smoke.add_argument(
         "--out",
-        default="BENCH_PR3.json",
+        default="BENCH_PR4.json",
         metavar="FILE",
-        help="JSON output path (default BENCH_PR3.json)",
+        help="JSON output path (default BENCH_PR4.json)",
     )
     smoke.add_argument("--timeout", type=float, default=None)
     smoke.add_argument(
@@ -169,6 +175,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAMES",
         help="comma-separated engine subset (default: every engine)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve line-delimited JSON validity requests over "
+        "stdin/stdout (see docs/serve-protocol.md)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default 2)"
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help="bounded request queue; further requests are rejected with "
+        "an 'overloaded' error (default 16)",
+    )
+    serve.add_argument(
+        "--engine",
+        default="hybrid",
+        help="default engine (a name, or comma-separated portfolio "
+        "members); per-request 'engine' overrides it",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (per-request "
+        "'timeout' overrides it)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared result cache",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="enable the on-disk cache tier at DIR "
+        "(conventionally results/cache)",
+    )
+    serve.add_argument(
+        "--no-fork",
+        action="store_true",
+        help="solve in-process instead of forking a raceable child per "
+        "request (deadlines then only observed between engines)",
     )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
@@ -233,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAMES",
         help="comma-separated subset of brute,sd,eij,hybrid,static,"
-        "sd+preprocess,hybrid+preprocess,lazy,svc",
+        "sd+preprocess,hybrid+preprocess,lazy,svc,cached",
     )
     fuzz.add_argument(
         "--no-metamorphic",
@@ -395,7 +448,9 @@ def _cmd_portfolio(args) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     if engines is None:
-        engines = [n for n in registry.list_engines() if n != "portfolio"]
+        from .engine.portfolio import default_members
+
+        engines = default_members()
 
     formulas = [_read_formula(path, "auto")[0] for path in args.files]
     if len(formulas) == 1:
@@ -458,7 +513,34 @@ def _cmd_bench_smoke(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if not report["meta"]["cache_verdicts_match"]:
+        print(
+            "error: the result cache changed a verdict on the smoke suite "
+            "(see the cache section of the report)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service.server import ServeConfig, run_server
+
+    try:
+        _parse_engine_list(args.engine)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        engine=args.engine,
+        default_timeout=args.timeout,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        fork=not args.no_fork,
+    )
+    return run_server(config)
 
 
 def _cmd_experiment(args) -> int:
@@ -627,6 +709,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "portfolio": _cmd_portfolio,
         "bench-smoke": _cmd_bench_smoke,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,
         "sat": _cmd_sat,

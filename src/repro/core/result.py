@@ -11,7 +11,42 @@ from ..sat.preprocess import PreprocessStats
 from ..sat.solver import SatStats
 from .status import Status
 
-__all__ = ["StageRecord", "DecisionStats", "DecisionResult", "Status"]
+__all__ = [
+    "StageRecord",
+    "CacheStats",
+    "DecisionStats",
+    "DecisionResult",
+    "Status",
+]
+
+
+@dataclass
+class CacheStats:
+    """Result-cache counters for one solve (or an aggregation of many).
+
+    Attached to :class:`DecisionStats` by the ``cached`` engine wrapper
+    and the batch dedupe path (:func:`repro.engine.portfolio.solve_batch`)
+    so cache behaviour shows up in the same telemetry stream as every
+    other stage; ``repro bench-smoke`` aggregates these into the
+    warm-vs-cold section of its report.
+    """
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    stores: int = 0
+    dedupes: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.hits_memory + self.hits_disk
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits_memory += other.hits_memory
+        self.hits_disk += other.hits_disk
+        self.misses += other.misses
+        self.stores += other.stores
+        self.dedupes += other.dedupes
 
 
 @dataclass
@@ -59,6 +94,7 @@ class DecisionStats:
     encoding: Optional[EncodingStats] = None
     preprocess: Optional[PreprocessStats] = None
     sat: Optional[SatStats] = None
+    cache: Optional[CacheStats] = None
     stages: List[StageRecord] = field(default_factory=list)
 
     @property

@@ -2,7 +2,7 @@
 
 Runs a small, deterministic suite subset through each registered engine
 and writes per-engine wall/encode/sat seconds to a JSON file
-(``BENCH_PR3.json`` by default).  CI runs it on every push, so the file
+(``BENCH_PR4.json`` by default).  CI runs it on every push, so the file
 seeds a perf trajectory: later PRs can diff the numbers to show a hot
 path got faster (or catch one getting slower) without re-running the
 full paper experiments.
@@ -13,6 +13,12 @@ simplification stage disabled, and the report's ``preprocess`` section
 records the before/after variable and clause counts, the sat-stage wall
 time of both arms, and whether the verdicts agree — so the preprocessing
 win (or a soundness regression) is recorded, not asserted.
+
+The ``cache`` section measures the result-cache layer the same way:
+every smoke benchmark is solved cold (fresh cache, full solve) and then
+warm (same cache, canonical-key hit), recording both wall times, the
+speedup, and whether the verdicts agree — the warm-vs-cold evidence for
+the service layer, refreshed on every CI run.
 """
 
 from __future__ import annotations
@@ -69,6 +75,73 @@ def _solve(engine, formula, timeout: float, preprocess: bool) -> Dict:
     return row
 
 
+def _run_cache_comparison(
+    bench_names: List[str], timeout: float, inner: str = "hybrid"
+) -> Dict:
+    """Cold-vs-warm cache measurement over the smoke benchmarks.
+
+    Uses a fresh in-memory :class:`~repro.service.ResultCache` so the
+    cold arm is a genuine miss-and-solve and the warm arm a genuine
+    canonical-key hit; disk and process state do not leak in.
+    """
+    from ..service.cache import CachedEngine, ResultCache
+
+    cache = ResultCache()
+    engine = CachedEngine(cache=cache)
+    rows: Dict[str, Dict] = {}
+    verdicts_match = True
+    total_cold = 0.0
+    total_warm = 0.0
+    for bench_name in bench_names:
+        bench = benchmark_by_name(bench_name)
+        if bench is None:
+            raise ValueError("unknown benchmark %r" % bench_name)
+        request = SolveRequest(
+            formula=bench.formula,
+            time_limit=timeout,
+            want_countermodel=False,
+            options={"engine": inner},
+        )
+        cold = engine.solve(request)
+        warm = engine.solve(request)
+        match = str(cold.status) == str(warm.status)
+        if not match:
+            verdicts_match = False
+        warm_stats = warm.stats.cache
+        total_cold += cold.wall_seconds
+        total_warm += warm.wall_seconds
+        rows[bench_name] = {
+            "canonical_key": bench.canonical_key,
+            "status_cold": str(cold.status),
+            "status_warm": str(warm.status),
+            "verdicts_match": match,
+            "wall_seconds_cold": round(cold.wall_seconds, 6),
+            "wall_seconds_warm": round(warm.wall_seconds, 6),
+            "speedup": (
+                round(cold.wall_seconds / warm.wall_seconds, 2)
+                if warm.wall_seconds > 0
+                else None
+            ),
+            "warm_hit": bool(warm_stats and warm_stats.hits),
+        }
+    return {
+        "inner_engine": inner,
+        "benchmarks": rows,
+        "verdicts_match": verdicts_match,
+        "wall_seconds_cold": round(total_cold, 6),
+        "wall_seconds_warm": round(total_warm, 6),
+        "speedup": (
+            round(total_cold / total_warm, 2) if total_warm > 0 else None
+        ),
+        "stats": {
+            "hits_memory": cache.stats.hits_memory,
+            "hits_disk": cache.stats.hits_disk,
+            "misses": cache.stats.misses,
+            "stores": cache.stats.stores,
+        },
+    }
+
+
 def run_bench_smoke(
     timeout: float = DEFAULT_TIMEOUT,
     engines: Optional[List[str]] = None,
@@ -87,6 +160,7 @@ def run_bench_smoke(
             "python": platform.python_version(),
             "generated_by": "repro bench-smoke",
             "preprocess_verdicts_match": True,
+            "cache_verdicts_match": True,
         },
         "engines": {},
         "preprocess": {},
@@ -122,6 +196,8 @@ def run_bench_smoke(
         report["engines"][name] = rows
         if compare:
             report["preprocess"][name] = compare
+    report["cache"] = _run_cache_comparison(bench_names, timeout)
+    report["meta"]["cache_verdicts_match"] = report["cache"]["verdicts_match"]
     return report
 
 
@@ -176,6 +252,23 @@ def format_table(report: Dict) -> str:
                     "ok" if ok else "MISMATCH",
                 )
             )
+    cache = report.get("cache")
+    if cache:
+        lines.append("")
+        lines.append(
+            "%-10s %9s %9s %9s  %s"
+            % ("cache", "cold", "warm", "speedup", "verdicts")
+        )
+        lines.append(
+            "%-10s %8.3fs %8.3fs %8sx  %s"
+            % (
+                cache["inner_engine"],
+                cache["wall_seconds_cold"],
+                cache["wall_seconds_warm"],
+                cache["speedup"] if cache["speedup"] is not None else "-",
+                "ok" if cache["verdicts_match"] else "MISMATCH",
+            )
+        )
     return "\n".join(lines)
 
 

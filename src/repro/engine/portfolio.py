@@ -42,8 +42,15 @@ _TERMINATE_GRACE = 2.0
 _POLL_SECONDS = 0.05
 
 
-def default_members(exclude: Sequence[str] = ("portfolio",)) -> List[str]:
-    """Every registered engine except the portfolio itself."""
+def default_members(
+    exclude: Sequence[str] = ("portfolio", "cached"),
+) -> List[str]:
+    """Every registered engine except the meta-engines.
+
+    The portfolio itself and the ``cached`` wrapper are excluded: racing
+    the race is circular, and a cache member in a race adds nothing but
+    a second canonicalization of the same formula.
+    """
     from . import registry
 
     return [name for name in registry.list_engines() if name not in exclude]
@@ -69,6 +76,7 @@ def _request_payload(request: SolveRequest) -> Dict[str, Any]:
         "sep_thold": request.sep_thold,
         "trans_budget": request.trans_budget,
         "sd_ranges": request.sd_ranges,
+        "preprocess": request.preprocess,
         "options": options,
     }
 
@@ -84,6 +92,7 @@ def _request_from_payload(payload: Dict[str, Any]) -> SolveRequest:
         sep_thold=payload["sep_thold"],
         trans_budget=payload["trans_budget"],
         sd_ranges=payload["sd_ranges"],
+        preprocess=payload.get("preprocess", True),
         options=dict(payload["options"]),
     )
 
@@ -327,22 +336,13 @@ def _batch_worker(item: Tuple[Dict[str, Any], List[str]]) -> SolveOutcome:
     return _solve_sequential(_request_from_payload(payload), members)
 
 
-def solve_batch(
+def _solve_batch_raw(
     formulas: Sequence[Formula],
-    engines: Optional[Sequence[str]] = None,
-    jobs: Optional[int] = None,
-    **request_kwargs,
+    members: List[str],
+    jobs: Optional[int],
+    request_kwargs: Dict[str, Any],
 ) -> List[SolveOutcome]:
-    """Decide many formulas with a pool of portfolio workers.
-
-    Each formula is decided by the *sequential* portfolio inside one pool
-    worker (pool children are daemonic and cannot fork the parallel
-    race); parallelism comes from deciding ``jobs`` formulas at once.
-    Results keep the input order.
-    """
-    members = list(engines) if engines is not None else default_members()
-    if not members:
-        raise ValueError("portfolio needs at least one member engine")
+    """The pool itself: one sequential portfolio per formula, input order."""
     items = [
         (
             _request_payload(SolveRequest(formula=f, **request_kwargs)),
@@ -359,6 +359,144 @@ def solve_batch(
     ctx = _mp_context()
     with ctx.Pool(processes=jobs) as pool:
         return pool.map(_batch_worker, items)
+
+
+def solve_batch(
+    formulas: Sequence[Formula],
+    engines: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    dedupe: bool = True,
+    cache=None,
+    **request_kwargs,
+) -> List[SolveOutcome]:
+    """Decide many formulas with a pool of portfolio workers.
+
+    Each formula is decided by the *sequential* portfolio inside one pool
+    worker (pool children are daemonic and cannot fork the parallel
+    race); parallelism comes from deciding ``jobs`` formulas at once.
+    Results keep the input order.
+
+    With ``dedupe`` (the default) the batch is first partitioned into
+    alpha-isomorphism classes via :func:`repro.logic.canonical.canonicalize`:
+    each class is solved once on its canonical representative, the verdict
+    is fanned out to every member, and countermodels are lifted back
+    through each member's renaming map.  Fanned-out outcomes carry
+    ``stats.cache.dedupes = 1``.  ``cache`` (a
+    :class:`repro.service.ResultCache`) additionally consults/updates the
+    result cache per class, so repeated batches skip the solve entirely.
+    """
+    members = list(engines) if engines is not None else default_members()
+    if not members:
+        raise ValueError("portfolio needs at least one member engine")
+    formulas = list(formulas)
+    if not formulas:
+        return []
+    if not dedupe and cache is None:
+        return _solve_batch_raw(formulas, members, jobs, request_kwargs)
+
+    from ..core.result import CacheStats, DecisionStats
+    from ..logic.canonical import canonicalize, lift_interpretation
+    from ..service.cache import CacheEntry, config_fingerprint
+
+    forms = [canonicalize(f) for f in formulas]
+    order: List[str] = []
+    classes: Dict[str, List[int]] = {}
+    for idx, form in enumerate(forms):
+        if form.key not in classes:
+            classes[form.key] = []
+            order.append(form.key)
+        classes[form.key].append(idx)
+
+    want_model = request_kwargs.get("want_countermodel", True)
+    fingerprint = None
+    if cache is not None:
+        probe = SolveRequest(formula=formulas[0], **request_kwargs)
+        fingerprint = config_fingerprint(
+            "batch:%s" % ",".join(members), probe
+        )
+
+    # Canonical-space outcome per class: from the cache when possible,
+    # otherwise solved on the canonical representative.
+    canonical_outcomes: Dict[str, SolveOutcome] = {}
+    to_solve: List[str] = []
+    for key in order:
+        if cache is not None:
+            entry, tier = cache.lookup(
+                key, fingerprint, want_countermodel=want_model
+            )
+            if entry is not None:
+                stats = DecisionStats(method="cache")
+                stats.cache = CacheStats(
+                    hits_memory=1 if tier == "memory" else 0,
+                    hits_disk=1 if tier == "disk" else 0,
+                )
+                canonical_outcomes[key] = SolveOutcome(
+                    engine="portfolio",
+                    status=Status(entry.status),
+                    stats=stats,
+                    counterexample=entry.countermodel,
+                    detail="cache hit (%s tier, solved by %s)"
+                    % (tier, entry.engine),
+                    winner=entry.engine or None,
+                )
+                continue
+        to_solve.append(key)
+
+    solved = _solve_batch_raw(
+        [forms[classes[key][0]].formula for key in to_solve],
+        members,
+        jobs,
+        request_kwargs,
+    )
+    for key, outcome in zip(to_solve, solved):
+        if outcome.stats.cache is None:
+            outcome.stats.cache = CacheStats()
+        outcome.stats.cache.misses += 1 if cache is not None else 0
+        if cache is not None and outcome.status in (
+            Status.VALID,
+            Status.INVALID,
+        ):
+            if cache.store(
+                key,
+                fingerprint,
+                CacheEntry(
+                    status=str(outcome.status),
+                    countermodel=outcome.counterexample,
+                    engine=outcome.winner or outcome.engine,
+                ),
+            ):
+                outcome.stats.cache.stores += 1
+        canonical_outcomes[key] = outcome
+
+    results: List[Optional[SolveOutcome]] = [None] * len(formulas)
+    for key in order:
+        indices = classes[key]
+        canon = canonical_outcomes[key]
+        canonical_model = canon.counterexample
+        for position, idx in enumerate(indices):
+            lifted = (
+                lift_interpretation(canonical_model, forms[idx])
+                if canonical_model is not None
+                else None
+            )
+            if position == 0:
+                canon.counterexample = lifted
+                results[idx] = canon
+                continue
+            stats = DecisionStats(method=canon.stats.method)
+            stats.cache = CacheStats(dedupes=1)
+            if cache is not None:
+                cache.stats.dedupes += 1
+            results[idx] = SolveOutcome(
+                engine=canon.engine,
+                status=canon.status,
+                stats=stats,
+                counterexample=lifted,
+                detail="deduped within batch (isomorphic to item %d)"
+                % indices[0],
+                winner=canon.winner,
+            )
+    return [outcome for outcome in results if outcome is not None]
 
 
 class PortfolioEngine(Engine):

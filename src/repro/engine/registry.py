@@ -15,6 +15,7 @@ driver's deterministic tie-break.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List
 
 from .base import Engine
@@ -31,20 +32,32 @@ __all__ = [
 
 _REGISTRY: Dict[str, Engine] = {}
 _BUILTINS_LOADED = False
+_BUILTINS_LOCK = threading.Lock()
 
 
 def _ensure_builtins() -> None:
-    """Populate the registry on first use (deferred to avoid cycles)."""
+    """Populate the registry on first use (deferred to avoid cycles).
+
+    Thread-safe: the loaded flag is only raised *after* every builtin is
+    registered, and registration runs under a lock — concurrent first
+    callers (the serve worker threads) must never observe a partial
+    registry.
+    """
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
-    _BUILTINS_LOADED = True
-    from . import engines as _engines
-    from . import portfolio as _portfolio
+    with _BUILTINS_LOCK:
+        if _BUILTINS_LOADED:
+            return
+        from . import engines as _engines
+        from . import portfolio as _portfolio
+        from ..service import cache as _cache
 
-    for factory in _engines.BUILTIN_ENGINES:
-        register(factory())
-    register(_portfolio.PortfolioEngine())
+        for factory in _engines.BUILTIN_ENGINES:
+            register(factory())
+        register(_portfolio.PortfolioEngine())
+        register(_cache.CachedEngine())
+        _BUILTINS_LOADED = True
 
 
 def register(engine: Engine, replace: bool = False) -> Engine:

@@ -25,6 +25,12 @@ from ..engine import registry
 from ..engine.contract import SolveRequest
 from ..logic.semantics import evaluate
 from ..logic.terms import Formula, Lt, Offset
+from ..logic.traversal import (
+    collect_bool_vars,
+    collect_func_symbols,
+    collect_pred_symbols,
+    collect_vars,
+)
 from .rewrite import rebuild
 
 __all__ = [
@@ -117,6 +123,91 @@ def _engine_method(
     return run
 
 
+def _alpha_variant(formula: Formula) -> Formula:
+    """An injectively renamed copy of ``formula`` (same isomorphism
+    class, disjoint spelling) for exercising canonical-key collisions."""
+    from ..logic.canonical import rename_symbols
+
+    return rename_symbols(
+        formula,
+        vars={v.name: "rn_" + v.name for v in collect_vars(formula)},
+        bools={b.name: "rn_" + b.name for b in collect_bool_vars(formula)},
+        funcs={name: "rn_" + name for name in collect_func_symbols(formula)},
+        preds={name: "rn_" + name for name in collect_pred_symbols(formula)},
+    )
+
+
+def _cached_method(
+    inner: str = "hybrid",
+) -> Callable[[Formula], MethodOutcome]:
+    """The ``cached`` differential arm: the result cache under test.
+
+    Holds a cache that is *cold at the start of every campaign* (one
+    fresh :class:`ResultCache` per ``default_methods()`` call) and, per
+    sample, solves three times:
+
+    1. the formula itself (populates the cache on a decided verdict),
+    2. the formula again (must be answered from the cache),
+    3. an alpha-renamed variant (must *hit the same entry* via the
+       canonical key, with the countermodel lifted through the
+       renaming map).
+
+    All three verdicts must agree, every countermodel must falsify the
+    formula it was returned for, and the repeat solve must actually hit
+    — any violation surfaces as a discrepancy against the bare engines.
+    """
+    from ..service.cache import CachedEngine, ResultCache
+
+    engine = CachedEngine(cache=ResultCache())
+
+    def run(formula: Formula) -> MethodOutcome:
+        cold = engine.solve(
+            SolveRequest(formula=formula, options={"engine": inner})
+        )
+        warm = engine.solve(
+            SolveRequest(formula=formula, options={"engine": inner})
+        )
+        renamed_formula = _alpha_variant(formula)
+        renamed = engine.solve(
+            SolveRequest(formula=renamed_formula, options={"engine": inner})
+        )
+        outcome = MethodOutcome("cached", valid=cold.valid)
+        if not (cold.valid == warm.valid == renamed.valid):
+            outcome.error = (
+                "cache changed a verdict: cold=%s warm=%s renamed=%s"
+                % (cold.valid, warm.valid, renamed.valid)
+            )
+            return outcome
+        if cold.valid is not None and (
+            warm.stats.cache is None or warm.stats.cache.hits == 0
+        ):
+            outcome.error = "repeat solve missed the cache on a decided verdict"
+            return outcome
+        if cold.valid is not None and (
+            renamed.stats.cache is None or renamed.stats.cache.hits == 0
+        ):
+            outcome.error = (
+                "alpha-renamed variant missed the cache (canonical keys "
+                "diverged within one isomorphism class)"
+            )
+            return outcome
+        if cold.valid is False:
+            checks = [
+                not evaluate(query, result.counterexample)
+                for result, query in (
+                    (cold, formula),
+                    (warm, formula),
+                    (renamed, renamed_formula),
+                )
+                if result.counterexample is not None
+            ]
+            if checks:
+                outcome.countermodel_ok = all(checks)
+        return outcome
+
+    return run
+
+
 def default_methods(
     oracle_limit: int = DEFAULT_ORACLE_LIMIT,
     names: Optional[List[str]] = None,
@@ -129,8 +220,10 @@ def default_methods(
     ``sd+preprocess`` / ``hybrid+preprocess`` run the same engines with
     preprocessing on, so every verdict *and* every countermodel coming
     back through the model-reconstruction stack is cross-checked against
-    all other procedures.  Every method dispatches through
-    :mod:`repro.engine.registry`.
+    all other procedures.  ``cached`` is the result-cache layer under
+    differential test (cold store per campaign, every formula solved
+    twice plus an alpha-renamed variant; see :func:`_cached_method`).
+    Every method dispatches through :mod:`repro.engine.registry`.
     """
     methods: Dict[str, Callable[[Formula], MethodOutcome]] = {
         "brute": _engine_method("brute", limit=oracle_limit),
@@ -142,6 +235,7 @@ def default_methods(
         "hybrid+preprocess": _engine_method("hybrid"),
         "lazy": _engine_method("lazy", max_iterations=10_000),
         "svc": _engine_method("svc", max_splits=200_000),
+        "cached": _cached_method(),
     }
     if names is None:
         return methods

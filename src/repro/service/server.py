@@ -1,0 +1,404 @@
+"""The ``repro serve`` loop: line-delimited JSON over stdin/stdout.
+
+One JSON object per input line is one validity request; one JSON object
+per output line is its response (see ``docs/serve-protocol.md`` for the
+schema).  The loop is a bounded pipeline:
+
+* a *reader* thread parses stdin lines and enqueues them on a bounded
+  queue — when the queue is full the request is **rejected immediately**
+  with an ``overloaded`` error instead of buffering unboundedly
+  (backpressure is the client's signal to slow down);
+* ``workers`` worker threads dequeue requests and solve them, each under
+  its own deadline measured from *receipt* (queue wait counts — a
+  request that waited past its deadline fails fast without solving).
+  With forking enabled (the default) the solve runs as a single-member
+  parallel portfolio race, so the deadline is *hard*: the child process
+  is killed when time is up;
+* responses are serialized by a writer lock, so lines never interleave.
+
+``SIGTERM``/``SIGINT`` trigger graceful shutdown: no new requests are
+accepted (late arrivals get a ``shutdown`` error), everything already
+accepted is drained and answered, a ``bye`` event is emitted, and the
+process exits 0.
+
+All solves go through the shared result cache
+(:mod:`repro.service.cache`) unless disabled, so repeated and
+alpha-isomorphic requests within one server lifetime are answered from
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from ..encodings.hybrid import DEFAULT_SEP_THOLD
+from ..engine import registry
+from ..engine.contract import SolveOutcome, SolveRequest
+from ..engine.portfolio import solve_portfolio
+from ..logic.parser import ParseError, parse_formula
+from .cache import (
+    ResultCache,
+    config_fingerprint,
+    interp_to_jsonable,
+    solve_cached,
+)
+
+__all__ = ["ServeConfig", "run_server"]
+
+#: Poll granularity for worker dequeue / drain waits.
+_TICK = 0.05
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for :func:`run_server` (mirrors the ``repro serve`` flags)."""
+
+    workers: int = 2
+    queue_size: int = 16
+    engine: str = "hybrid"
+    default_timeout: Optional[float] = None
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    cache_max_entries: int = 4096
+    #: Solve via a forked single-member portfolio race so deadlines can
+    #: kill a stuck solve.  ``False`` solves in-process (deterministic,
+    #: fork-free) but can only observe a deadline between engines.
+    fork: bool = True
+    #: Install SIGTERM/SIGINT handlers (only possible from the main
+    #: thread; tests driving run_server from a helper thread disable it).
+    install_signal_handlers: bool = True
+
+
+@dataclass
+class _ServerState:
+    config: ServeConfig
+    out: IO[str]
+    cache: Optional[ResultCache]
+    jobs: "queue.Queue[Tuple[Dict[str, Any], float]]"
+    stop: threading.Event = field(default_factory=threading.Event)
+    eof: threading.Event = field(default_factory=threading.Event)
+    write_lock: threading.Lock = field(default_factory=threading.Lock)
+    counter_lock: threading.Lock = field(default_factory=threading.Lock)
+    served: int = 0
+    rejected: int = 0
+    in_flight: int = 0
+
+    def write(self, obj: Dict[str, Any]) -> None:
+        line = json.dumps(obj, sort_keys=True)
+        with self.write_lock:
+            self.out.write(line + "\n")
+            self.out.flush()
+
+    def bump(self, attr: str, delta: int = 1) -> None:
+        with self.counter_lock:
+            setattr(self, attr, getattr(self, attr) + delta)
+
+
+def _error_response(
+    rid: Any, kind: str, message: str, **extra: Any
+) -> Dict[str, Any]:
+    response: Dict[str, Any] = {
+        "id": rid,
+        "ok": False,
+        "error": {"kind": kind, "message": message},
+    }
+    response.update(extra)
+    return response
+
+
+def _reader(state: _ServerState, inp: IO[str]) -> None:
+    """Parse stdin lines into the bounded queue; reject when full."""
+    for line in inp:
+        line = line.strip()
+        if not line:
+            continue
+        if state.stop.is_set():
+            rid = None
+            try:
+                rid = json.loads(line).get("id")
+            except (ValueError, AttributeError):
+                pass
+            state.write(
+                _error_response(rid, "shutdown", "server is shutting down")
+            )
+            state.bump("rejected")
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            state.write(
+                _error_response(None, "parse", "invalid JSON: %s" % exc)
+            )
+            state.bump("rejected")
+            continue
+        if not isinstance(payload, dict):
+            state.write(
+                _error_response(
+                    None, "bad-request", "request must be a JSON object"
+                )
+            )
+            state.bump("rejected")
+            continue
+        try:
+            state.jobs.put_nowait((payload, time.monotonic()))
+        except queue.Full:
+            state.write(
+                _error_response(
+                    payload.get("id"),
+                    "overloaded",
+                    "queue full (%d pending); retry later"
+                    % state.jobs.maxsize,
+                )
+            )
+            state.bump("rejected")
+    state.eof.set()
+
+
+def _parse_request(
+    payload: Dict[str, Any], config: ServeConfig
+) -> Tuple[SolveRequest, List[str], Optional[float]]:
+    """Validate one request payload; raises ValueError with a message."""
+    formula_text = payload.get("formula")
+    if not isinstance(formula_text, str) or not formula_text.strip():
+        raise ValueError("'formula' must be a non-empty s-expression string")
+    formula = parse_formula(formula_text)
+
+    spec = payload.get("engine", config.engine)
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError("'engine' must be an engine name")
+    members = [name.strip() for name in spec.split(",") if name.strip()]
+    known = registry.list_engines()
+    for name in members:
+        if name not in known:
+            raise ValueError(
+                "unknown engine %r; registered: %s" % (name, ", ".join(known))
+            )
+
+    timeout = payload.get("timeout", config.default_timeout)
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ValueError("'timeout' must be a positive number of seconds")
+        timeout = float(timeout)
+
+    options = payload.get("options", {})
+    if not isinstance(options, dict):
+        raise ValueError("'options' must be a JSON object")
+
+    request = SolveRequest(
+        formula=formula,
+        want_countermodel=bool(payload.get("want_countermodel", True)),
+        time_limit=timeout,
+        sep_thold=int(payload.get("sep_thold", DEFAULT_SEP_THOLD)),
+        preprocess=bool(payload.get("preprocess", True)),
+        options=dict(options),
+    )
+    return request, members, timeout
+
+
+def _cache_section(outcome: SolveOutcome) -> Optional[Dict[str, int]]:
+    stats = outcome.stats.cache
+    if stats is None:
+        return None
+    return {
+        "hits_memory": stats.hits_memory,
+        "hits_disk": stats.hits_disk,
+        "misses": stats.misses,
+        "stores": stats.stores,
+        "dedupes": stats.dedupes,
+    }
+
+
+def _solve_one(
+    state: _ServerState,
+    payload: Dict[str, Any],
+    received: float,
+) -> Dict[str, Any]:
+    rid = payload.get("id")
+    config = state.config
+    try:
+        request, members, timeout = _parse_request(payload, config)
+    except ParseError as exc:
+        return _error_response(rid, "parse", str(exc))
+    except ValueError as exc:
+        return _error_response(rid, "bad-request", str(exc))
+
+    started = time.monotonic()
+    if timeout is not None:
+        remaining = timeout - (started - received)
+        if remaining <= 0:
+            return _error_response(
+                rid,
+                "deadline",
+                "deadline of %.3fs expired while queued" % timeout,
+                wall_seconds=round(started - received, 6),
+            )
+    else:
+        remaining = None
+
+    def solver(req: SolveRequest) -> SolveOutcome:
+        return solve_portfolio(
+            req,
+            engines=members,
+            parallel=config.fork,
+            deadline=remaining,
+        )
+
+    try:
+        if state.cache is not None:
+            fingerprint = config_fingerprint(",".join(members), request)
+            outcome = solve_cached(
+                request,
+                solver,
+                state.cache,
+                fingerprint,
+                engine_label="serve",
+            )
+        else:
+            outcome = solver(request)
+    except Exception as exc:  # a request must never kill a worker
+        return _error_response(
+            rid, "internal", "%s: %s" % (type(exc).__name__, exc)
+        )
+
+    elapsed = time.monotonic() - received
+    if (
+        timeout is not None
+        and not outcome.decided
+        and elapsed >= timeout
+    ):
+        return _error_response(
+            rid,
+            "deadline",
+            "deadline of %.3fs expired during solve" % timeout,
+            wall_seconds=round(elapsed, 6),
+        )
+
+    response: Dict[str, Any] = {
+        "id": rid,
+        "ok": True,
+        "status": str(outcome.status),
+        "valid": outcome.valid,
+        "engine": ",".join(members),
+        "winner": outcome.winner,
+        "wall_seconds": round(elapsed, 6),
+        "detail": outcome.detail,
+    }
+    cache_section = _cache_section(outcome)
+    if cache_section is not None:
+        response["cache"] = cache_section
+    if outcome.counterexample is not None and request.want_countermodel:
+        response["countermodel"] = interp_to_jsonable(outcome.counterexample)
+    return response
+
+
+def _worker(state: _ServerState) -> None:
+    while True:
+        try:
+            payload, received = state.jobs.get(timeout=_TICK)
+        except queue.Empty:
+            if state.eof.is_set() or state.stop.is_set():
+                return
+            continue
+        state.bump("in_flight")
+        try:
+            response = _solve_one(state, payload, received)
+        except Exception as exc:  # pragma: no cover - belt and braces
+            response = _error_response(
+                payload.get("id"),
+                "internal",
+                "%s: %s" % (type(exc).__name__, exc),
+            )
+        state.write(response)
+        state.bump("served")
+        state.bump("in_flight", -1)
+        state.jobs.task_done()
+
+
+def run_server(
+    config: Optional[ServeConfig] = None,
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+) -> int:
+    """Serve line-delimited JSON requests until EOF or SIGTERM; returns 0.
+
+    Emits a ``{"event": "ready"}`` line once the workers are up — clients
+    should wait for it before sending — and a ``{"event": "bye"}`` line
+    after the drain, with totals.
+    """
+    config = config or ServeConfig()
+    inp = stdin if stdin is not None else sys.stdin
+    out = stdout if stdout is not None else sys.stdout
+    cache: Optional[ResultCache] = None
+    if config.use_cache:
+        cache = ResultCache(
+            max_entries=config.cache_max_entries, disk_dir=config.cache_dir
+        )
+    state = _ServerState(
+        config=config,
+        out=out,
+        cache=cache,
+        jobs=queue.Queue(maxsize=max(1, config.queue_size)),
+    )
+
+    if config.install_signal_handlers:
+        def _request_stop(signum, frame):  # pragma: no cover - signal path
+            state.stop.set()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    workers = [
+        threading.Thread(
+            target=_worker, args=(state,), name="serve-worker-%d" % i
+        )
+        for i in range(max(1, config.workers))
+    ]
+    for thread in workers:
+        thread.start()
+
+    # ``ready`` goes out before the reader starts so it is always the
+    # first line a client sees.
+    state.write(
+        {
+            "event": "ready",
+            "workers": len(workers),
+            "queue_size": state.jobs.maxsize,
+            "engine": config.engine,
+            "cache": config.use_cache,
+        }
+    )
+    reader = threading.Thread(
+        target=_reader, args=(state, inp), name="serve-reader", daemon=True
+    )
+    reader.start()
+
+    # Wait for either EOF (normal end of input) or a stop signal; then
+    # drain: everything already accepted is still answered.
+    while not (state.eof.is_set() or state.stop.is_set()):
+        time.sleep(_TICK)
+    state.jobs.join()
+    state.stop.set()
+    for thread in workers:
+        thread.join()
+
+    totals: Dict[str, Any] = {
+        "event": "bye",
+        "served": state.served,
+        "rejected": state.rejected,
+    }
+    if cache is not None:
+        totals["cache"] = {
+            "hits_memory": cache.stats.hits_memory,
+            "hits_disk": cache.stats.hits_disk,
+            "misses": cache.stats.misses,
+            "stores": cache.stats.stores,
+        }
+    state.write(totals)
+    return 0

@@ -1,0 +1,97 @@
+"""The CI coverage gate must itself be trustworthy (tools/coverage_gate.py)."""
+
+import importlib.util
+import json
+import os
+
+_SPEC = importlib.util.spec_from_file_location(
+    "coverage_gate",
+    os.path.join(
+        os.path.dirname(os.path.dirname(__file__)),
+        "tools",
+        "coverage_gate.py",
+    ),
+)
+coverage_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(coverage_gate)
+
+
+def _report(service_covered, service_total, other_covered, other_total):
+    def summary(covered, total):
+        return {
+            "summary": {
+                "covered_lines": covered,
+                "num_statements": total,
+            }
+        }
+
+    all_covered = service_covered + other_covered
+    all_total = service_total + other_total
+    return {
+        "files": {
+            "src/repro/service/cache.py": summary(
+                service_covered, service_total
+            ),
+            "src/repro/cli.py": summary(other_covered, other_total),
+        },
+        "totals": {"percent_covered": 100.0 * all_covered / all_total},
+    }
+
+
+def _run(tmp_path, report, argv=()):
+    path = tmp_path / "coverage.json"
+    path.write_text(json.dumps(report))
+    return coverage_gate.main(["--report", str(path), *argv])
+
+
+class TestCoverageGate:
+    def test_passes_above_both_floors(self, tmp_path, capsys):
+        rc = _run(tmp_path, _report(95, 100, 85, 100))
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_fails_when_service_package_below_floor(self, tmp_path, capsys):
+        rc = _run(tmp_path, _report(80, 100, 99, 100))
+        assert rc == 1
+        assert "repro/service/" in capsys.readouterr().out
+
+    def test_fails_when_global_total_below_floor(self, tmp_path):
+        report = _report(95, 100, 10, 100)
+        assert _run(tmp_path, report) == 1
+
+    def test_floors_are_configurable(self, tmp_path):
+        report = _report(80, 100, 80, 100)
+        rc = _run(
+            tmp_path,
+            report,
+            argv=["--global-floor", "50", "--package-floor", "75"],
+        )
+        assert rc == 0
+
+    def test_missing_report_fails(self, tmp_path):
+        assert (
+            coverage_gate.main(["--report", str(tmp_path / "nope.json")])
+            == 1
+        )
+
+    def test_unmatched_package_fails(self, tmp_path):
+        report = _report(95, 100, 95, 100)
+        rc = _run(tmp_path, report, argv=["--package", "repro/nosuch/"])
+        assert rc == 1
+
+    def test_package_rate_windows_paths(self):
+        rate, covered, total = coverage_gate.package_rate(
+            {
+                "files": {
+                    "src\\repro\\service\\server.py": {
+                        "summary": {
+                            "covered_lines": 9,
+                            "num_statements": 10,
+                        }
+                    }
+                }
+            },
+            "repro/service/",
+        )
+        assert (covered, total) == (9, 10)
+        assert abs(rate - 90.0) < 1e-9

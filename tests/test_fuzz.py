@@ -277,6 +277,90 @@ class TestCli:
         assert code == 0
 
 
+class TestCachedArm:
+    def test_default_methods_include_cached(self):
+        assert "cached" in default_methods()
+
+    def test_cached_arm_agrees_and_hits(self):
+        from repro.fuzz.oracle import _cached_method
+
+        run = _cached_method()
+        for seed in range(20):
+            formula = generate_formula(seed, "mixed")
+            outcome = run(formula)
+            # A decided cold solve must be re-served from the cache and
+            # shared with its alpha-renamed variant; _cached_method turns
+            # any violation into an error.
+            assert outcome.error is None, (seed, outcome.error)
+            assert outcome.countermodel_ok in (None, True)
+
+    def test_cached_arm_cold_per_registry(self):
+        from repro.fuzz.oracle import _cached_method
+
+        formula = generate_formula(1, "equality")
+        first = _cached_method()
+        first(formula)
+        # A fresh arm has a fresh (cold) cache: the first solve of the
+        # same formula is a miss again, caught via the hit-requirement
+        # erroring if we pre-warm with a different closure.
+        second = _cached_method()
+        outcome = second(formula)
+        assert outcome.error is None
+
+    def test_cached_arm_in_campaign(self):
+        report = run_campaign(
+            FuzzConfig(
+                iterations=40,
+                seed=11,
+                methods=default_methods(
+                    names=["brute", "hybrid", "cached"]
+                ),
+                out_dir=None,
+            )
+        )
+        assert report.ok, "\n".join(report.summary_lines())
+
+    def test_oracle_catches_poisoned_cache(self):
+        # Flip the stored verdict behind the arm's back: the poisoned
+        # INVALID must surface as a countermodel/verdict discrepancy
+        # against the honest engines instead of being trusted.
+        from repro.engine.contract import SolveRequest
+        from repro.fuzz.oracle import _cached_method, check_outcomes
+        from repro.logic.canonical import canonicalize
+        from repro.service import cache as cache_mod
+
+        formula = parse_formula("(=> (= x y) (= (f x) (f y)))")
+        run = _cached_method()
+        engine = next(
+            cell.cell_contents
+            for cell in run.__closure__
+            if isinstance(cell.cell_contents, cache_mod.CachedEngine)
+        )
+        assert run(formula).error is None
+        form = canonicalize(formula)
+        fingerprint = cache_mod.config_fingerprint(
+            "hybrid", SolveRequest(formula=form.formula)
+        )
+        poisoned = cache_mod.CacheEntry(
+            status="INVALID",
+            countermodel=cache_mod.interp_from_jsonable(
+                {"vars": {"v0": 0, "v1": 0}}
+            ),
+            engine="hybrid",
+        )
+        with engine._cache._lock:
+            assert (form.key, fingerprint) in engine._cache._memory
+            engine._cache._memory[(form.key, fingerprint)] = poisoned
+        outcome = run(formula)
+        outcome.name = "cached"
+        assert outcome.valid is False  # the cache served the lie...
+        assert outcome.countermodel_ok is False  # ...and replay caught it
+        honest = default_methods(names=["hybrid"])["hybrid"](formula)
+        discrepancy = check_outcomes(formula, [honest, outcome])
+        assert discrepancy is not None
+        assert discrepancy.kind in ("countermodel", "verdict")
+
+
 class TestPreprocessConfigs:
     def test_default_methods_include_preprocess_arms(self):
         methods = default_methods()

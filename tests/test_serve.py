@@ -1,0 +1,321 @@
+"""Concurrency and protocol tests for ``repro serve``.
+
+Component-level tests drive the reader/worker internals directly with
+deterministic state (a pre-filled queue for backpressure, a back-dated
+receipt time for queue-wait deadlines); integration tests run the whole
+loop in-process over StringIO; end-to-end tests drive the real CLI in a
+subprocess, including graceful SIGTERM drain.
+"""
+
+import io
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import time
+
+from repro.service.cache import ResultCache
+from repro.service.server import (
+    ServeConfig,
+    _reader,
+    _ServerState,
+    _solve_one,
+    run_server,
+)
+
+VALID_F = "(=> (= x y) (= (f x) (f y)))"
+VALID_F_RENAMED = "(=> (= a b) (= (h a) (h b)))"
+INVALID_F = "(= (f x) (f y))"
+#: Valid, but brute-force enumeration over two nested function tables
+#: takes tens of seconds — the anvil for hard-deadline tests.
+SLOW_F = "(=> (and (= a b) (= b c)) (= (f (g a)) (f (g c))))"
+
+
+def _state(config=None, queue_size=16, cache=True):
+    config = config or ServeConfig(install_signal_handlers=False, fork=False)
+    return _ServerState(
+        config=config,
+        out=io.StringIO(),
+        cache=ResultCache() if cache else None,
+        jobs=queue.Queue(maxsize=queue_size),
+    )
+
+
+def _responses(state):
+    return [json.loads(line) for line in state.out.getvalue().splitlines()]
+
+
+def _run_inline(requests, config=None):
+    lines = [
+        r if isinstance(r, str) else json.dumps(r) for r in requests
+    ]
+    stdin = io.StringIO("\n".join(lines) + "\n")
+    stdout = io.StringIO()
+    rc = run_server(
+        config
+        or ServeConfig(
+            workers=2, fork=False, install_signal_handlers=False
+        ),
+        stdin=stdin,
+        stdout=stdout,
+    )
+    return rc, [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_instead_of_buffering(self):
+        state = _state(queue_size=1)
+        state.jobs.put_nowait(({"id": 0}, time.monotonic()))  # occupy
+        lines = "\n".join(
+            json.dumps({"id": i, "formula": VALID_F}) for i in (1, 2, 3)
+        )
+        _reader(state, io.StringIO(lines + "\n"))
+        responses = _responses(state)
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        for response in responses:
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "overloaded"
+        assert state.rejected == 3
+        # The occupied slot was untouched: rejected requests never queue.
+        assert state.jobs.qsize() == 1
+
+    def test_shutdown_rejects_new_requests(self):
+        state = _state()
+        state.stop.set()
+        _reader(
+            state,
+            io.StringIO(json.dumps({"id": 9, "formula": VALID_F}) + "\n"),
+        )
+        (response,) = _responses(state)
+        assert response["id"] == 9
+        assert response["error"]["kind"] == "shutdown"
+        assert state.jobs.qsize() == 0
+
+    def test_reader_parse_and_shape_errors(self):
+        state = _state()
+        _reader(state, io.StringIO('{"broken\n[1, 2]\n'))
+        kinds = [r["error"]["kind"] for r in _responses(state)]
+        assert kinds == ["parse", "bad-request"]
+
+
+class TestDeadlines:
+    def test_deadline_expired_while_queued(self):
+        state = _state()
+        response = _solve_one(
+            state,
+            {"id": 4, "formula": VALID_F, "timeout": 0.05},
+            received=time.monotonic() - 10.0,
+        )
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "deadline"
+        assert "queued" in response["error"]["message"]
+        assert response["wall_seconds"] >= 0.05
+
+    def test_hard_deadline_kills_stuck_solve(self):
+        # fork=True runs the solve as a raceable child process, so the
+        # deadline interrupts brute mid-enumeration (in-process it would
+        # run for tens of seconds; see SLOW_F).
+        state = _state(
+            config=ServeConfig(install_signal_handlers=False, fork=True)
+        )
+        started = time.monotonic()
+        response = _solve_one(
+            state,
+            {
+                "id": 5,
+                "formula": SLOW_F,
+                "engine": "brute",
+                "timeout": 1.0,
+                "options": {"limit": 10**9},
+            },
+            received=started,
+        )
+        elapsed = time.monotonic() - started
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "deadline"
+        assert elapsed < 10.0
+
+
+class TestRequestValidation:
+    def test_unknown_engine(self):
+        state = _state()
+        response = _solve_one(
+            state,
+            {"id": 1, "formula": VALID_F, "engine": "nosuch"},
+            received=time.monotonic(),
+        )
+        assert response["error"]["kind"] == "bad-request"
+        assert "nosuch" in response["error"]["message"]
+
+    def test_missing_formula(self):
+        state = _state()
+        response = _solve_one(
+            state, {"id": 2}, received=time.monotonic()
+        )
+        assert response["error"]["kind"] == "bad-request"
+
+    def test_unparsable_formula(self):
+        state = _state()
+        response = _solve_one(
+            state,
+            {"id": 3, "formula": "(= x"},
+            received=time.monotonic(),
+        )
+        assert response["error"]["kind"] == "parse"
+
+    def test_bad_timeout(self):
+        state = _state()
+        response = _solve_one(
+            state,
+            {"id": 4, "formula": VALID_F, "timeout": -1},
+            received=time.monotonic(),
+        )
+        assert response["error"]["kind"] == "bad-request"
+
+
+class TestInlineServe:
+    def test_verdicts_cache_and_countermodels(self):
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "formula": VALID_F},
+                {"id": 2, "formula": INVALID_F},
+            ]
+        )
+        assert rc == 0
+        assert responses[0]["event"] == "ready"
+        assert responses[-1]["event"] == "bye"
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[1]["ok"] and by_id[1]["status"] == "VALID"
+        assert by_id[2]["ok"] and by_id[2]["status"] == "INVALID"
+        model = by_id[2]["countermodel"]
+        assert model["funcs"]["f"]  # table present and JSON-shaped
+        assert responses[-1]["served"] == 2
+
+    def test_isomorphic_requests_share_cache_entry(self):
+        # Single worker: deterministic order, so the renamed formula is
+        # always the warm request.
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "formula": VALID_F},
+                {"id": 2, "formula": VALID_F_RENAMED},
+            ],
+            config=ServeConfig(
+                workers=1, fork=False, install_signal_handlers=False
+            ),
+        )
+        assert rc == 0
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[1]["status"] == by_id[2]["status"] == "VALID"
+        assert by_id[1]["cache"]["misses"] == 1
+        assert by_id[2]["cache"]["hits_memory"] == 1
+        assert responses[-1]["cache"]["hits_memory"] == 1
+
+    def test_no_cache_flag(self):
+        rc, responses = _run_inline(
+            [{"id": 1, "formula": VALID_F}],
+            config=ServeConfig(
+                workers=1,
+                fork=False,
+                use_cache=False,
+                install_signal_handlers=False,
+            ),
+        )
+        assert rc == 0
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[1]["status"] == "VALID"
+        assert "cache" not in by_id[1]
+        assert "cache" not in responses[-1]
+
+
+def _spawn_serve(*extra_args):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--no-fork"]
+        + list(extra_args),
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+class TestSubprocessEndToEnd:
+    def test_smoke_over_real_pipes(self):
+        proc = _spawn_serve("--workers", "2")
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            requests = [
+                {"id": 1, "formula": VALID_F},
+                {"id": 2, "formula": VALID_F_RENAMED},
+                {"id": 3, "formula": INVALID_F},
+                {"id": 4, "formula": "(= x"},
+            ]
+            for request in requests:
+                proc.stdin.write(json.dumps(request) + "\n")
+            proc.stdin.close()
+            responses = [
+                json.loads(line) for line in proc.stdout.readlines()
+            ]
+            assert proc.wait(timeout=60) == 0
+        finally:
+            proc.kill()
+        assert responses[-1]["event"] == "bye"
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[1]["status"] == "VALID"
+        assert by_id[2]["status"] == "VALID"
+        assert by_id[3]["status"] == "INVALID"
+        assert by_id[4]["error"]["kind"] == "parse"
+        assert responses[-1]["served"] == 4
+
+    def test_sigterm_drains_in_flight_requests(self):
+        proc = _spawn_serve("--workers", "1")
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            proc.stdin.write(json.dumps({"id": 1, "formula": VALID_F}) + "\n")
+            proc.stdin.write(
+                json.dumps({"id": 2, "formula": INVALID_F}) + "\n"
+            )
+            proc.stdin.flush()
+            # Give the reader a moment to accept both requests, then ask
+            # for shutdown while they are queued/in flight.
+            time.sleep(0.3)
+            proc.send_signal(signal.SIGTERM)
+            responses = [
+                json.loads(line) for line in proc.stdout.readlines()
+            ]
+            rc = proc.wait(timeout=60)
+        finally:
+            proc.kill()
+        assert rc == 0
+        assert responses[-1]["event"] == "bye"
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        # Both accepted requests were answered despite the signal.
+        assert by_id[1]["status"] == "VALID"
+        assert by_id[2]["status"] == "INVALID"
+
+    def test_cache_dir_persists_across_server_runs(self, tmp_path):
+        disk = str(tmp_path / "cache")
+        for expect_tier in ("misses", "hits_disk"):
+            proc = _spawn_serve("--workers", "1", "--cache-dir", disk)
+            try:
+                json.loads(proc.stdout.readline())  # ready
+                proc.stdin.write(
+                    json.dumps({"id": 1, "formula": VALID_F}) + "\n"
+                )
+                proc.stdin.close()
+                responses = [
+                    json.loads(line) for line in proc.stdout.readlines()
+                ]
+                assert proc.wait(timeout=60) == 0
+            finally:
+                proc.kill()
+            by_id = {r["id"]: r for r in responses if "id" in r}
+            assert by_id[1]["status"] == "VALID"
+            assert by_id[1]["cache"][expect_tier] == 1

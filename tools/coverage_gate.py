@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Enforce coverage floors from a ``coverage json`` report.
+
+Reads the ``coverage.json`` that ``pytest --cov=repro --cov-report=json``
+produces and fails (exit 1) when either floor is broken:
+
+* the global line-coverage floor (``--global-floor``), and
+* a stricter floor for the service layer (``--package`` /
+  ``--package-floor``) — the result cache and the serve loop are the
+  correctness-critical concurrency code this repo most needs pinned.
+
+Kept dependency-free on purpose: the local container has no coverage
+tooling (see ROADMAP.md), so this script only ever runs in CI after
+``pip install pytest-cov``, but it must be importable/testable anywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Tuple
+
+
+def package_rate(
+    report: Dict, package_fragment: str
+) -> Tuple[float, int, int]:
+    """(percent, covered, statements) over files whose path contains
+    ``package_fragment``."""
+    covered = statements = 0
+    for path, data in report.get("files", {}).items():
+        if package_fragment not in path.replace("\\", "/"):
+            continue
+        summary = data.get("summary", {})
+        covered += summary.get("covered_lines", 0)
+        statements += summary.get("num_statements", 0)
+    if statements == 0:
+        return 0.0, 0, 0
+    return 100.0 * covered / statements, covered, statements
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report", default="coverage.json", help="coverage json report path"
+    )
+    parser.add_argument(
+        "--global-floor",
+        type=float,
+        default=80.0,
+        help="minimum total line coverage percent",
+    )
+    parser.add_argument(
+        "--package",
+        default="repro/service/",
+        help="path fragment selecting the strictly-gated package",
+    )
+    parser.add_argument(
+        "--package-floor",
+        type=float,
+        default=90.0,
+        help="minimum line coverage percent for --package",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.report) as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print("coverage-gate: cannot read %s: %s" % (args.report, exc))
+        return 1
+
+    total = report.get("totals", {}).get("percent_covered")
+    if total is None:
+        print("coverage-gate: report has no totals.percent_covered")
+        return 1
+    pkg_rate, pkg_covered, pkg_statements = package_rate(report, args.package)
+
+    failed = False
+    print(
+        "coverage-gate: total %.2f%% (floor %.2f%%)"
+        % (total, args.global_floor)
+    )
+    if total < args.global_floor:
+        print("coverage-gate: FAIL — total coverage below the floor")
+        failed = True
+    if pkg_statements == 0:
+        print("coverage-gate: FAIL — no files match %r" % args.package)
+        failed = True
+    else:
+        print(
+            "coverage-gate: %s %.2f%% (%d/%d lines, floor %.2f%%)"
+            % (
+                args.package,
+                pkg_rate,
+                pkg_covered,
+                pkg_statements,
+                args.package_floor,
+            )
+        )
+        if pkg_rate < args.package_floor:
+            print(
+                "coverage-gate: FAIL — %s coverage below the floor"
+                % args.package
+            )
+            failed = True
+    if not failed:
+        print("coverage-gate: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
