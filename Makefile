@@ -1,10 +1,35 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fuzz fuzz-smoke bench-smoke coverage ci clean
+.PHONY: test lint typecheck analyze fuzz fuzz-smoke bench-smoke coverage ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Repo-specific static analysis (concurrency / determinism /
+# engine-contract rules; see docs/static-analysis.md).  Always available:
+# it needs only the stdlib.
+analyze:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro analyze src/repro
+
+# ruff + the repro analyzer.  ruff is skipped with a notice when not
+# installed (the dev container ships without it; CI installs it).
+lint: analyze
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tools; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+# mypy strict on core/engine/logic/service, gradual elsewhere
+# (configured in pyproject.toml).  Skipped with a notice when mypy is
+# not installed; CI installs and enforces it.
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
 
 # Fixed benchmark subset through every engine; per-engine wall/encode/sat
 # seconds, the preprocessing on/off comparison, and the cold-vs-warm
@@ -28,8 +53,10 @@ fuzz:
 fuzz-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fuzz --iterations 200 --seed 0
 
-# Tier-1 tests + fuzz smoke; what .github/workflows/ci.yml runs.
-ci: test fuzz-smoke
+# Tier-1 tests + static analysis + fuzz smoke; what
+# .github/workflows/ci.yml runs (CI additionally installs and enforces
+# ruff + mypy).
+ci: lint typecheck test fuzz-smoke
 
 clean:
 	rm -rf fuzz-failures .pytest_cache .hypothesis

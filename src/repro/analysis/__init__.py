@@ -1,0 +1,56 @@
+"""Repo-specific static analysis: concurrency, determinism, and
+engine-contract lints.
+
+Run it as ``repro analyze <dir-or-files>`` (or
+``python -m repro analyze src/repro``); exit status 1 means findings.
+See ``docs/static-analysis.md`` for the rule catalog, the suppression
+syntax, and how to add a rule.
+
+Public API::
+
+    from repro.analysis import analyze_paths, all_rules
+
+    findings = analyze_paths(["src/repro"])   # List[Finding]
+"""
+
+from .core import (
+    Finding,
+    ModuleContext,
+    Project,
+    ProjectRule,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_project,
+    is_lock_expr,
+    iter_python_files,
+    register_rule,
+    rules_by_code,
+    terminal_name,
+)
+from .reporters import (
+    render_human,
+    render_json,
+    render_rule_catalog,
+    write_report,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_project",
+    "is_lock_expr",
+    "iter_python_files",
+    "register_rule",
+    "rules_by_code",
+    "terminal_name",
+    "render_human",
+    "render_json",
+    "render_rule_catalog",
+    "write_report",
+]

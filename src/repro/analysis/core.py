@@ -1,0 +1,335 @@
+"""The lint framework core: findings, rules, suppressions, the runner.
+
+This is a *repo-specific* static analysis layer, not a general linter:
+the rule packs under :mod:`repro.analysis.rules` encode invariants that
+generic tools cannot know about — which attributes are lock-guarded,
+which digests must be process-stable, what the engine registry contract
+is.  The framework itself is deliberately small:
+
+* :class:`ModuleContext` — one parsed file (source, AST, per-line
+  suppressions);
+* :class:`Project` — every parsed file, for cross-file rules
+  (engine-registration counting, stats-field threading);
+* :class:`Rule` / :class:`ProjectRule` — a check emitting
+  :class:`Finding`\\ s, registered via :func:`register_rule`;
+* :func:`analyze_paths` — parse, run every rule, filter suppressed
+  findings, return the rest sorted by location.
+
+Suppression syntax (see ``docs/static-analysis.md``)::
+
+    risky_line()  # repro: ignore[RC101] -- guarded by caller's lock
+
+A suppression comment applies to findings on its own line; a standalone
+comment line applies to the line directly below it.  ``repro: ignore``
+without a bracket list suppresses every rule on that line.  The ``--``
+justification is free text; write one — a bare suppression tells the
+next reader nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Type
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "ProjectRule",
+    "register_rule",
+    "all_rules",
+    "rules_by_code",
+    "analyze_paths",
+    "analyze_project",
+    "iter_python_files",
+    "LOCK_NAME_RE",
+    "is_lock_expr",
+]
+
+#: Terminal identifiers that denote a lock object.  The boundary group
+#: keeps ``clock`` (the stage timer) from matching ``lock``.
+LOCK_NAME_RE = re.compile(r"(?:^|_)(r?lock|mutex)s?$", re.IGNORECASE)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return "%s:%d:%d" % (self.path, self.line, self.col + 1)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        #: line number -> suppressed codes (``None`` = every rule).
+        self.suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+        self._collect_suppressions()
+
+    @classmethod
+    def parse(cls, path: str, display_path: Optional[str] = None) -> "ModuleContext":
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+        return cls(display_path or path, source, tree)
+
+    def _collect_suppressions(self) -> None:
+        for index, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes_text = match.group("codes")
+            codes: Optional[FrozenSet[str]] = None
+            if codes_text is not None:
+                codes = frozenset(
+                    code.strip().upper()
+                    for code in codes_text.split(",")
+                    if code.strip()
+                )
+            # A comment-only line shields the line below; an inline
+            # comment shields its own line.
+            target = index
+            if line.lstrip().startswith("#"):
+                target = index + 1
+            existing = self.suppressions.get(target, frozenset())
+            if codes is None or existing is None:
+                self.suppressions[target] = None
+            else:
+                self.suppressions[target] = existing | codes
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions.get(finding.line, frozenset())
+        if codes is None:
+            return True
+        return finding.code.upper() in codes
+
+
+class Project:
+    """Every parsed module, for rules that need cross-file context."""
+
+    def __init__(self, modules: List[ModuleContext]) -> None:
+        self.modules = modules
+        self.by_path = {module.path: module for module in modules}
+
+    def module_named(self, suffix: str) -> Optional[ModuleContext]:
+        """The module whose path ends with ``suffix`` (posix-style)."""
+        normalized = suffix.replace(os.sep, "/")
+        for module in self.modules:
+            if module.path.replace(os.sep, "/").endswith(normalized):
+                return module
+        return None
+
+
+class Rule:
+    """One per-module check.  Subclasses set the metadata and ``check``."""
+
+    #: Stable identifier, e.g. ``RC101`` (R=repro, C=concurrency pack).
+    code: str = ""
+    #: Short kebab-case name shown in ``--list-rules``.
+    name: str = ""
+    #: One-paragraph description for the rule catalog.
+    description: str = ""
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A check that needs to see every module at once."""
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError("rule %r has no code" % (cls,))
+    if cls.code in _RULES:
+        raise ValueError("duplicate rule code %r" % cls.code)
+    _RULES[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, in code order."""
+    _load_rule_packs()
+    return [_RULES[code]() for code in sorted(_RULES)]
+
+
+def rules_by_code(codes: Iterable[str]) -> List[Rule]:
+    _load_rule_packs()
+    instances = []
+    for code in codes:
+        normalized = code.strip().upper()
+        if normalized not in _RULES:
+            raise KeyError(
+                "unknown rule %r; known: %s"
+                % (code, ", ".join(sorted(_RULES)))
+            )
+        instances.append(_RULES[normalized]())
+    return instances
+
+
+def _load_rule_packs() -> None:
+    # Import for the registration side effect; deferred to avoid a cycle
+    # (rule modules import this module for the base classes).
+    from . import rules as _rules  # noqa: F401
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        seen.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            seen.append(path)
+        else:
+            raise ValueError(
+                "not a Python file or directory: %r" % (path,)
+            )
+    return iter(seen)
+
+
+def analyze_project(
+    project: Project, rules: Optional[List[Rule]] = None
+) -> List[Finding]:
+    """Run ``rules`` (default: all) over an already-parsed project."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            for finding in rule.check_project(project):
+                module = project.by_path.get(finding.path)
+                if module is None or not module.is_suppressed(finding):
+                    findings.append(finding)
+            continue
+        for module in project.modules:
+            for finding in rule.check(module):
+                if not module.is_suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable[str], rules: Optional[List[Rule]] = None
+) -> List[Finding]:
+    """Parse every ``.py`` file under ``paths`` and run the rules."""
+    modules = [
+        ModuleContext.parse(path) for path in iter_python_files(paths)
+    ]
+    return analyze_project(Project(modules), rules)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by several rule packs
+# ---------------------------------------------------------------------------
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a ``Name`` or dotted ``Attribute``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def is_lock_expr(node: ast.AST) -> bool:
+    """Whether a ``with`` item's context expression denotes a lock."""
+    name = terminal_name(node)
+    return name is not None and LOCK_NAME_RE.search(name) is not None
+
+
+@dataclass
+class FunctionInfo:
+    """A function plus its enclosing class name (if any)."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+    nested: bool = False
+
+
+def iter_functions(tree: ast.Module) -> Iterator[FunctionInfo]:
+    """Every function definition, with class context and nesting flag."""
+
+    def walk(
+        body: List[ast.stmt],
+        class_name: Optional[str],
+        nested: bool,
+    ) -> Iterator[FunctionInfo]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield FunctionInfo(stmt, class_name, nested)
+                yield from walk(stmt.body, class_name, True)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body, stmt.name, nested)
+            elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With,
+                                   ast.Try)):
+                for child_body in _stmt_bodies(stmt):
+                    yield from walk(child_body, class_name, nested)
+
+    yield from walk(tree.body, None, False)
+
+
+def _stmt_bodies(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        body = getattr(stmt, attr, None)
+        if body:
+            yield body
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body

@@ -1,0 +1,68 @@
+"""Finding reporters: human-readable lines and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List
+
+from .core import Finding, Rule
+
+__all__ = [
+    "render_human",
+    "render_json",
+    "render_rule_catalog",
+    "write_report",
+]
+
+
+def render_human(findings: List[Finding], checked_files: int) -> str:
+    """``path:line:col: CODE message`` lines plus a summary tail."""
+    lines = [
+        "%s: %s %s" % (finding.location(), finding.code, finding.message)
+        for finding in findings
+    ]
+    if findings:
+        lines.append(
+            "%d finding(s) in %d file(s)"
+            % (len(findings), len({f.path for f in findings}))
+        )
+    else:
+        lines.append("clean: 0 findings in %d file(s)" % checked_files)
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], checked_files: int) -> str:
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    payload = {
+        "findings": [finding.to_jsonable() for finding in findings],
+        "summary": {
+            "findings": len(findings),
+            "files_checked": checked_files,
+            "files_with_findings": len({f.path for f in findings}),
+            "by_code": by_code,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalog(rules: List[Rule]) -> str:
+    """The ``--list-rules`` table."""
+    lines = []
+    for rule in rules:
+        lines.append("%s  %s" % (rule.code, rule.name))
+        lines.append("       %s" % rule.description)
+    return "\n".join(lines)
+
+
+def write_report(
+    out: IO[str],
+    findings: List[Finding],
+    checked_files: int,
+    fmt: str = "human",
+) -> None:
+    if fmt == "json":
+        out.write(render_json(findings, checked_files) + "\n")
+    else:
+        out.write(render_human(findings, checked_files) + "\n")

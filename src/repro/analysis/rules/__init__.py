@@ -1,0 +1,15 @@
+"""Rule packs.  Importing this package registers every rule.
+
+Three packs, one per invariant family the repo actually depends on:
+
+* :mod:`.concurrency` — ``RC1xx``: lock discipline, double-checked
+  locking order, worker-target picklability;
+* :mod:`.determinism` — ``RD2xx``: process-stable canonical keys and
+  fingerprints;
+* :mod:`.contract` — ``RE3xx``: the engine registry/status/telemetry
+  contract and exception hygiene in worker loops.
+"""
+
+from . import concurrency, contract, determinism
+
+__all__ = ["concurrency", "contract", "determinism"]

@@ -1,0 +1,407 @@
+"""Concurrency rules: the bug shapes that race under the serve worker
+pool and the portfolio driver.
+
+``RC101`` and ``RC102`` encode the exact failure class fixed in PR 4
+(the registry double-checked-locking race: the loaded flag was raised
+*before* the builtins were registered, so a concurrent first caller
+could observe a partial registry).  ``RC103`` catches process/thread
+targets that cannot survive pickling or capture loop variables by
+reference.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    is_lock_expr,
+    register_rule,
+    terminal_name,
+)
+
+__all__ = ["UnguardedSharedMutation", "DoubleCheckedFlagOrder",
+           "UnpicklableWorkerTarget"]
+
+
+def _attr_write_targets(stmt: ast.stmt) -> Iterable[Tuple[str, ast.AST]]:
+    """Names mutated by ``stmt``: ``self.X`` roots and module globals.
+
+    Yields ``(name, node)`` where ``name`` is ``"self.X"`` or a bare
+    global name.  Covers plain/augmented assignment, subscript stores
+    (``self.X[k] = v``), nested attribute stores (``self.X.Y = v``) and
+    calls of known mutating methods (``self.X.append(...)``).
+    """
+    targets: List[ast.AST] = []
+    if isinstance(stmt, (ast.Assign,)):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+        ):
+            targets = [func.value]
+    for target in targets:
+        root = _mutation_root(target)
+        if root is not None:
+            yield root, target
+
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem",
+        "clear", "update", "setdefault", "add", "discard",
+        "move_to_end", "appendleft", "extendleft",
+    }
+)
+
+
+def _mutation_root(target: ast.AST) -> Optional[str]:
+    """``self.X`` / global ``X`` at the root of a store target."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    # Peel nested attributes down to the self.<root> level.
+    chain: List[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        if node.id == "self" and chain:
+            return "self.%s" % chain[-1]
+        if not chain and node.id.isupper():
+            # Module-level MUTABLE_GLOBAL mutated in place.
+            return node.id
+        if chain and node.id.isupper():
+            return node.id
+    return None
+
+
+class _MethodScan:
+    """Per-function mutation records, split by lock-guarded-ness."""
+
+    def __init__(self) -> None:
+        self.guarded: Set[str] = set()
+        self.unguarded: Dict[str, List[Tuple[str, ast.AST]]] = {}
+
+    def record(
+        self, name: str, node: ast.AST, under_lock: bool, func_name: str
+    ) -> None:
+        if under_lock:
+            self.guarded.add(name)
+        else:
+            self.unguarded.setdefault(name, []).append((func_name, node))
+
+
+def _scan_statements(
+    body: Iterable[ast.stmt],
+    under_lock: bool,
+    scan: _MethodScan,
+    func_name: str,
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, ast.With):
+            locked = under_lock or any(
+                is_lock_expr(item.context_expr) for item in stmt.items
+            )
+            _scan_statements(stmt.body, locked, scan, func_name)
+            continue
+        for name, node in _attr_write_targets(stmt):
+            scan.record(name, node, under_lock, func_name)
+        for child_body_attr in ("body", "orelse", "finalbody"):
+            child = getattr(stmt, child_body_attr, None)
+            if child and not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                _scan_statements(child, under_lock, scan, func_name)
+        for handler in getattr(stmt, "handlers", []) or []:
+            _scan_statements(handler.body, under_lock, scan, func_name)
+
+
+@register_rule
+class UnguardedSharedMutation(Rule):
+    """Lock-guarded state mutated outside any ``with <lock>:`` block.
+
+    An attribute (``self.X``) or UPPERCASE module global that is mutated
+    under a lock anywhere is *defined* to be lock-guarded; every other
+    mutation of it must also hold a lock.  ``__init__`` (construction
+    happens-before publication) and methods whose name ends in
+    ``_locked`` (the documented "caller holds the lock" convention) are
+    exempt.
+    """
+
+    code = "RC101"
+    name = "unguarded-shared-mutation"
+    description = (
+        "mutation of a lock-guarded attribute or module global outside "
+        "a `with <lock>:` block"
+    )
+
+    _EXEMPT_METHODS = ("__init__", "__new__", "__post_init__")
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        # Class scope: one scan per class; module scope: one for globals.
+        for scope_name, functions in _scopes(module.tree):
+            scan = _MethodScan()
+            for func in functions:
+                exempt = func.name in self._EXEMPT_METHODS or (
+                    func.name.endswith("_locked")
+                )
+                inner = _MethodScan()
+                _scan_statements(func.body, False, inner, func.name)
+                scan.guarded |= inner.guarded
+                if exempt:
+                    continue
+                for name, records in inner.unguarded.items():
+                    scan.unguarded.setdefault(name, []).extend(records)
+            for name in sorted(scan.guarded):
+                for func_name, node in scan.unguarded.get(name, []):
+                    yield self.finding(
+                        module,
+                        node,
+                        "%r is mutated under a lock elsewhere in %s but "
+                        "written here (in %s) without holding a lock; "
+                        "wrap in `with <lock>:`, rename the method with "
+                        "a `_locked` suffix, or suppress with a "
+                        "justification" % (name, scope_name, func_name),
+                    )
+
+
+def _scopes(tree: ast.Module):
+    """Yield ``(scope_name, [function defs])`` for module + each class."""
+    module_funcs = [
+        stmt
+        for stmt in tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    yield "module scope", module_funcs
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            methods = [
+                item
+                for item in stmt.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            yield "class %s" % stmt.name, methods
+
+
+@register_rule
+class DoubleCheckedFlagOrder(Rule):
+    """Double-checked locking with the flag raised before the init.
+
+    The PR 4 registry race: inside ``with <lock>:`` the guard flag was
+    assigned ``True`` *before* the protected initialization ran, so a
+    concurrent reader passing the unlocked fast-path check observed the
+    flag up with the state still missing.  The rule fires when, inside a
+    lock-guarded block whose flag is also tested by an ``if``, the
+    ``<flag> = True`` assignment is followed by further statements.
+    """
+
+    code = "RC102"
+    name = "double-checked-flag-order"
+    description = (
+        "inside `with <lock>:`, a guard flag is set True before the "
+        "initialization it protects has finished"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(is_lock_expr(item.context_expr) for item in node.items):
+                continue
+            tested = _flags_tested(node)
+            yield from self._check_body(module, node.body, tested)
+
+    def _check_body(
+        self,
+        module: ModuleContext,
+        body: List[ast.stmt],
+        tested: Set[str],
+    ) -> Iterable[Finding]:
+        for index, stmt in enumerate(body):
+            if isinstance(stmt, ast.If):
+                yield from self._check_body(module, stmt.body, tested)
+                yield from self._check_body(module, stmt.orelse, tested)
+                continue
+            flag = _true_flag_assignment(stmt)
+            if flag is None or flag not in tested:
+                continue
+            trailing = [
+                later
+                for later in body[index + 1:]
+                if not isinstance(later, (ast.Pass, ast.Return, ast.Break))
+            ]
+            if trailing:
+                yield self.finding(
+                    module,
+                    stmt,
+                    "guard flag %r is set True before the protected "
+                    "initialization finishes (%d statement(s) follow "
+                    "inside the locked block); move the flag assignment "
+                    "last so a fast-path reader never sees the flag up "
+                    "with the state missing" % (flag, len(trailing)),
+                )
+
+
+def _flags_tested(with_node: ast.With) -> Set[str]:
+    """Names tested by ``if``s inside the with body (the re-check) —
+    these are the candidates for double-checked guard flags."""
+    tested: Set[str] = set()
+    for node in ast.walk(with_node):
+        if isinstance(node, ast.If):
+            test = node.test
+            if isinstance(test, ast.UnaryOp) and isinstance(
+                test.op, ast.Not
+            ):
+                test = test.operand
+            name = _flag_name(test)
+            if name is not None:
+                tested.add(name)
+    return tested
+
+
+def _flag_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        root = terminal_name(node)
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return "self.%s" % node.attr
+        return root
+    return None
+
+
+def _true_flag_assignment(stmt: ast.stmt) -> Optional[str]:
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    if not (
+        isinstance(stmt.value, ast.Constant) and stmt.value.value is True
+    ):
+        return None
+    return _flag_name(stmt.targets[0])
+
+
+@register_rule
+class UnpicklableWorkerTarget(Rule):
+    """Worker targets that break under spawn or capture loop variables.
+
+    ``multiprocessing`` targets (``Process(target=...)``, ``Pool.map``/
+    ``apply`` functions) must be importable module-level callables: a
+    ``lambda`` or a function nested in the current function fails to
+    pickle under the spawn start method.  A ``threading.Thread`` lambda
+    target created inside a ``for`` loop captures the loop variable by
+    reference — every thread sees the final iteration's value.
+    """
+
+    code = "RC103"
+    name = "unpicklable-worker-target"
+    description = (
+        "multiprocessing target is a lambda/nested function, or a "
+        "Thread lambda target captures a loop variable"
+    )
+
+    _PROCESS_CALLS = frozenset({"Process"})
+    _POOL_METHODS = frozenset(
+        {"map", "imap", "imap_unordered", "apply", "apply_async",
+         "map_async", "starmap", "starmap_async"}
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        nested_defs = _nested_function_names(module.tree)
+        for node, in_loop in _walk_with_loops(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = terminal_name(node.func)
+            if callee in self._PROCESS_CALLS:
+                target = _keyword(node, "target")
+                yield from self._check_target(
+                    module, target, nested_defs, process=True
+                )
+            elif callee == "Thread":
+                target = _keyword(node, "target")
+                if isinstance(target, ast.Lambda) and in_loop:
+                    yield self.finding(
+                        module,
+                        target,
+                        "Thread lambda target created inside a loop "
+                        "captures the loop variable by reference; bind "
+                        "it via args= or a default argument",
+                    )
+            elif callee in self._POOL_METHODS and node.args:
+                func_arg = node.args[0]
+                receiver = (
+                    terminal_name(node.func.value)
+                    if isinstance(node.func, ast.Attribute)
+                    else None
+                )
+                if receiver and "pool" in receiver.lower():
+                    yield from self._check_target(
+                        module, func_arg, nested_defs, process=True
+                    )
+
+    def _check_target(
+        self,
+        module: ModuleContext,
+        target: Optional[ast.AST],
+        nested_defs: Set[str],
+        process: bool,
+    ) -> Iterable[Finding]:
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                module,
+                target,
+                "process target is a lambda, which cannot be pickled "
+                "under the spawn start method; use a module-level "
+                "function",
+            )
+        elif isinstance(target, ast.Name) and target.id in nested_defs:
+            yield self.finding(
+                module,
+                target,
+                "process target %r is a nested function, which cannot "
+                "be pickled under the spawn start method; hoist it to "
+                "module level" % target.id,
+            )
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    nested: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if child is node:
+                    continue
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(child.name)
+    return nested
+
+
+def _walk_with_loops(tree: ast.Module):
+    """``ast.walk`` that also reports whether each node is inside a loop."""
+
+    def visit(node: ast.AST, in_loop: bool):
+        yield node, in_loop
+        for child in ast.iter_child_nodes(node):
+            yield from visit(
+                child, in_loop or isinstance(node, (ast.For, ast.While))
+            )
+
+    yield from visit(tree, False)

@@ -1,0 +1,387 @@
+"""Engine-contract rules: the pluggable-engine layer's structural
+invariants.
+
+Every decision procedure lives behind the ``Engine`` protocol and the
+registry; these rules check the *structure* of that contract across the
+whole package (in the spirit of Lahiri/Ball/Cook's symbolic decision
+procedure checking: verify the shape, don't sample the behaviour):
+every concrete engine is registered, ``Status`` dispatch tables are
+exhaustive, telemetry fields declared on the stats dataclasses are
+actually threaded somewhere, and worker loops never swallow exceptions
+invisibly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import (
+    Finding,
+    ModuleContext,
+    Project,
+    ProjectRule,
+    Rule,
+    register_rule,
+    terminal_name,
+)
+
+__all__ = [
+    "EngineRegisteredOnce",
+    "StatusDispatchExhaustive",
+    "StatsFieldThreaded",
+    "SilentBroadExcept",
+]
+
+#: Engine subclasses that are themselves abstract bases, never registered.
+_ABSTRACT_ENGINE_NAMES = frozenset({"Engine"})
+
+
+def _class_defs(project: Project) -> Iterable[Tuple[ModuleContext, ast.ClassDef]]:
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield module, node
+
+
+def _is_engine_subclass(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if terminal_name(base) == "Engine":
+            return True
+    return False
+
+
+def _has_abstract_method(node: ast.ClassDef) -> bool:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in item.decorator_list:
+                if terminal_name(decorator) in (
+                    "abstractmethod",
+                    "abstractproperty",
+                ):
+                    return True
+    return False
+
+
+@register_rule
+class EngineRegisteredOnce(ProjectRule):
+    """Every concrete ``Engine`` subclass reaches the registry.
+
+    A concrete engine class (direct subclass of ``Engine`` without
+    abstract methods) must be instantiated in at least one registration
+    path — a ``register(...)`` call or an entry in the
+    ``BUILTIN_ENGINES`` roster — and no registration expression may be
+    textually duplicated (the same class with the same constructor
+    arguments registered twice raises at import time at best, or
+    silently shadows at worst).
+    """
+
+    code = "RE301"
+    name = "engine-registered-once"
+    description = (
+        "a concrete Engine subclass is never registered, or the same "
+        "registration is duplicated"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        engines: Dict[str, Tuple[ModuleContext, ast.ClassDef]] = {}
+        for module, node in _class_defs(project):
+            if (
+                _is_engine_subclass(node)
+                and node.name not in _ABSTRACT_ENGINE_NAMES
+                and not _has_abstract_method(node)
+            ):
+                engines[node.name] = (module, node)
+        if not engines:
+            return
+
+        registrations: Dict[str, List[Tuple[ModuleContext, ast.AST, str]]] = {
+            name: [] for name in engines
+        }
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                for class_name, expr in _registration_exprs(node):
+                    if class_name in registrations:
+                        registrations[class_name].append(
+                            (module, expr, ast.dump(expr))
+                        )
+
+        for class_name, (module, node) in sorted(engines.items()):
+            sites = registrations[class_name]
+            if not sites:
+                yield self.finding(
+                    module,
+                    node,
+                    "Engine subclass %r is never registered (no "
+                    "register() call, no BUILTIN_ENGINES entry); it is "
+                    "unreachable through the registry contract"
+                    % class_name,
+                )
+                continue
+            seen: Dict[str, Tuple[ModuleContext, ast.AST]] = {}
+            for site_module, expr, dump in sites:
+                if dump in seen:
+                    yield self.finding(
+                        site_module,
+                        expr,
+                        "duplicate registration of engine %r with "
+                        "identical construction; the second register() "
+                        "raises (or silently replaces)" % class_name,
+                    )
+                else:
+                    seen[dump] = (site_module, expr)
+
+
+def _registration_exprs(node: ast.AST) -> Iterable[Tuple[str, ast.AST]]:
+    """Yield ``(engine class name, expr)`` for registration sites."""
+    # register(SomeEngine(...)) / registry.register(SomeEngine(...))
+    if isinstance(node, ast.Call) and terminal_name(node.func) == "register":
+        for arg in node.args:
+            name = _constructed_class(arg)
+            if name is not None:
+                yield name, arg
+    # BUILTIN_ENGINES = (lambda: EagerEngine("sd"), LazyEngine, ...)
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "BUILTIN_ENGINES"
+                and isinstance(node.value, (ast.Tuple, ast.List))
+            ):
+                for element in node.value.elts:
+                    name = _roster_entry_class(element)
+                    if name is not None:
+                        yield name, element
+
+
+def _constructed_class(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        if name is not None and name[:1].isupper():
+            return name
+    return None
+
+
+def _roster_entry_class(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Lambda):
+        return _constructed_class(node.body)
+    name = terminal_name(node)
+    if name is not None and name[:1].isupper():
+        return name
+    return None
+
+
+@register_rule
+class StatusDispatchExhaustive(ProjectRule):
+    """``Status``-keyed dispatch tables must cover every member.
+
+    A dict literal with two or more ``Status.X`` keys is a dispatch
+    table; unless it is consumed via ``.get(key, default)`` (an
+    explicitly partial map with a fallback), it must name every member
+    of the ``Status`` enum — a new member added to ``core/status.py``
+    then fails the lint instead of raising ``KeyError`` at 3 a.m.
+    """
+
+    code = "RE302"
+    name = "status-dispatch-exhaustive"
+    description = (
+        "a dict keyed by Status members omits some members and has no "
+        ".get() default"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        members = _status_members(project)
+        if not members:
+            return
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Dict):
+                    continue
+                keyed = _status_keys(node)
+                if len(keyed) < 2:
+                    continue
+                if _consumed_with_default(module.tree, node):
+                    continue
+                missing = sorted(members - keyed)
+                if missing:
+                    yield self.finding(
+                        module,
+                        node,
+                        "Status dispatch table handles {%s} but not "
+                        "{%s}; add the missing members or consume the "
+                        "dict via .get(key, default)"
+                        % (", ".join(sorted(keyed)), ", ".join(missing)),
+                    )
+
+
+def _status_members(project: Project) -> Set[str]:
+    status_module = project.module_named("core/status.py")
+    members: Set[str] = set()
+    if status_module is None:
+        return members
+    for node in ast.walk(status_module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Status":
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    members.add(stmt.targets[0].id)
+    return members
+
+
+def _status_keys(node: ast.Dict) -> Set[str]:
+    keyed: Set[str] = set()
+    for key in node.keys:
+        if (
+            isinstance(key, ast.Attribute)
+            and isinstance(key.value, ast.Name)
+            and key.value.id == "Status"
+        ):
+            keyed.add(key.attr)
+    return keyed
+
+
+def _consumed_with_default(tree: ast.Module, dict_node: ast.Dict) -> bool:
+    """``{...}.get(key, default)`` directly on this literal."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.func.value is dict_node
+            and len(node.args) == 2
+        ):
+            return True
+    return False
+
+
+@register_rule
+class StatsFieldThreaded(ProjectRule):
+    """Every declared telemetry field is read or written somewhere.
+
+    Fields on ``StageRecord`` / ``DecisionStats`` / ``CacheStats`` are
+    the uniform telemetry contract; a field no stage implementation
+    ever touches is dead weight that readers of ``--stats`` output will
+    chase forever.  Each declared field must be referenced (attribute
+    access or keyword argument) at least once outside
+    ``core/result.py``.
+    """
+
+    code = "RE303"
+    name = "stats-field-threaded"
+    description = (
+        "a StageRecord/DecisionStats/CacheStats field is never "
+        "referenced outside its declaration"
+    )
+
+    _CLASSES = ("StageRecord", "DecisionStats", "CacheStats")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        result_module = project.module_named("core/result.py")
+        if result_module is None:
+            return
+        declared: Dict[str, ast.AST] = {}
+        for node in ast.walk(result_module.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name in self._CLASSES
+            ):
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        declared.setdefault(stmt.target.id, stmt)
+
+        referenced: Set[str] = set()
+        for module in project.modules:
+            if module is result_module:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Attribute):
+                    referenced.add(node.attr)
+                elif isinstance(node, ast.Call):
+                    for keyword in node.keywords:
+                        if keyword.arg is not None:
+                            referenced.add(keyword.arg)
+
+        for name, node in sorted(declared.items()):
+            if name not in referenced:
+                yield self.finding(
+                    result_module,
+                    node,
+                    "stats field %r is declared but never referenced by "
+                    "any stage implementation or reporter; thread it "
+                    "through or remove it" % name,
+                )
+
+
+@register_rule
+class SilentBroadExcept(Rule):
+    """Bare ``except:`` anywhere; broad catches that swallow silently.
+
+    A worker loop that catches ``Exception`` must *account* for the
+    failure: bind the exception and use it (build an error response,
+    log, attach to an outcome) or re-raise.  A handler that catches
+    ``Exception``/``BaseException`` and does nothing hides crashed
+    requests, poisoned cache writes, and dead portfolio members.
+    """
+
+    code = "RE304"
+    name = "silent-broad-except"
+    description = (
+        "bare except:, or a broad except whose handler neither uses "
+        "the exception nor re-raises"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except: catches SystemExit/KeyboardInterrupt "
+                    "too; catch a concrete exception type (or at most "
+                    "Exception, bound and reported)",
+                )
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handler_accounts(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "broad except %s swallows the failure silently; bind "
+                "the exception and report it, re-raise, or narrow the "
+                "type" % (self._type_text(node.type)),
+            )
+
+    def _is_broad(self, type_node: ast.AST) -> bool:
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(elt) for elt in type_node.elts)
+        return terminal_name(type_node) in self._BROAD
+
+    @staticmethod
+    def _type_text(type_node: ast.AST) -> str:
+        return ast.unparse(type_node)
+
+    @staticmethod
+    def _handler_accounts(node: ast.ExceptHandler) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Raise):
+                return True
+            if (
+                node.name is not None
+                and isinstance(child, ast.Name)
+                and child.id == node.name
+            ):
+                return True
+        return False

@@ -247,10 +247,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     analyze = sub.add_parser(
-        "analyze", help="print the separation analysis of a formula"
+        "analyze",
+        help="separation analysis of a formula file, or the repo's "
+        "static-analysis lint suite when given directories / .py files "
+        "(see docs/static-analysis.md)",
     )
-    analyze.add_argument("file", help="formula file, or - for stdin")
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="a formula file (or -) for separation analysis; "
+        "directories or .py files for the lint suite",
+    )
     analyze.add_argument("--sep-thold", type=int, default=700)
+    analyze.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="lint report format (lint mode only)",
+    )
+    analyze.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule subset, e.g. RC101,RE304 "
+        "(lint mode only)",
+    )
+    analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the lint rule catalog and exit",
+    )
 
     sat = sub.add_parser("sat", help="solve a DIMACS CNF file")
     sat.add_argument("file", help="DIMACS file, or - for stdin")
@@ -570,11 +596,57 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    """Dispatch: lint mode for directories/.py files, else separation
+    analysis of a formula file (the historical behaviour)."""
+    import os
+
+    if args.list_rules:
+        from .analysis import all_rules, render_rule_catalog
+
+        print(render_rule_catalog(all_rules()))
+        return 0
+    if not args.paths:
+        print(
+            "analyze: provide a formula file (or -) or directories/.py "
+            "files to lint",
+            file=sys.stderr,
+        )
+        return 2
+    lint_mode = all(
+        path.endswith(".py") or os.path.isdir(path) for path in args.paths
+    )
+    if lint_mode:
+        return _cmd_analyze_lint(args)
+    return _cmd_analyze_formula(args)
+
+
+def _cmd_analyze_lint(args) -> int:
+    from .analysis import analyze_paths, iter_python_files, rules_by_code
+    from .analysis.reporters import write_report
+
+    rules = None
+    if args.rules:
+        try:
+            rules = rules_by_code(args.rules.split(","))
+        except KeyError as exc:
+            print("analyze: %s" % exc.args[0], file=sys.stderr)
+            return 2
+    try:
+        checked = len(list(iter_python_files(args.paths)))
+        findings = analyze_paths(args.paths, rules)
+    except (OSError, SyntaxError, ValueError) as exc:
+        print("analyze: %s" % exc, file=sys.stderr)
+        return 2
+    write_report(sys.stdout, findings, checked, fmt=args.format)
+    return 1 if findings else 0
+
+
+def _cmd_analyze_formula(args) -> int:
     from .encodings.hybrid import encode_hybrid
     from .separation.analysis import analyze_separation
     from .transform.func_elim import eliminate_applications
 
-    text = _read_text(args.file)
+    text = _read_text(args.paths[0])
     formula = parse_formula(text)
     f_sep, info = eliminate_applications(formula)
     analysis = analyze_separation(f_sep)

@@ -20,7 +20,7 @@ plus the model-decoding helpers shared by the lazy and SVC baselines.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..encodings.bitvector import bv_value
 from ..encodings.hybrid import DEFAULT_SEP_THOLD, Encoding
@@ -171,7 +171,12 @@ def decode_countermodel(
     return Interpretation(vars=values, bools=bools)
 
 
-def _decode_equality_class(vclass, registry, boolvar_model, values) -> None:
+def _decode_equality_class(
+    vclass: Any,
+    registry: Any,
+    boolvar_model: Dict[BoolVar, bool],
+    values: Dict[str, int],
+) -> None:
     """Assign values to an equality-only class from its eq-var assignment.
 
     True equality variables merge constants; each resulting group gets a

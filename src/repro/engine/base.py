@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..logic.terms import Formula
 from .contract import SolveRequest, SolveOutcome
@@ -70,14 +70,18 @@ class Engine(abc.ABC):
         self,
         formula: Formula,
         time_limit: Optional[float] = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> SolveOutcome:
         """Convenience wrapper: build the request inline."""
         return self.solve(
             SolveRequest(formula=formula, time_limit=time_limit, **kwargs)
         )
 
-    def _timed(self, request: SolveRequest, runner) -> SolveOutcome:
+    def _timed(
+        self,
+        request: SolveRequest,
+        runner: Callable[[SolveRequest], SolveOutcome],
+    ) -> SolveOutcome:
         """Run ``runner(request)`` and stamp the outcome's wall time."""
         start = time.perf_counter()
         outcome = runner(request)

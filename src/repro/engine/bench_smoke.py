@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import json
 import platform
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..benchgen.suite import benchmark_by_name
+from ..logic.terms import Formula
+from .base import Engine
 from .contract import SolveRequest
 
 __all__ = ["SMOKE_BENCHMARKS", "run_bench_smoke", "format_table"]
@@ -45,7 +47,9 @@ SMOKE_BENCHMARKS = (
 DEFAULT_TIMEOUT = 5.0
 
 
-def _solve(engine, formula, timeout: float, preprocess: bool) -> Dict:
+def _solve(
+    engine: Engine, formula: Formula, timeout: float, preprocess: bool
+) -> Dict[str, Any]:
     outcome = engine.solve(
         SolveRequest(
             formula=formula,

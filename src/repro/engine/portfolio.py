@@ -97,7 +97,7 @@ def _request_from_payload(payload: Dict[str, Any]) -> SolveRequest:
     )
 
 
-def _member_worker(name: str, payload: Dict[str, Any], out_queue) -> None:
+def _member_worker(name: str, payload: Dict[str, Any], out_queue: Any) -> None:
     """Run one member engine in a child process; always reports back."""
     from . import registry
 
@@ -112,7 +112,7 @@ def _member_worker(name: str, payload: Dict[str, Any], out_queue) -> None:
     out_queue.put((name, outcome))
 
 
-def _mp_context():
+def _mp_context() -> multiprocessing.context.BaseContext:
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
         "fork" if "fork" in methods else methods[0]
@@ -366,8 +366,8 @@ def solve_batch(
     engines: Optional[Sequence[str]] = None,
     jobs: Optional[int] = None,
     dedupe: bool = True,
-    cache=None,
-    **request_kwargs,
+    cache: Optional[Any] = None,
+    **request_kwargs: Any,
 ) -> List[SolveOutcome]:
     """Decide many formulas with a pool of portfolio workers.
 
@@ -486,7 +486,9 @@ def solve_batch(
             stats = DecisionStats(method=canon.stats.method)
             stats.cache = CacheStats(dedupes=1)
             if cache is not None:
-                cache.stats.dedupes += 1
+                # note_dedupes takes the cache's lock; mutating
+                # cache.stats directly here would race the serve workers.
+                cache.note_dedupes()
             results[idx] = SolveOutcome(
                 engine=canon.engine,
                 status=canon.status,

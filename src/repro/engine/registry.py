@@ -32,21 +32,26 @@ __all__ = [
 
 _REGISTRY: Dict[str, Engine] = {}
 _BUILTINS_LOADED = False
-_BUILTINS_LOCK = threading.Lock()
+#: One reentrant lock guards both the loaded flag and every registry
+#: mutation: ``register`` is called from ``_ensure_builtins`` while the
+#: lock is already held, and from user code (tests, plugins) while serve
+#: worker threads may be reading concurrently.
+_REGISTRY_LOCK = threading.RLock()
 
 
 def _ensure_builtins() -> None:
     """Populate the registry on first use (deferred to avoid cycles).
 
-    Thread-safe: the loaded flag is only raised *after* every builtin is
-    registered, and registration runs under a lock — concurrent first
-    callers (the serve worker threads) must never observe a partial
-    registry.
+    Thread-safe double-checked locking: the loaded flag is only raised
+    *after* every builtin is registered, and registration runs under the
+    lock — concurrent first callers (the serve worker threads) must
+    never observe a partial registry.  ``RC102`` (the static-analysis
+    suite) checks the flag-last ordering.
     """
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
-    with _BUILTINS_LOCK:
+    with _REGISTRY_LOCK:
         if _BUILTINS_LOADED:
             return
         from . import engines as _engines
@@ -64,24 +69,27 @@ def register(engine: Engine, replace: bool = False) -> Engine:
     """Add ``engine`` under ``engine.name``; appended to priority order."""
     if not engine.name:
         raise ValueError("engine has no name: %r" % (engine,))
-    if engine.name in _REGISTRY and not replace:
-        raise ValueError(
-            "engine %r is already registered (pass replace=True to swap)"
-            % engine.name
-        )
-    _REGISTRY[engine.name] = engine
+    with _REGISTRY_LOCK:
+        if engine.name in _REGISTRY and not replace:
+            raise ValueError(
+                "engine %r is already registered (pass replace=True to "
+                "swap)" % engine.name
+            )
+        _REGISTRY[engine.name] = engine
     return engine
 
 
 def unregister(name: str) -> None:
-    _REGISTRY.pop(name, None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
 
 
 def get(name: str) -> Engine:
     """The engine registered under ``name`` (KeyError lists known names)."""
     _ensure_builtins()
     try:
-        return _REGISTRY[name]
+        with _REGISTRY_LOCK:
+            return _REGISTRY[name]
     except KeyError:
         raise KeyError(
             "unknown engine %r; registered: %s"
@@ -92,18 +100,21 @@ def get(name: str) -> Engine:
 def list_engines() -> List[str]:
     """Registered engine names in priority (registration) order."""
     _ensure_builtins()
-    return list(_REGISTRY)
+    # Snapshot under the lock: list(dict) can raise RuntimeError if a
+    # concurrent register() resizes the dict mid-iteration.
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY)
 
 
 def engines() -> List[Engine]:
     _ensure_builtins()
-    return list(_REGISTRY.values())
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY.values())
 
 
 def priority(name: str) -> int:
     """Rank of ``name`` in the tie-break order (lower wins)."""
-    _ensure_builtins()
-    names = list(_REGISTRY)
+    names = list_engines()
     try:
         return names.index(name)
     except ValueError:

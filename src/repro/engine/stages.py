@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, List
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.decision import decode_countermodel, lift_countermodel
 from ..core.result import DecisionStats, StageRecord
@@ -54,7 +54,7 @@ class StageClock:
         self.records: List[StageRecord] = []
 
     @contextmanager
-    def stage(self, name: str):
+    def stage(self, name: str) -> Iterator[StageRecord]:
         record = StageRecord(name=name)
         self.records.append(record)
         start = time.perf_counter()
@@ -67,7 +67,7 @@ class StageClock:
         return sum(r.seconds for r in self.records if r.name in names)
 
 
-def boolvar_model(cnf, model: Dict[int, bool]) -> Dict[BoolVar, bool]:
+def boolvar_model(cnf: Any, model: Dict[int, bool]) -> Dict[BoolVar, bool]:
     """Restrict a DIMACS model to the named Boolean variables."""
     out: Dict[BoolVar, bool] = {}
     for var, name in cnf.names.items():
@@ -104,7 +104,11 @@ def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
     stats = DecisionStats(method=method.upper(), stages=clock.records)
     start = time.perf_counter()
 
-    def outcome(status, counterexample=None, detail=""):
+    def outcome(
+        status: Status,
+        counterexample: Optional[Any] = None,
+        detail: str = "",
+    ) -> SolveOutcome:
         stats.encode_seconds = clock.seconds(
             "func-elim", "encode", "cnf", "preprocess"
         )

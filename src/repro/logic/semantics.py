@@ -106,7 +106,11 @@ def _evaluate_node(root: Node, interp: Interpretation) -> Union[int, bool]:
     return memo[root]
 
 
-def _eval_one(node, memo, interp):
+def _eval_one(
+    node: Node,
+    memo: Dict[Node, Union[int, bool]],
+    interp: Interpretation,
+) -> Union[int, bool]:
     if isinstance(node, Var):
         return interp.var(node.name)
     if isinstance(node, Offset):

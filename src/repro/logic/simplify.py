@@ -19,7 +19,7 @@ idempotent; :func:`simplify` runs bottom-up over the DAG once.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from .terms import (
     And,
@@ -50,14 +50,14 @@ def _negation_of(node: Formula) -> Formula:
     return node.arg if isinstance(node, Not) else Not(node)
 
 
-def _has_complementary_pair(args) -> bool:
+def _has_complementary_pair(args: Sequence[Formula]) -> bool:
     seen: Set[Formula] = set(args)
     return any(
         isinstance(a, Not) and a.arg in seen for a in args
     )
 
 
-def _absorb_and(args) -> list:
+def _absorb_and(args: Sequence[Formula]) -> List[Formula]:
     """Drop conjuncts of the form Or(..) that contain another conjunct."""
     present = set(args)
     out = []
@@ -69,7 +69,7 @@ def _absorb_and(args) -> list:
     return out
 
 
-def _absorb_or(args) -> list:
+def _absorb_or(args: Sequence[Formula]) -> List[Formula]:
     """Drop disjuncts of the form And(..) that contain another disjunct."""
     present = set(args)
     out = []

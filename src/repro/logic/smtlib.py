@@ -22,10 +22,11 @@ quantifiers) raises :class:`SmtLibError` with a location message.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .terms import (
     And,
+    Node,
     BoolVar,
     Eq,
     FALSE,
@@ -133,7 +134,11 @@ def _read_all(tokens: List[str]) -> List[SExpr]:
     return out
 
 
-def _read_all_one(tokens, pos, read):
+def _read_all_one(
+    tokens: List[str],
+    pos: int,
+    read: Callable[[int], Tuple[SExpr, int]],
+) -> Tuple[SExpr, int]:
     return read(pos)
 
 
@@ -173,7 +178,7 @@ class SmtScript:
     def conjunction(self) -> Formula:
         return And(*self.assertions)
 
-    def check_sat(self, method: str = "hybrid", **kw) -> str:
+    def check_sat(self, method: str = "hybrid", **kw: Any) -> str:
         """SMT-LIB semantics: satisfiability of the asserted conjunction.
 
         Returns ``"sat"``, ``"unsat"`` or ``"unknown"``.
@@ -236,7 +241,7 @@ class _Parser:
             raise SmtLibError("expected a Bool term, got an Int: %r" % (sx,))
         return value
 
-    def value(self, sx: SExpr, env: Dict[str, object]):
+    def value(self, sx: SExpr, env: Dict[str, object]) -> Any:
         script = self.script
         lit = _int_literal(sx)
         if lit is not None:
@@ -342,7 +347,7 @@ class _Parser:
                 % (sx[0], n, len(sx) - 1)
             )
 
-    def _chain_equal(self, values) -> Formula:
+    def _chain_equal(self, values: Sequence[Any]) -> Formula:
         if len(values) < 2:
             raise SmtLibError("= needs at least two arguments")
         parts: List[Formula] = []
@@ -364,7 +369,7 @@ class _Parser:
             return Lt(rhs, lhs)
         return b.ge(lhs, rhs)
 
-    def _sum(self, args: List[SExpr], env) -> Term:
+    def _sum(self, args: List[SExpr], env: Dict[str, object]) -> Term:
         """``(+ ...)`` where at most one operand is a non-literal term."""
         total = 0
         base: Optional[Term] = None
@@ -384,7 +389,7 @@ class _Parser:
             return Offset(self.zero(), total) if total else self.zero()
         return Offset(base, total)
 
-    def _minus(self, args: List[SExpr], env) -> Term:
+    def _minus(self, args: List[SExpr], env: Dict[str, object]) -> Term:
         if len(args) == 1:
             lit = _int_literal(args[0])
             if lit is not None:
@@ -402,7 +407,7 @@ class _Parser:
             "a comparison"
         )
 
-    def _difference_operand(self, sx: SExpr, env) -> Term:
+    def _difference_operand(self, sx: SExpr, env: Dict[str, object]) -> Term:
         """Operand of a comparison, with ``(- a b)`` difference support.
 
         ``(op (- a b) k)`` is rewritten to ``(op a (+ b k))`` — sound for
@@ -476,7 +481,7 @@ def parse_smtlib(text: str) -> SmtScript:
     return parser.script
 
 
-def check_sat_smtlib(text: str, method: str = "hybrid", **kw) -> str:
+def check_sat_smtlib(text: str, method: str = "hybrid", **kw: Any) -> str:
     """One-shot: parse a script and answer its ``check-sat``."""
     return parse_smtlib(text).check_sat(method=method, **kw)
 
@@ -530,7 +535,7 @@ def _smt_symbol(name: str) -> str:
     return "|%s|" % name
 
 
-def to_smtlib(root) -> str:
+def to_smtlib(root: Node) -> str:
     """Render a term or formula as an SMT-LIB 2 expression."""
     from .traversal import postorder
 
@@ -540,7 +545,7 @@ def to_smtlib(root) -> str:
     return memo[root]
 
 
-def _render_smt(node, memo) -> str:
+def _render_smt(node: Node, memo: Dict[object, str]) -> str:
     if node is TRUE:
         return "true"
     if node is FALSE:

@@ -25,12 +25,16 @@ Design notes
 * Node objects are immutable; ``==`` is structural but, thanks to interning,
   hits the identity fast path.  Every node carries a unique increasing
   ``uid`` usable for deterministic ordering.
+* Constructors simplify: ``Ite(TRUE, a, b)`` returns ``a``, ``Eq(t, t)``
+  returns ``TRUE``, and so on.  A collapsing ``__new__`` is therefore
+  declared to return the *sort* (:class:`Term` / :class:`Formula`), not the
+  class itself.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Tuple
+from typing import Any, Dict, Iterable, List, Set, Tuple, Type, TypeVar, Union
 
 __all__ = [
     "Node",
@@ -56,8 +60,10 @@ __all__ = [
     "intern_cache_size",
 ]
 
-_INTERN: dict = {}
+_INTERN: Dict[Tuple[Any, ...], "Node"] = {}
 _UIDS = itertools.count(1)
+
+_N = TypeVar("_N", bound="Node")
 
 
 def clear_intern_cache() -> None:
@@ -75,11 +81,21 @@ class Node:
 
     __slots__ = ("uid", "_hash", "_key")
 
-    def __new__(cls, *args):
+    uid: int
+    _hash: int
+    _key: Tuple[Any, ...]
+
+    def __new__(cls: Type[_N], *args: Any, **kwargs: Any) -> _N:
+        # Concurrency audit (PR 5): the interning table is deliberately
+        # unlocked.  Under the GIL each dict op is atomic; two threads
+        # racing the same key at worst build duplicate nodes and the last
+        # write wins — equality stays structural and the canonical layer
+        # never trusts uid stability, so the race is benign.  Taking a
+        # lock here would serialize every node construction.
         key = (cls,) + cls._intern_key(*args)
-        node = _INTERN.get(key)
-        if node is not None:
-            return node
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
         node = object.__new__(cls)
         node._key = key
         node._hash = hash(key)
@@ -89,24 +105,26 @@ class Node:
         return node
 
     # Subclasses override these two hooks instead of __init__ so that the
-    # interning logic stays in one place.
+    # interning logic stays in one place.  The blanket ``*args``/``**kwargs``
+    # signatures mark them as per-class protocols whose real arity is fixed
+    # by each subclass.
     @staticmethod
-    def _intern_key(*args) -> Tuple:
+    def _intern_key(*args: Any, **kwargs: Any) -> Tuple[Any, ...]:
         raise NotImplementedError
 
     @staticmethod
-    def _init_fields(node, *args) -> None:
+    def _init_fields(*args: Any, **kwargs: Any) -> None:
         raise NotImplementedError
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return self is other or (
             isinstance(other, Node) and self._key == other._key
         )
 
-    def __ne__(self, other):
+    def __ne__(self, other: object) -> bool:
         return not self.__eq__(other)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return self._hash
 
     def children(self) -> Tuple["Node", ...]:
@@ -119,7 +137,7 @@ class Node:
     def is_formula(self) -> bool:
         return isinstance(self, Formula)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         from .printer import to_sexpr
 
         return to_sexpr(self)
@@ -147,12 +165,14 @@ class Var(Term):
 
     __slots__ = ("name",)
 
+    name: str
+
     @staticmethod
-    def _intern_key(name):
+    def _intern_key(name: str) -> Tuple[Any, ...]:
         return (name,)
 
     @staticmethod
-    def _init_fields(node, name):
+    def _init_fields(node: "Var", name: str) -> None:
         node.name = name
 
 
@@ -166,7 +186,10 @@ class Offset(Term):
 
     __slots__ = ("base", "k")
 
-    def __new__(cls, base, k):
+    base: Term
+    k: int
+
+    def __new__(cls, base: Term, k: int) -> "Term":  # type: ignore  # collapses
         if not isinstance(base, Term):
             raise TypeError("Offset base must be a Term, got %r" % (base,))
         if isinstance(base, Offset):
@@ -177,15 +200,15 @@ class Offset(Term):
         return Node.__new__(cls, base, k)
 
     @staticmethod
-    def _intern_key(base, k):
+    def _intern_key(base: Term, k: int) -> Tuple[Any, ...]:
         return (base, k)
 
     @staticmethod
-    def _init_fields(node, base, k):
+    def _init_fields(node: "Offset", base: Term, k: int) -> None:
         node.base = base
         node.k = k
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return (self.base,)
 
 
@@ -194,7 +217,10 @@ class FuncApp(Term):
 
     __slots__ = ("symbol", "args")
 
-    def __new__(cls, symbol, args):
+    symbol: str
+    args: Tuple[Term, ...]
+
+    def __new__(cls, symbol: str, args: Iterable[Term]) -> "FuncApp":
         args = tuple(args)
         if not args:
             raise ValueError(
@@ -207,15 +233,15 @@ class FuncApp(Term):
         return Node.__new__(cls, symbol, args)
 
     @staticmethod
-    def _intern_key(symbol, args):
+    def _intern_key(symbol: str, args: Tuple[Term, ...]) -> Tuple[Any, ...]:
         return (symbol, args)
 
     @staticmethod
-    def _init_fields(node, symbol, args):
+    def _init_fields(node: "FuncApp", symbol: str, args: Tuple[Term, ...]) -> None:
         node.symbol = symbol
         node.args = args
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return self.args
 
 
@@ -224,7 +250,11 @@ class Ite(Term):
 
     __slots__ = ("cond", "then", "els")
 
-    def __new__(cls, cond, then, els):
+    cond: Formula
+    then: Term
+    els: Term
+
+    def __new__(cls, cond: Formula, then: Term, els: Term) -> "Term":  # type: ignore  # collapses
         if not isinstance(cond, Formula):
             raise TypeError("Ite condition must be a Formula")
         if not (isinstance(then, Term) and isinstance(els, Term)):
@@ -238,20 +268,20 @@ class Ite(Term):
         return Node.__new__(cls, cond, then, els)
 
     @staticmethod
-    def _intern_key(cond, then, els):
+    def _intern_key(cond: Formula, then: Term, els: Term) -> Tuple[Any, ...]:
         return (cond, then, els)
 
     @staticmethod
-    def _init_fields(node, cond, then, els):
+    def _init_fields(node: "Ite", cond: Formula, then: Term, els: Term) -> None:
         node.cond = cond
         node.then = then
         node.els = els
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return (self.cond, self.then, self.els)
 
 
-def _strip_offset(term: Term):
+def _strip_offset(term: Term) -> Tuple[Term, int]:
     """Split ``t`` into ``(base, k)`` such that ``t == base + k``."""
     if isinstance(term, Offset):
         return term.base, term.k
@@ -268,12 +298,14 @@ class BoolConst(Formula):
 
     __slots__ = ("value",)
 
+    value: bool
+
     @staticmethod
-    def _intern_key(value):
+    def _intern_key(value: bool) -> Tuple[Any, ...]:
         return (bool(value),)
 
     @staticmethod
-    def _init_fields(node, value):
+    def _init_fields(node: "BoolConst", value: bool) -> None:
         node.value = bool(value)
 
 
@@ -286,12 +318,14 @@ class BoolVar(Formula):
 
     __slots__ = ("name",)
 
+    name: str
+
     @staticmethod
-    def _intern_key(name):
+    def _intern_key(name: str) -> Tuple[Any, ...]:
         return (name,)
 
     @staticmethod
-    def _init_fields(node, name):
+    def _init_fields(node: "BoolVar", name: str) -> None:
         node.name = name
 
 
@@ -300,7 +334,10 @@ class PredApp(Formula):
 
     __slots__ = ("symbol", "args")
 
-    def __new__(cls, symbol, args):
+    symbol: str
+    args: Tuple[Term, ...]
+
+    def __new__(cls, symbol: str, args: Iterable[Term]) -> "PredApp":
         args = tuple(args)
         if not args:
             raise ValueError(
@@ -312,22 +349,24 @@ class PredApp(Formula):
         return Node.__new__(cls, symbol, args)
 
     @staticmethod
-    def _intern_key(symbol, args):
+    def _intern_key(symbol: str, args: Tuple[Term, ...]) -> Tuple[Any, ...]:
         return (symbol, args)
 
     @staticmethod
-    def _init_fields(node, symbol, args):
+    def _init_fields(node: "PredApp", symbol: str, args: Tuple[Term, ...]) -> None:
         node.symbol = symbol
         node.args = args
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return self.args
 
 
 class Not(Formula):
     __slots__ = ("arg",)
 
-    def __new__(cls, arg):
+    arg: Formula
+
+    def __new__(cls, arg: Formula) -> "Formula":  # type: ignore  # collapses
         if not isinstance(arg, Formula):
             raise TypeError("Not argument must be a Formula")
         if arg is TRUE:
@@ -339,19 +378,19 @@ class Not(Formula):
         return Node.__new__(cls, arg)
 
     @staticmethod
-    def _intern_key(arg):
+    def _intern_key(arg: Formula) -> Tuple[Any, ...]:
         return (arg,)
 
     @staticmethod
-    def _init_fields(node, arg):
+    def _init_fields(node: "Not", arg: Formula) -> None:
         node.arg = arg
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return (self.arg,)
 
 
-def _flatten(cls, args: Iterable[Formula]):
-    flat = []
+def _flatten(cls: Type[Union["And", "Or"]], args: Iterable[Formula]) -> List[Formula]:
+    flat: List[Formula] = []
     for a in args:
         if not isinstance(a, Formula):
             raise TypeError("%s argument %r is not a Formula" % (cls.__name__, a))
@@ -367,9 +406,11 @@ class And(Formula):
 
     __slots__ = ("args",)
 
-    def __new__(cls, *args):
-        flat = []
-        seen = set()
+    args: Tuple[Formula, ...]
+
+    def __new__(cls, *args: Formula) -> "Formula":  # type: ignore  # collapses
+        flat: List[Formula] = []
+        seen: Set[int] = set()
         for a in _flatten(cls, args):
             if a is FALSE:
                 return FALSE
@@ -383,14 +424,14 @@ class And(Formula):
         return Node.__new__(cls, tuple(flat))
 
     @staticmethod
-    def _intern_key(args):
+    def _intern_key(args: Tuple[Formula, ...]) -> Tuple[Any, ...]:
         return (args,)
 
     @staticmethod
-    def _init_fields(node, args):
+    def _init_fields(node: "And", args: Tuple[Formula, ...]) -> None:
         node.args = args
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return self.args
 
 
@@ -399,9 +440,11 @@ class Or(Formula):
 
     __slots__ = ("args",)
 
-    def __new__(cls, *args):
-        flat = []
-        seen = set()
+    args: Tuple[Formula, ...]
+
+    def __new__(cls, *args: Formula) -> "Formula":  # type: ignore  # collapses
+        flat: List[Formula] = []
+        seen: Set[int] = set()
         for a in _flatten(cls, args):
             if a is TRUE:
                 return TRUE
@@ -415,21 +458,24 @@ class Or(Formula):
         return Node.__new__(cls, tuple(flat))
 
     @staticmethod
-    def _intern_key(args):
+    def _intern_key(args: Tuple[Formula, ...]) -> Tuple[Any, ...]:
         return (args,)
 
     @staticmethod
-    def _init_fields(node, args):
+    def _init_fields(node: "Or", args: Tuple[Formula, ...]) -> None:
         node.args = args
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return self.args
 
 
 class Implies(Formula):
     __slots__ = ("lhs", "rhs")
 
-    def __new__(cls, lhs, rhs):
+    lhs: Formula
+    rhs: Formula
+
+    def __new__(cls, lhs: Formula, rhs: Formula) -> "Formula":  # type: ignore  # collapses
         if not (isinstance(lhs, Formula) and isinstance(rhs, Formula)):
             raise TypeError("Implies arguments must be Formulas")
         if lhs is TRUE:
@@ -441,22 +487,25 @@ class Implies(Formula):
         return Node.__new__(cls, lhs, rhs)
 
     @staticmethod
-    def _intern_key(lhs, rhs):
+    def _intern_key(lhs: Formula, rhs: Formula) -> Tuple[Any, ...]:
         return (lhs, rhs)
 
     @staticmethod
-    def _init_fields(node, lhs, rhs):
+    def _init_fields(node: "Implies", lhs: Formula, rhs: Formula) -> None:
         node.lhs = lhs
         node.rhs = rhs
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return (self.lhs, self.rhs)
 
 
 class Iff(Formula):
     __slots__ = ("lhs", "rhs")
 
-    def __new__(cls, lhs, rhs):
+    lhs: Formula
+    rhs: Formula
+
+    def __new__(cls, lhs: Formula, rhs: Formula) -> "Formula":  # type: ignore  # collapses
         if not (isinstance(lhs, Formula) and isinstance(rhs, Formula)):
             raise TypeError("Iff arguments must be Formulas")
         if lhs is TRUE:
@@ -472,15 +521,15 @@ class Iff(Formula):
         return Node.__new__(cls, lhs, rhs)
 
     @staticmethod
-    def _intern_key(lhs, rhs):
+    def _intern_key(lhs: Formula, rhs: Formula) -> Tuple[Any, ...]:
         return (lhs, rhs)
 
     @staticmethod
-    def _init_fields(node, lhs, rhs):
+    def _init_fields(node: "Iff", lhs: Formula, rhs: Formula) -> None:
         node.lhs = lhs
         node.rhs = rhs
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return (self.lhs, self.rhs)
 
 
@@ -489,7 +538,10 @@ class Eq(Formula):
 
     __slots__ = ("lhs", "rhs")
 
-    def __new__(cls, lhs, rhs):
+    lhs: Term
+    rhs: Term
+
+    def __new__(cls, lhs: Term, rhs: Term) -> "Formula":  # type: ignore  # collapses
         if not (isinstance(lhs, Term) and isinstance(rhs, Term)):
             raise TypeError("Eq arguments must be Terms")
         if lhs is rhs:
@@ -505,15 +557,15 @@ class Eq(Formula):
         return Node.__new__(cls, lhs, rhs)
 
     @staticmethod
-    def _intern_key(lhs, rhs):
+    def _intern_key(lhs: Term, rhs: Term) -> Tuple[Any, ...]:
         return (lhs, rhs)
 
     @staticmethod
-    def _init_fields(node, lhs, rhs):
+    def _init_fields(node: "Eq", lhs: Term, rhs: Term) -> None:
         node.lhs = lhs
         node.rhs = rhs
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return (self.lhs, self.rhs)
 
 
@@ -522,7 +574,10 @@ class Lt(Formula):
 
     __slots__ = ("lhs", "rhs")
 
-    def __new__(cls, lhs, rhs):
+    lhs: Term
+    rhs: Term
+
+    def __new__(cls, lhs: Term, rhs: Term) -> "Formula":  # type: ignore  # collapses
         if not (isinstance(lhs, Term) and isinstance(rhs, Term)):
             raise TypeError("Lt arguments must be Terms")
         if lhs is rhs:
@@ -535,13 +590,13 @@ class Lt(Formula):
         return Node.__new__(cls, lhs, rhs)
 
     @staticmethod
-    def _intern_key(lhs, rhs):
+    def _intern_key(lhs: Term, rhs: Term) -> Tuple[Any, ...]:
         return (lhs, rhs)
 
     @staticmethod
-    def _init_fields(node, lhs, rhs):
+    def _init_fields(node: "Lt", lhs: Term, rhs: Term) -> None:
         node.lhs = lhs
         node.rhs = rhs
 
-    def children(self):
+    def children(self) -> Tuple[Node, ...]:
         return (self.lhs, self.rhs)

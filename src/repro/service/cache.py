@@ -252,7 +252,7 @@ class ResultCache:
                 return entry, "memory"
             entry = self._disk_lookup(key, fingerprint)
             if entry is not None and self._usable(entry, want_countermodel):
-                self._remember(slot, entry)
+                self._remember_locked(slot, entry)
                 self.stats.hits_disk += 1
                 return entry, "disk"
             self.stats.misses += 1
@@ -280,18 +280,27 @@ class ResultCache:
         except (KeyError, TypeError, ValueError):
             return None
 
-    def _remember(self, slot: Tuple[str, str], entry: CacheEntry) -> None:
+    def _remember_locked(
+        self, slot: Tuple[str, str], entry: CacheEntry
+    ) -> None:
+        """Insert into the memory LRU; caller must hold ``self._lock``
+        (the ``_locked`` suffix is the convention rule RC101 honours)."""
         self._memory[slot] = entry
         self._memory.move_to_end(slot)
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
+
+    def note_dedupes(self, count: int = 1) -> None:
+        """Thread-safely count batch dedupes against this cache's stats."""
+        with self._lock:
+            self.stats.dedupes += count
 
     def store(self, key: str, fingerprint: str, entry: CacheEntry) -> bool:
         """Record a decided verdict; refuses undecided statuses."""
         if entry.status not in (str(Status.VALID), str(Status.INVALID)):
             return False
         with self._lock:
-            self._remember((key, fingerprint), entry)
+            self._remember_locked((key, fingerprint), entry)
             self.stats.stores += 1
             if self.disk_dir is not None:
                 self._disk_store(key, fingerprint, entry)

@@ -348,7 +348,7 @@ def run_server(
     )
 
     if config.install_signal_handlers:
-        def _request_stop(signum, frame):  # pragma: no cover - signal path
+        def _request_stop(signum: int, frame: Optional[Any]) -> None:  # pragma: no cover - signal path
             state.stop.set()
 
         signal.signal(signal.SIGTERM, _request_stop)

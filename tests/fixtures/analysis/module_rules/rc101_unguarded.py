@@ -1,0 +1,16 @@
+"""Fixture: RC101 — lock-guarded attribute mutated without the lock."""
+
+import threading
+
+
+class EventLog:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.events = []
+
+    def record(self, item):
+        with self._lock:
+            self.events.append(item)
+
+    def reset(self):
+        self.events.clear()  # seeded RC101: no lock held here

@@ -1,0 +1,21 @@
+"""Fixture: RC102 — guard flag raised before the protected init."""
+
+import threading
+
+_LOCK = threading.Lock()
+_READY = False
+_TABLE = {}
+
+
+def _defaults():
+    return {"a": 1}
+
+
+def ensure_loaded():
+    global _READY
+    if _READY:
+        return
+    with _LOCK:
+        if not _READY:
+            _READY = True  # seeded RC102: flag up, state still missing
+            _TABLE.update(_defaults())

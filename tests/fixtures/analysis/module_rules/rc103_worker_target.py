@@ -1,0 +1,11 @@
+"""Fixture: RC103 — a process target that cannot be pickled."""
+
+import multiprocessing
+
+
+def launch(items):
+    worker = multiprocessing.Process(
+        target=lambda: sum(items),  # seeded RC103: lambda target
+    )
+    worker.start()
+    return worker

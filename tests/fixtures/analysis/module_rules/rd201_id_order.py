@@ -1,0 +1,10 @@
+"""Fixture: RD201 — id() driving a sort order."""
+
+
+def stable_order(nodes):
+    return sorted(nodes, key=id)  # seeded RD201: allocator-dependent order
+
+
+def memo_lookup_is_fine(nodes, memo):
+    # id() as a plain memo key never escapes the process; not a finding.
+    return [memo[id(n)] for n in nodes]

@@ -1,0 +1,5 @@
+"""Fixture: RD202 — join() over an unordered set."""
+
+
+def render_tags(tags):
+    return ",".join(set(tags))  # seeded RD202: arbitrary concat order

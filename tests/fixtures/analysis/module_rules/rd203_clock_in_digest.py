@@ -1,0 +1,11 @@
+"""Fixture: RD203 — wall-clock time folded into a digest."""
+
+import hashlib
+import time
+
+
+def stamp_key(payload):
+    h = hashlib.sha256()
+    h.update(payload)
+    h.update(str(time.time()).encode("ascii"))  # seeded RD203
+    return h.digest()

@@ -1,0 +1,7 @@
+"""Fixture: RD204 — persisted digest with no schema version folded in."""
+
+import hashlib
+
+
+def cache_key(payload):
+    return hashlib.sha256(payload).hexdigest()  # seeded RD204

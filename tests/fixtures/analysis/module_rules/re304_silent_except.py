@@ -1,0 +1,11 @@
+"""Fixture: RE304 — a worker loop that swallows failures silently."""
+
+
+def drain(jobs):
+    drained = []
+    for job in jobs:
+        try:
+            drained.append(job.run())
+        except Exception:  # seeded RE304: failure vanishes
+            pass
+    return drained

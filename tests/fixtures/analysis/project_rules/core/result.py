@@ -1,0 +1,7 @@
+"""Fixture mini-project: stats dataclasses RE303 checks for threading."""
+
+
+class StageRecord:
+    name: str = ""
+    seconds: float = 0.0
+    ghost_counter: int = 0  # seeded RE303: never referenced elsewhere

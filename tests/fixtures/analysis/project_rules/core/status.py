@@ -1,0 +1,7 @@
+"""Fixture mini-project: the Status vocabulary RE302 checks against."""
+
+
+class Status:
+    VALID = "valid"
+    INVALID = "invalid"
+    UNKNOWN = "unknown"

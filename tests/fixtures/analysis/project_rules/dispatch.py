@@ -1,0 +1,13 @@
+"""Fixture mini-project: a partial Status dispatch with no fallback."""
+
+from core.status import Status
+
+EXIT_CODES = {  # seeded RE302: UNKNOWN missing, consumed via [] below
+    Status.VALID: 0,
+    Status.INVALID: 1,
+}
+
+
+def exit_code_for(record, status):
+    # Threads StageRecord.name / .seconds so only ghost_counter is orphaned.
+    return EXIT_CODES[status], record.name, record.seconds

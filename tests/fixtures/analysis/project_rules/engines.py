@@ -1,0 +1,32 @@
+"""Fixture mini-project: engine classes RE301 checks for registration."""
+
+import abc
+
+
+class Engine(abc.ABC):
+    name = ""
+
+    @abc.abstractmethod
+    def solve(self, request):
+        raise NotImplementedError
+
+
+class GhostEngine(Engine):  # seeded RE301: never registered
+    name = "ghost"
+
+    def solve(self, request):
+        return ("valid", request)
+
+
+class RosterEngine(Engine):
+    name = "roster"
+
+    def solve(self, request):
+        return ("invalid", request)
+
+
+def register(engine):
+    return engine
+
+
+register(RosterEngine())

@@ -1,0 +1,16 @@
+"""Fixture: every seeded violation here carries a suppression."""
+
+
+def render_inline(tags):
+    return ",".join(set(tags))  # repro: ignore[RD202] -- human log line only
+
+
+def render_block(tags):
+    # The joined string feeds a progress message, never a cache key,
+    # so the arbitrary set order is harmless.
+    # repro: ignore[RD202] -- cosmetic output, not a key
+    return ";".join(set(tags))
+
+
+def render_blanket(tags):
+    return "|".join(set(tags))  # repro: ignore -- demo of the no-code form
