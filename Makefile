@@ -33,10 +33,13 @@ typecheck:
 
 # Fixed benchmark subset through every engine; per-engine wall/encode/sat
 # seconds, the preprocessing on/off comparison, and the cold-vs-warm
-# result-cache comparison land in BENCH_PR4.json (CI uploads it as an
-# artifact and fails if preprocessing or the cache changes a verdict).
+# result-cache comparison land in BENCH_PR4.json, and the
+# incremental-vs-scratch comparison on the prefix-sharing family lands
+# in BENCH_PR6.json (CI uploads both and fails if preprocessing, the
+# cache, or incremental solving changes a verdict).
 bench-smoke:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke --out BENCH_PR4.json
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke \
+		--out BENCH_PR4.json --incremental-out BENCH_PR6.json
 
 # Line coverage with floors (requires pytest-cov; CI installs it — the
 # local dev container intentionally has no coverage tooling).

@@ -169,6 +169,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="JSON output path (default BENCH_PR4.json)",
     )
+    smoke.add_argument(
+        "--incremental-out",
+        default="BENCH_PR6.json",
+        metavar="FILE",
+        help="JSON output path for the incremental-vs-scratch section "
+        "(default BENCH_PR6.json; empty string disables)",
+    )
+    smoke.add_argument(
+        "--incremental-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="length of the generated prefix-sharing chain",
+    )
     smoke.add_argument("--timeout", type=float, default=None)
     smoke.add_argument(
         "--engines",
@@ -515,8 +529,10 @@ def _cmd_portfolio(args) -> int:
 def _cmd_bench_smoke(args) -> int:
     from .engine.bench_smoke import (
         DEFAULT_TIMEOUT,
+        PREFIX_FAMILY_STEPS,
         format_table,
         run_bench_smoke,
+        write_incremental_report,
         write_report,
     )
 
@@ -526,12 +542,17 @@ def _cmd_bench_smoke(args) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     report = run_bench_smoke(
-        timeout=args.timeout or DEFAULT_TIMEOUT, engines=engines
+        timeout=args.timeout or DEFAULT_TIMEOUT,
+        engines=engines,
+        incremental_steps=args.incremental_steps or PREFIX_FAMILY_STEPS,
     )
     print(format_table(report))
     if args.out:
         write_report(report, args.out)
         print("wrote %s" % args.out)
+    if args.incremental_out:
+        write_incremental_report(report, args.incremental_out)
+        print("wrote %s" % args.incremental_out)
     if not report["meta"]["preprocess_verdicts_match"]:
         print(
             "error: preprocessing changed a verdict on the smoke suite "
@@ -543,6 +564,14 @@ def _cmd_bench_smoke(args) -> int:
         print(
             "error: the result cache changed a verdict on the smoke suite "
             "(see the cache section of the report)",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["meta"]["incremental_verdicts_match"]:
+        print(
+            "error: incremental and scratch solving disagreed on the "
+            "prefix-sharing family (see the incremental section of the "
+            "report)",
             file=sys.stderr,
         )
         return 1

@@ -10,7 +10,10 @@
 * :mod:`repro.engine.registry` — name → engine resolution for every
   front end (CLI, fuzzer, experiments);
 * :mod:`repro.engine.portfolio` — the process-parallel portfolio race
-  with first-decided-wins cancellation and the batch API.
+  with first-decided-wins cancellation and the batch API;
+* :mod:`repro.engine.session` — incremental assertion-stack sessions
+  (``assert_formula`` / ``push`` / ``pop`` / ``check_sat`` /
+  ``last_core``) over one long-lived assumption-capable CDCL solver.
 
 Quickstart::
 
@@ -25,6 +28,7 @@ from . import registry
 from .base import Engine, EngineCapabilities
 from .contract import SolveOutcome, SolveRequest
 from .portfolio import solve_batch, solve_portfolio
+from .session import CheckResult, Session, SessionError
 from .stages import run_eager
 
 __all__ = [
@@ -36,4 +40,7 @@ __all__ = [
     "solve_portfolio",
     "solve_batch",
     "run_eager",
+    "Session",
+    "SessionError",
+    "CheckResult",
 ]

@@ -19,12 +19,23 @@ every smoke benchmark is solved cold (fresh cache, full solve) and then
 warm (same cache, canonical-key hit), recording both wall times, the
 speedup, and whether the verdicts agree — the warm-vs-cold evidence for
 the service layer, refreshed on every CI run.
+
+The ``incremental`` section compares assumption-based incremental
+solving (:class:`~repro.engine.session.Session`) against scratch solves
+on a generated prefix-sharing family: a growing chain of difference
+constraints checked after every added link, closed into a negative
+cycle at the last step.  The incremental arm keeps one session alive
+and re-checks after each assert; the scratch arm rebuilds a fresh
+session for every prefix.  Per-step verdicts must agree (CI fails on a
+mismatch) and the section is also written on its own to
+``BENCH_PR6.json``.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import time
 from typing import Any, Dict, List, Optional
 
 from ..benchgen.suite import benchmark_by_name
@@ -32,7 +43,15 @@ from ..logic.terms import Formula
 from .base import Engine
 from .contract import SolveRequest
 
-__all__ = ["SMOKE_BENCHMARKS", "run_bench_smoke", "format_table"]
+__all__ = [
+    "SMOKE_BENCHMARKS",
+    "PREFIX_FAMILY_STEPS",
+    "prefix_sharing_family",
+    "run_bench_smoke",
+    "format_table",
+    "write_report",
+    "write_incremental_report",
+]
 
 #: Small members of three suite domains — decided in well under a second
 #: by every unbounded engine, so the whole matrix stays CI-friendly.
@@ -45,6 +64,119 @@ SMOKE_BENCHMARKS = (
 )
 
 DEFAULT_TIMEOUT = 5.0
+
+#: Length of the generated prefix-sharing chain (one check per step).
+PREFIX_FAMILY_STEPS = 40
+
+
+def prefix_sharing_family(steps: int = PREFIX_FAMILY_STEPS) -> List[Formula]:
+    """A growing chain of difference constraints, one formula per step.
+
+    Step ``i`` links ``x_i`` to ``x_{i+1}`` (with a varying offset and a
+    guarded slack disjunct, so each step carries both theory and boolean
+    structure); the final step closes the chain into a negative cycle.
+    Every proper prefix is therefore satisfiable and the full family is
+    unsatisfiable — checking after each step yields ``steps - 1`` SAT
+    verdicts followed by one UNSAT.
+    """
+    from ..logic.terms import And, BoolVar, Lt, Offset, Or, Var
+
+    if steps < 2:
+        raise ValueError("prefix_sharing_family needs at least 2 steps")
+    xs = [Var("pf_x%d" % i) for i in range(steps)]
+    family: List[Formula] = []
+    for i in range(steps - 1):
+        link = Lt(Offset(xs[i], i % 3), xs[i + 1])
+        slack = Or(
+            BoolVar("pf_b%d" % i), Lt(xs[i], Offset(xs[i + 1], 4))
+        )
+        family.append(And(link, slack))
+    family.append(Lt(xs[-1], xs[0]))
+    return family
+
+
+def _run_incremental_comparison(
+    timeout: float,
+    inner: str = "hybrid",
+    steps: int = PREFIX_FAMILY_STEPS,
+) -> Dict:
+    """Incremental-vs-scratch timing over the prefix-sharing family.
+
+    The incremental arm keeps one cache-less
+    :class:`~repro.engine.session.Session` alive and re-checks after
+    each assert, so clause-database and activity retention across calls
+    is what is being measured; the scratch arm rebuilds a fresh session
+    for every prefix and pays the full re-encode and re-solve each time.
+    """
+    from .session import Session
+
+    family = prefix_sharing_family(steps)
+    expected = ["sat"] * (steps - 1) + ["unsat"]
+    rows: List[Dict[str, Any]] = []
+    verdicts_match = True
+    expected_ok = True
+    total_incremental = 0.0
+    total_scratch = 0.0
+    final_core_size: Optional[int] = None
+
+    session = Session(engine=inner, cache=None, want_model=False)
+    try:
+        for i, formula in enumerate(family):
+            begin = time.perf_counter()
+            session.assert_formula(formula)
+            inc = session.check_sat(time_limit=timeout)
+            inc_seconds = time.perf_counter() - begin
+
+            begin = time.perf_counter()
+            fresh = Session(engine=inner, cache=None, want_model=False)
+            try:
+                for prefix_formula in family[: i + 1]:
+                    fresh.assert_formula(prefix_formula)
+                scratch = fresh.check_sat(time_limit=timeout)
+            finally:
+                fresh.close()
+            scratch_seconds = time.perf_counter() - begin
+
+            match = inc.status == scratch.status
+            if not match:
+                verdicts_match = False
+            if inc.status != expected[i]:
+                expected_ok = False
+            if inc.is_unsat and inc.core is not None:
+                final_core_size = len(inc.core)
+            total_incremental += inc_seconds
+            total_scratch += scratch_seconds
+            rows.append(
+                {
+                    "step": i,
+                    "status_incremental": inc.status,
+                    "status_scratch": scratch.status,
+                    "status_expected": expected[i],
+                    "verdicts_match": match,
+                    "wall_seconds_incremental": round(inc_seconds, 6),
+                    "wall_seconds_scratch": round(scratch_seconds, 6),
+                }
+            )
+    finally:
+        session.close()
+
+    return {
+        "family": "prefix_chain",
+        "inner_engine": inner,
+        "steps": steps,
+        "rows": rows,
+        "verdicts_match": verdicts_match,
+        "expected_statuses_ok": expected_ok,
+        "wall_seconds_incremental": round(total_incremental, 6),
+        "wall_seconds_scratch": round(total_scratch, 6),
+        "speedup": (
+            round(total_scratch / total_incremental, 2)
+            if total_incremental > 0
+            else None
+        ),
+        "final_status": rows[-1]["status_incremental"] if rows else None,
+        "final_core_size": final_core_size,
+    }
 
 
 def _solve(
@@ -150,6 +282,7 @@ def run_bench_smoke(
     timeout: float = DEFAULT_TIMEOUT,
     engines: Optional[List[str]] = None,
     benchmarks: Optional[List[str]] = None,
+    incremental_steps: int = PREFIX_FAMILY_STEPS,
 ) -> Dict:
     """Run the smoke matrix; returns the JSON-ready report dict."""
     from . import registry
@@ -165,6 +298,7 @@ def run_bench_smoke(
             "generated_by": "repro bench-smoke",
             "preprocess_verdicts_match": True,
             "cache_verdicts_match": True,
+            "incremental_verdicts_match": True,
         },
         "engines": {},
         "preprocess": {},
@@ -202,6 +336,13 @@ def run_bench_smoke(
             report["preprocess"][name] = compare
     report["cache"] = _run_cache_comparison(bench_names, timeout)
     report["meta"]["cache_verdicts_match"] = report["cache"]["verdicts_match"]
+    report["incremental"] = _run_incremental_comparison(
+        timeout, steps=incremental_steps
+    )
+    report["meta"]["incremental_verdicts_match"] = bool(
+        report["incremental"]["verdicts_match"]
+        and report["incremental"]["expected_statuses_ok"]
+    )
     return report
 
 
@@ -273,6 +414,31 @@ def format_table(report: Dict) -> str:
                 "ok" if cache["verdicts_match"] else "MISMATCH",
             )
         )
+    incremental = report.get("incremental")
+    if incremental:
+        ok = (
+            incremental["verdicts_match"]
+            and incremental["expected_statuses_ok"]
+        )
+        lines.append("")
+        lines.append(
+            "%-10s %9s %9s %9s  %s"
+            % ("session", "incr", "scratch", "speedup", "verdicts")
+        )
+        lines.append(
+            "%-10s %8.3fs %8.3fs %8sx  %s"
+            % (
+                "%s/%d" % (incremental["inner_engine"], incremental["steps"]),
+                incremental["wall_seconds_incremental"],
+                incremental["wall_seconds_scratch"],
+                (
+                    incremental["speedup"]
+                    if incremental["speedup"] is not None
+                    else "-"
+                ),
+                "ok" if ok else "MISMATCH",
+            )
+        )
     return "\n".join(lines)
 
 
@@ -280,3 +446,19 @@ def write_report(report: Dict, path: str) -> None:
     with open(path, "w") as fp:
         json.dump(report, fp, indent=2, sort_keys=True)
         fp.write("\n")
+
+
+def write_incremental_report(report: Dict, path: str) -> None:
+    """Write just the incremental-vs-scratch section (BENCH_PR6.json)."""
+    sub = {
+        "meta": {
+            "python": report["meta"]["python"],
+            "timeout_seconds": report["meta"]["timeout_seconds"],
+            "generated_by": "repro bench-smoke",
+            "incremental_verdicts_match": report["meta"][
+                "incremental_verdicts_match"
+            ],
+        },
+        "incremental": report["incremental"],
+    }
+    write_report(sub, path)

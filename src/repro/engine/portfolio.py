@@ -398,7 +398,17 @@ def solve_batch(
     from ..logic.canonical import canonicalize, lift_interpretation
     from ..service.cache import CacheEntry, config_fingerprint
 
-    forms = [canonicalize(f) for f in formulas]
+    # Hash-consing makes repeated formulas *identical* objects, so an
+    # identity memo gives one canonicalization per distinct formula —
+    # intra-batch dedupe hits skip the (linear-size) renaming walk.
+    memo: Dict[Formula, Any] = {}
+    forms = []
+    for f in formulas:
+        form = memo.get(f)
+        if form is None:
+            form = canonicalize(f)
+            memo[f] = form
+        forms.append(form)
     order: List[str] = []
     classes: Dict[str, List[int]] = {}
     for idx, form in enumerate(forms):

@@ -208,6 +208,125 @@ def _cached_method(
     return run
 
 
+def _incremental_method(
+    inner: str = "hybrid",
+) -> Callable[[Formula], MethodOutcome]:
+    """The ``incremental`` differential arm: assumption-based sessions
+    under test (:mod:`repro.engine.session`).
+
+    Holds **one** session for the whole campaign, so the solver's clause
+    database, variable activities, and theory lemmas persist across
+    samples — retention must never leak a verdict between unrelated
+    queries.  Per sample it runs a prefix-sharing sequence in pushed
+    frames:
+
+    1. assert the sample's negation and check (the sample is VALID iff
+       the negation is unsatisfiable) — cross-checked against a one-shot
+       scratch solve of the assertion stack;
+    2. push a random same-vocabulary difference atom on top and re-check
+       (again vs. scratch: the shared prefix is where incrementality
+       actually bites);
+    3. pop back and re-check — the verdict from step 1 must reproduce.
+
+    Every SAT model is replayed through the reference semantics and
+    every UNSAT core is re-solved from scratch.
+    """
+    import random as random_mod
+    import zlib
+
+    from ..engine.session import SAT, UNKNOWN, UNSAT, Session
+    from ..logic.printer import to_sexpr
+    from ..logic.terms import And, Lt, Not, Offset, TRUE
+
+    session = Session(engine=inner)
+
+    def scratch(assertions: List[Formula]) -> str:
+        conjunction = And(*assertions) if assertions else TRUE
+        result = registry.get(inner).solve(
+            SolveRequest(formula=Not(conjunction))
+        )
+        if result.valid is True:
+            return UNSAT
+        if result.valid is False:
+            return SAT
+        return UNKNOWN
+
+    def cross_check(
+        outcome: MethodOutcome, label: str
+    ) -> Optional[str]:
+        """One incremental check vs. scratch; returns the status."""
+        stack = session.assertions()
+        result = session.check_sat()
+        expected = scratch(stack)
+        if UNKNOWN in (result.status, expected):
+            return None
+        if result.status != expected:
+            outcome.error = (
+                "%s: incremental %s != scratch %s"
+                % (label, result.status, expected)
+            )
+            return None
+        if result.status == SAT:
+            conjunction = And(*stack) if stack else TRUE
+            if evaluate(conjunction, result.model) is not True:
+                outcome.error = (
+                    "%s: SAT model does not satisfy the stack" % label
+                )
+                return None
+        else:
+            core = session.last_core()
+            if not core or scratch(core) != UNSAT:
+                outcome.error = (
+                    "%s: unsat core failed to re-solve UNSAT" % label
+                )
+                return None
+        return result.status
+
+    def run(formula: Formula) -> MethodOutcome:
+        outcome = MethodOutcome("incremental")
+        rng = random_mod.Random(
+            zlib.crc32(to_sexpr(formula).encode("utf-8"))
+        )
+        session.push()
+        try:
+            session.assert_formula(Not(formula))
+            first = cross_check(outcome, "base query")
+            if outcome.error is not None:
+                return outcome
+            if first is not None:
+                outcome.valid = first == UNSAT
+                if first == SAT:
+                    outcome.countermodel_ok = not evaluate(
+                        formula, session.model()
+                    )
+            variables = sorted(collect_vars(formula), key=lambda v: v.name)
+            if len(variables) >= 2:
+                lhs, rhs = rng.sample(variables, 2)
+                session.push()
+                session.assert_formula(
+                    Lt(
+                        Offset(lhs, rng.randint(-2, 2)),
+                        Offset(rhs, rng.randint(-2, 2)),
+                    )
+                )
+                cross_check(outcome, "extended stack")
+                session.pop()
+                if outcome.error is not None:
+                    return outcome
+                replay = cross_check(outcome, "replay after pop")
+                if outcome.error is None and None not in (first, replay):
+                    if replay != first:
+                        outcome.error = (
+                            "replay after pop changed the verdict: "
+                            "%s -> %s" % (first, replay)
+                        )
+            return outcome
+        finally:
+            session.pop()
+
+    return run
+
+
 def default_methods(
     oracle_limit: int = DEFAULT_ORACLE_LIMIT,
     names: Optional[List[str]] = None,
@@ -223,6 +342,10 @@ def default_methods(
     all other procedures.  ``cached`` is the result-cache layer under
     differential test (cold store per campaign, every formula solved
     twice plus an alpha-renamed variant; see :func:`_cached_method`).
+    ``incremental`` is the assumption-based session layer under
+    differential test (one persistent session per campaign, random
+    prefix-sharing sequences cross-checked against one-shot scratch
+    solves; see :func:`_incremental_method`).
     Every method dispatches through :mod:`repro.engine.registry`.
     """
     methods: Dict[str, Callable[[Formula], MethodOutcome]] = {
@@ -236,6 +359,7 @@ def default_methods(
         "lazy": _engine_method("lazy", max_iterations=10_000),
         "svc": _engine_method("svc", max_splits=200_000),
         "cached": _cached_method(),
+        "incremental": _incremental_method(),
     }
     if names is None:
         return methods

@@ -46,9 +46,19 @@ class SatStats:
 
 @dataclass
 class SatResult:
+    """Outcome of one solve call.
+
+    ``core`` is populated on UNSAT results from
+    :meth:`CdclSolver.solve_under_assumptions`: a subset of the passed
+    assumption literals such that the clause database conjoined with
+    exactly those literals is unsatisfiable.  An empty core means the
+    clause database is unsatisfiable on its own.
+    """
+
     status: str
     model: Optional[Dict[int, bool]] = None
     stats: SatStats = field(default_factory=SatStats)
+    core: Optional[List[int]] = None
 
     @property
     def is_sat(self) -> bool:
@@ -136,6 +146,7 @@ class CdclSolver:
         self.learned: List[_Clause] = []
         self._ok = True
         self._units: List[int] = []
+        self._heap: List = []
 
         for lits in cnf.clauses:
             self._add_original(lits)
@@ -185,6 +196,25 @@ class CdclSolver:
                 raise ValueError("invalid literal %r" % (lit,))
         self._backtrack(0)
         self._add_original(list(lits))
+
+    def ensure_nvars(self, nvars: int) -> None:
+        """Grow the variable space to ``nvars`` (incremental use).
+
+        New variables start unassigned with zero activity and default
+        phase; clauses, learned clauses, and saved activities/phases of
+        existing variables are untouched, so a session can keep one
+        solver alive while its CNF grows.
+        """
+        if nvars <= self.nvars:
+            return
+        grow = nvars - self.nvars
+        self.values.extend([0] * grow)
+        self.levels.extend([0] * grow)
+        self.reasons.extend([None] * grow)
+        self.activity.extend([0.0] * grow)
+        self.phase.extend([-1] * grow)
+        self.watches.extend([] for _ in range(2 * grow))
+        self.nvars = nvars
 
     # -- assignment ---------------------------------------------------------
 
@@ -413,6 +443,39 @@ class CdclSolver:
             seen[abs(lit)] = False
         return out
 
+    def _analyze_final(self, p: int) -> List[int]:
+        """Final-conflict analysis (MiniSat's ``analyzeFinal``).
+
+        Called when assumption ``p`` is already false under the current
+        trail.  Walks the trail backwards from the top, expanding reason
+        clauses, and collects the reason-free entries above level 0 —
+        during assumption processing every decision level is an
+        assumption level, so those are exactly the assumption literals
+        the falsification of ``p`` depends on.  The result (including
+        ``p`` itself) is an unsat core: the clause database conjoined
+        with exactly these literals is unsatisfiable.
+        """
+        core = [p]
+        if not self.trail_lim:
+            return core
+        seen = [False] * (self.nvars + 1)
+        seen[abs(p)] = True
+        for index in range(len(self.trail) - 1, self.trail_lim[0] - 1, -1):
+            lit = self.trail[index]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self.reasons[var]
+            if reason is None:
+                core.append(lit)
+            else:
+                for q in reason.lits:
+                    qvar = abs(q)
+                    if qvar != var and self.levels[qvar] > 0:
+                        seen[qvar] = True
+            seen[var] = False
+        return core
+
     # -- decision heuristic ---------------------------------------------------
 
     def _heap_insert(self, var: int) -> None:
@@ -471,33 +534,54 @@ class CdclSolver:
         """Run the CDCL search.  May be called repeatedly; clauses added
         with :meth:`add_clause` in between are taken into account and all
         learned clauses/activities carry over."""
+        return self.solve_under_assumptions(())
+
+    def solve_under_assumptions(self, assumptions=()) -> SatResult:
+        """Solve under temporary assumption literals (MiniSat-style).
+
+        Each assumption occupies its own decision level before any real
+        decision (an already-satisfied assumption gets an empty "dummy"
+        level so levels and assumption indices stay aligned across
+        backjumps).  When an assumption is falsified, final-conflict
+        analysis produces an unsat core over the assumption literals in
+        :attr:`SatResult.core`.
+
+        Assumptions are *not* clauses: nothing learned ever depends on
+        them.  Learned clauses are resolvents of database clauses only
+        (assumptions enter analysis as reason-free decisions, which are
+        never resolved on), so the full learned-clause database, variable
+        activities, and saved phases safely carry over to later calls
+        with different — or no — assumptions.
+        """
         start = time.perf_counter()
         import heapq
+
+        assumptions = list(assumptions)
+        for lit in assumptions:
+            if lit == 0 or abs(lit) > self.nvars:
+                raise ValueError("invalid assumption literal %r" % (lit,))
 
         self._backtrack(0)
         # Re-propagate the whole root-level trail: clauses added since the
         # last call may be watched on literals that were already falsified
         # at level 0 and would otherwise never be examined.
         self.qhead = 0
-        self._heap: List = []
+        self._heap = []
         for var in range(1, self.nvars + 1):
             heapq.heappush(self._heap, (-self.activity[var], var))
 
         if not self._ok:
-            self.stats.time_seconds = time.perf_counter() - start
-            return SatResult(UNSAT, stats=self.stats)
+            return self._finish(UNSAT, start, core=[])
 
         # Level-0 units.
         for lit in self._units:
             val = self._lit_value(lit)
             if val == -1:
-                self.stats.time_seconds = time.perf_counter() - start
-                return SatResult(UNSAT, stats=self.stats)
+                return self._finish(UNSAT, start, core=[])
             if val == 0:
                 self._assign(lit, None)
         if self._propagate() is not None:
-            self.stats.time_seconds = time.perf_counter() - start
-            return SatResult(UNSAT, stats=self.stats)
+            return self._finish(UNSAT, start, core=[])
 
         max_learned = max(len(self.clauses) // 3, 2000)
         conflicts_until_restart = self.RESTART_BASE * _luby(1)
@@ -510,14 +594,12 @@ class CdclSolver:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
                 if self._level() == 0:
-                    self.stats.time_seconds = time.perf_counter() - start
-                    return SatResult(UNSAT, stats=self.stats)
+                    return self._finish(UNSAT, start, core=[])
                 learnt, back_level = self._analyze(conflict)
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     if self._lit_value(learnt[0]) == -1:
-                        self.stats.time_seconds = time.perf_counter() - start
-                        return SatResult(UNSAT, stats=self.stats)
+                        return self._finish(UNSAT, start, core=[])
                     if self._lit_value(learnt[0]) == 0:
                         self._assign(learnt[0], None)
                 else:
@@ -538,15 +620,13 @@ class CdclSolver:
                     self.max_conflicts is not None
                     and self.stats.conflicts >= self.max_conflicts
                 ):
-                    self.stats.time_seconds = time.perf_counter() - start
-                    return SatResult(UNKNOWN, stats=self.stats)
+                    return self._finish(UNKNOWN, start)
                 if (
                     self.time_limit is not None
                     and self.stats.conflicts % 64 == 0
                     and time.perf_counter() - start > self.time_limit
                 ):
-                    self.stats.time_seconds = time.perf_counter() - start
-                    return SatResult(UNKNOWN, stats=self.stats)
+                    return self._finish(UNKNOWN, start)
                 continue
 
             if conflicts_since_restart >= conflicts_until_restart:
@@ -556,6 +636,8 @@ class CdclSolver:
                 conflicts_until_restart = self.RESTART_BASE * _luby(
                     restart_count
                 )
+                # Backtracking to 0 pops the assumption levels too; the
+                # decision step below re-pushes them in order.
                 self._backtrack(0)
                 continue
 
@@ -563,19 +645,44 @@ class CdclSolver:
                 self._reduce_db()
                 max_learned = int(max_learned * 1.3)
 
-            lit = self._next_decision()
+            # Assumption levels precede real decisions.
+            lit = 0
+            while self._level() < len(assumptions):
+                p = assumptions[self._level()]
+                val = self._lit_value(p)
+                if val == 1:
+                    self.trail_lim.append(len(self.trail))  # dummy level
+                elif val == -1:
+                    return self._finish(
+                        UNSAT, start, core=self._analyze_final(p)
+                    )
+                else:
+                    lit = p
+                    break
             if lit == 0:
-                model = {
-                    v: self.values[v] == 1 for v in range(1, self.nvars + 1)
-                }
-                self.stats.time_seconds = time.perf_counter() - start
-                return SatResult(SAT, model=model, stats=self.stats)
-            self.stats.decisions += 1
+                lit = self._next_decision()
+                if lit == 0:
+                    model = {
+                        v: self.values[v] == 1
+                        for v in range(1, self.nvars + 1)
+                    }
+                    return self._finish(SAT, start, model=model)
+                self.stats.decisions += 1
             self.trail_lim.append(len(self.trail))
             self.stats.max_decision_level = max(
                 self.stats.max_decision_level, self._level()
             )
             self._assign(lit, None)
+
+    def _finish(
+        self,
+        status: str,
+        start: float,
+        model: Optional[Dict[int, bool]] = None,
+        core: Optional[List[int]] = None,
+    ) -> SatResult:
+        self.stats.time_seconds = time.perf_counter() - start
+        return SatResult(status, model=model, stats=self.stats, core=core)
 
     def _next_decision(self) -> int:
         """Next decision literal; 0 when the assignment is total."""

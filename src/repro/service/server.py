@@ -21,6 +21,16 @@ accepted (late arrivals get a ``shutdown`` error), everything already
 accepted is drained and answered, a ``bye`` event is emitted, and the
 process exits 0.
 
+Stateful **sessions** ride the same wire: ``{"kind": "open"}`` creates an
+incremental :class:`repro.engine.session.Session` and returns its id;
+``assert`` / ``push`` / ``pop`` / ``check`` / ``close`` requests carry
+``"session": <id>``.  Ops for one session are answered strictly in
+arrival order (each session holds a FIFO of pending ops drained by one
+worker at a time), while different sessions interleave freely across
+workers.  Checks honor per-session deadlines (an ``open``-time default,
+overridable per check) measured from receipt, and the graceful drain
+evicts every open session after answering its accepted ops.
+
 All solves go through the shared result cache
 (:mod:`repro.service.cache`) unless disabled, so repeated and
 alpha-isomorphic requests within one server lifetime are answered from
@@ -29,6 +39,7 @@ memory.
 
 from __future__ import annotations
 
+import collections
 import json
 import queue
 import signal
@@ -42,7 +53,10 @@ from ..encodings.hybrid import DEFAULT_SEP_THOLD
 from ..engine import registry
 from ..engine.contract import SolveOutcome, SolveRequest
 from ..engine.portfolio import solve_portfolio
+from ..engine.session import UNKNOWN as SESSION_UNKNOWN
+from ..engine.session import Session, SessionError
 from ..logic.parser import ParseError, parse_formula
+from ..logic.printer import to_sexpr
 from .cache import (
     ResultCache,
     config_fingerprint,
@@ -54,6 +68,9 @@ __all__ = ["ServeConfig", "run_server"]
 
 #: Poll granularity for worker dequeue / drain waits.
 _TICK = 0.05
+
+#: Request kinds that address a session created with ``open``.
+_SESSION_OP_KINDS = ("assert", "push", "pop", "check", "close")
 
 
 @dataclass
@@ -77,6 +94,21 @@ class ServeConfig:
 
 
 @dataclass
+class _ServeSession:
+    """One wire-protocol session: the engine-layer Session plus the
+    per-session FIFO that keeps its ops ordered across workers."""
+
+    sid: str
+    session: Session
+    default_timeout: Optional[float] = None
+    pending: "collections.deque[Tuple[Dict[str, Any], float]]" = field(
+        default_factory=collections.deque
+    )
+    busy: bool = False
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
 class _ServerState:
     config: ServeConfig
     out: IO[str]
@@ -89,6 +121,10 @@ class _ServerState:
     served: int = 0
     rejected: int = 0
     in_flight: int = 0
+    sessions: Dict[str, _ServeSession] = field(default_factory=dict)
+    sessions_lock: threading.Lock = field(default_factory=threading.Lock)
+    sessions_opened: int = 0
+    sessions_evicted: int = 0
 
     def write(self, obj: Dict[str, Any]) -> None:
         line = json.dumps(obj, sort_keys=True)
@@ -114,7 +150,13 @@ def _error_response(
 
 
 def _reader(state: _ServerState, inp: IO[str]) -> None:
-    """Parse stdin lines into the bounded queue; reject when full."""
+    """Parse stdin lines into the bounded queue; reject when full.
+
+    Session requests are routed here as well: ``open`` is handled inline
+    (cheap, and it must answer with the new id before any op can target
+    it), other session ops are appended to their session's FIFO so they
+    run in arrival order.
+    """
     for line in inp:
         line = line.strip()
         if not line:
@@ -146,6 +188,25 @@ def _reader(state: _ServerState, inp: IO[str]) -> None:
             )
             state.bump("rejected")
             continue
+        kind = payload.get("kind")
+        if kind == "open":
+            state.write(_open_session(state, payload))
+            state.bump("served")
+            continue
+        if kind in _SESSION_OP_KINDS:
+            _enqueue_session_op(state, payload, time.monotonic())
+            continue
+        if kind not in (None, "solve"):
+            state.write(
+                _error_response(
+                    payload.get("id"),
+                    "bad-request",
+                    "unknown request kind %r; expected solve, open, %s"
+                    % (kind, ", ".join(_SESSION_OP_KINDS)),
+                )
+            )
+            state.bump("rejected")
+            continue
         try:
             state.jobs.put_nowait((payload, time.monotonic()))
         except queue.Full:
@@ -159,6 +220,93 @@ def _reader(state: _ServerState, inp: IO[str]) -> None:
             )
             state.bump("rejected")
     state.eof.set()
+
+
+def _open_session(
+    state: _ServerState, payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Create a session; answered inline by the reader."""
+    rid = payload.get("id")
+    engine = payload.get("engine", state.config.engine)
+    if not isinstance(engine, str) or not engine.strip():
+        return _error_response(
+            rid, "bad-request", "'engine' must be an engine name"
+        )
+    timeout = payload.get("timeout", state.config.default_timeout)
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            return _error_response(
+                rid,
+                "bad-request",
+                "'timeout' must be a positive number of seconds",
+            )
+        timeout = float(timeout)
+    try:
+        session = Session(
+            engine=engine.strip(),
+            cache=state.cache,
+            time_limit=timeout,
+            want_model=bool(payload.get("want_countermodel", True)),
+        )
+    except ValueError as exc:
+        return _error_response(rid, "bad-request", str(exc))
+    with state.sessions_lock:
+        state.sessions_opened += 1
+        sid = "s%d" % state.sessions_opened
+        state.sessions[sid] = _ServeSession(
+            sid=sid, session=session, default_timeout=timeout
+        )
+    return {"id": rid, "ok": True, "session": sid, "engine": engine.strip()}
+
+
+def _enqueue_session_op(
+    state: _ServerState, payload: Dict[str, Any], received: float
+) -> None:
+    """Append one op to its session's FIFO and arm a drain turn."""
+    rid = payload.get("id")
+    sid = payload.get("session")
+    with state.sessions_lock:
+        sess = state.sessions.get(sid) if isinstance(sid, str) else None
+    if sess is None:
+        state.write(
+            _error_response(
+                rid,
+                "unknown-session-id",
+                "unknown session id %r (open a session first)" % (sid,),
+            )
+        )
+        state.bump("rejected")
+        return
+    with sess.lock:
+        if len(sess.pending) >= state.jobs.maxsize:
+            state.write(
+                _error_response(
+                    rid,
+                    "overloaded",
+                    "session %s has %d pending op(s); retry later"
+                    % (sess.sid, len(sess.pending)),
+                )
+            )
+            state.bump("rejected")
+            return
+        sess.pending.append((payload, received))
+        if sess.busy:
+            return
+        sess.busy = True
+    try:
+        state.jobs.put_nowait(({"_session_turn": sess.sid}, received))
+    except queue.Full:
+        with sess.lock:
+            sess.pending.pop()
+            sess.busy = False
+        state.write(
+            _error_response(
+                rid,
+                "overloaded",
+                "queue full (%d pending); retry later" % state.jobs.maxsize,
+            )
+        )
+        state.bump("rejected")
 
 
 def _parse_request(
@@ -298,6 +446,145 @@ def _solve_one(
     return response
 
 
+def _session_check(
+    state: _ServerState,
+    sess: _ServeSession,
+    payload: Dict[str, Any],
+    received: float,
+) -> Dict[str, Any]:
+    rid = payload.get("id")
+    timeout = payload.get("timeout", sess.default_timeout)
+    if timeout is not None:
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ValueError(
+                "'timeout' must be a positive number of seconds"
+            )
+        timeout = float(timeout)
+    started = time.monotonic()
+    remaining: Optional[float] = None
+    if timeout is not None:
+        remaining = timeout - (started - received)
+        if remaining <= 0:
+            return _error_response(
+                rid,
+                "deadline",
+                "deadline of %.3fs expired while queued" % timeout,
+                session=sess.sid,
+                wall_seconds=round(started - received, 6),
+            )
+    result = sess.session.check_sat(time_limit=remaining)
+    elapsed = time.monotonic() - received
+    if (
+        timeout is not None
+        and result.status == SESSION_UNKNOWN
+        and elapsed >= timeout
+    ):
+        return _error_response(
+            rid,
+            "deadline",
+            "deadline of %.3fs expired during check" % timeout,
+            session=sess.sid,
+            wall_seconds=round(elapsed, 6),
+        )
+    response: Dict[str, Any] = {
+        "id": rid,
+        "ok": True,
+        "session": sess.sid,
+        "status": result.status,
+        "backend": result.backend,
+        "depth": sess.session.depth,
+        "wall_seconds": round(elapsed, 6),
+    }
+    if result.model is not None:
+        response["model"] = interp_to_jsonable(result.model)
+    if result.core is not None:
+        response["core"] = [to_sexpr(f) for f in result.core]
+    return response
+
+
+def _session_op(
+    state: _ServerState,
+    sess: _ServeSession,
+    payload: Dict[str, Any],
+    received: float,
+) -> Dict[str, Any]:
+    """Execute one ordered session op; never raises."""
+    rid = payload.get("id")
+    kind = payload.get("kind")
+    try:
+        if sess.session.closed:
+            return _error_response(
+                rid,
+                "unknown-session-id",
+                "session %s is closed" % sess.sid,
+            )
+        if kind == "assert":
+            formula_text = payload.get("formula")
+            if not isinstance(formula_text, str) or not formula_text.strip():
+                raise ValueError(
+                    "'formula' must be a non-empty s-expression string"
+                )
+            index = sess.session.assert_formula(parse_formula(formula_text))
+            return {
+                "id": rid,
+                "ok": True,
+                "session": sess.sid,
+                "index": index,
+                "depth": sess.session.depth,
+            }
+        if kind == "push":
+            depth = sess.session.push()
+            return {"id": rid, "ok": True, "session": sess.sid, "depth": depth}
+        if kind == "pop":
+            levels = payload.get("levels", 1)
+            if not isinstance(levels, int) or isinstance(levels, bool):
+                raise ValueError("'levels' must be an integer")
+            depth = sess.session.pop(levels)
+            return {"id": rid, "ok": True, "session": sess.sid, "depth": depth}
+        if kind == "check":
+            return _session_check(state, sess, payload, received)
+        # kind == "close" — the entry stays in the map (marked closed) so
+        # ops already queued behind the close are still answered.
+        checks = sess.session.stats.checks
+        sess.session.close()
+        return {"id": rid, "ok": True, "session": sess.sid, "checks": checks}
+    except SessionError as exc:
+        if kind == "pop":
+            return _error_response(
+                rid, "pop-below-zero", str(exc), session=sess.sid
+            )
+        return _error_response(
+            rid, "unknown-session-id", str(exc), session=sess.sid
+        )
+    except ParseError as exc:
+        return _error_response(rid, "parse", str(exc), session=sess.sid)
+    except ValueError as exc:
+        return _error_response(rid, "bad-request", str(exc), session=sess.sid)
+    except Exception as exc:  # an op must never kill the session's turn
+        return _error_response(
+            rid,
+            "internal",
+            "%s: %s" % (type(exc).__name__, exc),
+            session=sess.sid,
+        )
+
+
+def _session_turn(state: _ServerState, sid: str) -> None:
+    """Drain one session's pending ops in arrival order."""
+    with state.sessions_lock:
+        sess = state.sessions.get(sid)
+    if sess is None:  # pragma: no cover - sessions are never removed
+        return
+    while True:
+        with sess.lock:
+            if not sess.pending:
+                sess.busy = False
+                return
+            payload, received = sess.pending.popleft()
+        state.write(_session_op(state, sess, payload, received))
+        state.bump("served")
+
+
 def _worker(state: _ServerState) -> None:
     while True:
         try:
@@ -307,6 +594,13 @@ def _worker(state: _ServerState) -> None:
                 return
             continue
         state.bump("in_flight")
+        if "_session_turn" in payload:
+            try:
+                _session_turn(state, payload["_session_turn"])
+            finally:
+                state.bump("in_flight", -1)
+                state.jobs.task_done()
+            continue
         try:
             response = _solve_one(state, payload, received)
         except Exception as exc:  # pragma: no cover - belt and braces
@@ -388,11 +682,25 @@ def run_server(
     for thread in workers:
         thread.join()
 
+    # Evict every session still open after the drain: all accepted ops
+    # have been answered above, so closing here loses nothing.
+    with state.sessions_lock:
+        for sess in state.sessions.values():
+            if not sess.session.closed:
+                sess.session.close()
+                state.sessions_evicted += 1
+        state.sessions.clear()
+
     totals: Dict[str, Any] = {
         "event": "bye",
         "served": state.served,
         "rejected": state.rejected,
     }
+    if state.sessions_opened:
+        totals["sessions"] = {
+            "opened": state.sessions_opened,
+            "evicted": state.sessions_evicted,
+        }
     if cache is not None:
         totals["cache"] = {
             "hits_memory": cache.stats.hits_memory,

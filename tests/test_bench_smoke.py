@@ -1,0 +1,92 @@
+"""The bench-smoke incremental-vs-scratch section (engine/bench_smoke.py)."""
+
+import json
+
+from repro.engine.bench_smoke import (
+    PREFIX_FAMILY_STEPS,
+    _run_incremental_comparison,
+    prefix_sharing_family,
+    run_bench_smoke,
+    write_incremental_report,
+)
+from repro.engine.session import Session
+from repro.logic.terms import Lt
+
+
+class TestPrefixSharingFamily:
+    def test_default_length_and_shape(self):
+        family = prefix_sharing_family()
+        assert len(family) == PREFIX_FAMILY_STEPS
+        # The closing step is the bare back-edge of the negative cycle.
+        assert isinstance(family[-1], Lt)
+
+    def test_deterministic(self):
+        assert prefix_sharing_family(9) == prefix_sharing_family(9)
+
+    def test_rejects_degenerate_lengths(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            prefix_sharing_family(1)
+
+    def test_every_proper_prefix_sat_full_family_unsat(self):
+        family = prefix_sharing_family(6)
+        for end in range(1, len(family) + 1):
+            session = Session(engine="hybrid", cache=None)
+            try:
+                for formula in family[:end]:
+                    session.assert_formula(formula)
+                result = session.check_sat()
+            finally:
+                session.close()
+            expected = "unsat" if end == len(family) else "sat"
+            assert result.status == expected, "prefix of %d" % end
+
+
+class TestIncrementalComparison:
+    def test_verdicts_agree_and_core_spans_chain(self):
+        report = _run_incremental_comparison(5.0, steps=8)
+        assert report["verdicts_match"]
+        assert report["expected_statuses_ok"]
+        assert report["final_status"] == "unsat"
+        # Every link participates in the closing negative cycle.
+        assert report["final_core_size"] == 8
+        assert len(report["rows"]) == 8
+        statuses = [r["status_incremental"] for r in report["rows"]]
+        assert statuses == ["sat"] * 7 + ["unsat"]
+
+    def test_row_timings_are_recorded(self):
+        report = _run_incremental_comparison(5.0, steps=4)
+        for row in report["rows"]:
+            assert row["wall_seconds_incremental"] >= 0.0
+            assert row["wall_seconds_scratch"] >= 0.0
+        assert report["wall_seconds_incremental"] > 0.0
+        assert report["wall_seconds_scratch"] > 0.0
+        assert report["speedup"] is not None
+
+
+class TestReportWiring:
+    def test_run_bench_smoke_includes_incremental_section(self):
+        report = run_bench_smoke(
+            engines=["hybrid"],
+            benchmarks=["pipeline_s2_r2_1"],
+            incremental_steps=4,
+        )
+        assert report["meta"]["incremental_verdicts_match"] is True
+        assert report["incremental"]["steps"] == 4
+
+    def test_write_incremental_report(self, tmp_path):
+        report = {
+            "meta": {
+                "python": "3.9.0",
+                "timeout_seconds": 5.0,
+                "incremental_verdicts_match": True,
+            },
+            "incremental": {"steps": 4, "speedup": 2.5},
+        }
+        path = tmp_path / "BENCH_PR6.json"
+        write_incremental_report(report, str(path))
+        sub = json.loads(path.read_text())
+        assert sub["incremental"]["speedup"] == 2.5
+        assert sub["meta"]["incremental_verdicts_match"] is True
+        assert "engines" not in sub

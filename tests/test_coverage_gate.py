@@ -16,7 +16,14 @@ coverage_gate = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(coverage_gate)
 
 
-def _report(service_covered, service_total, other_covered, other_total):
+def _report(
+    service_covered,
+    service_total,
+    other_covered,
+    other_total,
+    session_covered=95,
+    session_total=100,
+):
     def summary(covered, total):
         return {
             "summary": {
@@ -25,12 +32,15 @@ def _report(service_covered, service_total, other_covered, other_total):
             }
         }
 
-    all_covered = service_covered + other_covered
-    all_total = service_total + other_total
+    all_covered = service_covered + other_covered + session_covered
+    all_total = service_total + other_total + session_total
     return {
         "files": {
             "src/repro/service/cache.py": summary(
                 service_covered, service_total
+            ),
+            "src/repro/engine/session.py": summary(
+                session_covered, session_total
             ),
             "src/repro/cli.py": summary(other_covered, other_total),
         },
@@ -73,6 +83,34 @@ class TestCoverageGate:
             coverage_gate.main(["--report", str(tmp_path / "nope.json")])
             == 1
         )
+
+    def test_fails_when_session_layer_below_floor(self, tmp_path, capsys):
+        # engine/session.py is strictly gated by default (>= 90%).
+        report = _report(95, 100, 99, 100, session_covered=70)
+        rc = _run(tmp_path, report)
+        assert rc == 1
+        assert "repro/engine/session.py" in capsys.readouterr().out
+
+    def test_default_packages_include_session_layer(self):
+        assert "repro/engine/session.py" in coverage_gate.DEFAULT_PACKAGES
+        assert "repro/service/" in coverage_gate.DEFAULT_PACKAGES
+
+    def test_package_flag_is_repeatable(self, tmp_path, capsys):
+        report = _report(95, 100, 99, 100, session_covered=70)
+        rc = _run(
+            tmp_path,
+            report,
+            argv=[
+                "--package",
+                "repro/service/",
+                "--package",
+                "repro/engine/session.py",
+            ],
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "repro/service/" in out
+        assert "repro/engine/session.py" in out
 
     def test_unmatched_package_fails(self, tmp_path):
         report = _report(95, 100, 95, 100)

@@ -361,6 +361,57 @@ class TestCachedArm:
         assert discrepancy.kind in ("countermodel", "verdict")
 
 
+class TestIncrementalArm:
+    def test_default_methods_include_incremental(self):
+        assert "incremental" in default_methods()
+
+    def test_incremental_arm_agrees_with_scratch(self):
+        from repro.fuzz.oracle import _incremental_method
+
+        run = _incremental_method()
+        decided = 0
+        for seed in range(40):
+            formula = generate_formula(seed, "mixed")
+            outcome = run(formula)
+            # _incremental_method turns any incremental-vs-scratch
+            # mismatch, bad model, or failed core re-solve into an error.
+            assert outcome.error is None, (seed, outcome.error)
+            assert outcome.countermodel_ok in (None, True)
+            decided += outcome.valid is not None
+        assert decided >= 30
+
+    def test_incremental_arm_reuses_one_session(self):
+        from repro.engine.session import Session
+        from repro.fuzz.oracle import _incremental_method
+
+        run = _incremental_method()
+        session = next(
+            cell.cell_contents
+            for cell in run.__closure__
+            if isinstance(cell.cell_contents, Session)
+        )
+        for seed in range(10):
+            run(generate_formula(seed, "offset"))
+        # Frames are unwound after every sample, but the one persistent
+        # session (and its solver state) served all of them.
+        assert session.depth == 0
+        assert session.assertions() == []
+        assert session.stats.checks >= 10
+
+    def test_incremental_arm_in_campaign(self):
+        report = run_campaign(
+            FuzzConfig(
+                iterations=40,
+                seed=13,
+                methods=default_methods(
+                    names=["brute", "hybrid", "incremental"]
+                ),
+                out_dir=None,
+            )
+        )
+        assert report.ok, "\n".join(report.summary_lines())
+
+
 class TestPreprocessConfigs:
     def test_default_methods_include_preprocess_arms(self):
         methods = default_methods()

@@ -222,3 +222,39 @@ class TestBatch:
 
     def test_batch_empty(self):
         assert solve_batch([]) == []
+
+    def test_intra_batch_dedupe_canonicalizes_once_per_class(
+        self, monkeypatch
+    ):
+        # Hash-consing makes repeated formulas identical objects, so the
+        # batch must canonicalize each isomorphism class exactly once,
+        # not once per batch element.
+        import repro.logic.canonical as canonical_mod
+
+        real = canonical_mod.canonicalize
+        calls = []
+
+        def counting(formula):
+            calls.append(formula)
+            return real(formula)
+
+        monkeypatch.setattr(canonical_mod, "canonicalize", counting)
+        f = parse_formula(VALID_F)
+        g = parse_formula(INVALID_F)
+        outcomes = solve_batch(
+            [f, f, g, f, g], engines=["hybrid"], jobs=1
+        )
+        assert len(calls) == 2
+        assert [o.valid for o in outcomes] == [
+            True,
+            True,
+            False,
+            True,
+            False,
+        ]
+        dedupes = sum(
+            o.stats.cache.dedupes
+            for o in outcomes
+            if o.stats.cache is not None
+        )
+        assert dedupes == 3

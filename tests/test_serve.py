@@ -229,6 +229,216 @@ class TestInlineServe:
         assert "cache" not in responses[-1]
 
 
+class TestSessions:
+    """Stateful session ids on the wire protocol."""
+
+    def test_session_lifecycle(self):
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "kind": "open", "engine": "hybrid"},
+                {
+                    "id": 2,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(< x y)",
+                },
+                {"id": 3, "kind": "check", "session": "s1"},
+                {"id": 4, "kind": "push", "session": "s1"},
+                {
+                    "id": 5,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(< y x)",
+                },
+                {"id": 6, "kind": "check", "session": "s1"},
+                {"id": 7, "kind": "pop", "session": "s1"},
+                {"id": 8, "kind": "check", "session": "s1"},
+                {"id": 9, "kind": "close", "session": "s1"},
+            ]
+        )
+        assert rc == 0
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[1]["ok"] and by_id[1]["session"] == "s1"
+        assert by_id[2]["index"] == 0 and by_id[2]["depth"] == 0
+        assert by_id[3]["status"] == "sat"
+        assert by_id[3]["model"]["vars"]["x"] < by_id[3]["model"]["vars"]["y"]
+        assert by_id[4]["depth"] == 1
+        assert by_id[6]["status"] == "unsat"
+        assert sorted(by_id[6]["core"]) == ["(< x y)", "(< y x)"]
+        assert by_id[7]["depth"] == 0
+        assert by_id[8]["status"] == "sat"
+        assert by_id[9]["ok"] and by_id[9]["checks"] == 3
+        # An explicitly closed session does not count as evicted.
+        assert responses[-1]["sessions"] == {"opened": 1, "evicted": 0}
+
+    def test_interleaved_multi_client_sessions(self):
+        # Two independent sessions interleaved on one wire: ops stay
+        # ordered per session and the states never bleed together.
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "kind": "open"},
+                {"id": 2, "kind": "open"},
+                {
+                    "id": 3,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(< x y)",
+                },
+                {
+                    "id": 4,
+                    "kind": "assert",
+                    "session": "s2",
+                    "formula": "(< x y)",
+                },
+                {
+                    "id": 5,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(< y x)",
+                },
+                {"id": 6, "kind": "check", "session": "s1"},
+                {"id": 7, "kind": "check", "session": "s2"},
+            ],
+            config=ServeConfig(
+                workers=4, fork=False, install_signal_handlers=False
+            ),
+        )
+        assert rc == 0
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[6]["status"] == "unsat"
+        assert by_id[7]["status"] == "sat"
+        assert responses[-1]["sessions"]["opened"] == 2
+
+    def test_unknown_session_id_error_kind(self):
+        rc, responses = _run_inline(
+            [{"id": 1, "kind": "check", "session": "nosuch"}]
+        )
+        assert rc == 0
+        (response,) = [r for r in responses if "id" in r]
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "unknown-session-id"
+
+    def test_pop_below_zero_error_kind(self):
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "kind": "open"},
+                {"id": 2, "kind": "push", "session": "s1"},
+                {"id": 3, "kind": "pop", "session": "s1"},
+                {"id": 4, "kind": "pop", "session": "s1"},
+                {"id": 5, "kind": "check", "session": "s1"},
+            ]
+        )
+        assert rc == 0
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[3]["ok"] and by_id[3]["depth"] == 0
+        assert by_id[4]["ok"] is False
+        assert by_id[4]["error"]["kind"] == "pop-below-zero"
+        # The session survives the failed pop.
+        assert by_id[5]["status"] == "sat"
+
+    def test_ops_after_close_rejected(self):
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "kind": "open"},
+                {"id": 2, "kind": "close", "session": "s1"},
+                {"id": 3, "kind": "push", "session": "s1"},
+            ]
+        )
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[2]["ok"] is True
+        assert by_id[3]["ok"] is False
+        assert by_id[3]["error"]["kind"] == "unknown-session-id"
+
+    def test_session_request_validation(self):
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "kind": "open", "engine": "nosuch"},
+                {"id": 2, "kind": "open", "timeout": -1},
+                {"id": 3, "kind": "open"},
+                {"id": 4, "kind": "assert", "session": "s1"},
+                {
+                    "id": 5,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(= x",
+                },
+                {"id": 6, "kind": "pop", "session": "s1", "levels": "x"},
+                {"id": 7, "kind": "wibble"},
+            ]
+        )
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[1]["error"]["kind"] == "bad-request"
+        assert by_id[2]["error"]["kind"] == "bad-request"
+        assert by_id[3]["ok"] is True
+        assert by_id[4]["error"]["kind"] == "bad-request"
+        assert by_id[5]["error"]["kind"] == "parse"
+        assert by_id[6]["error"]["kind"] == "bad-request"
+        assert by_id[7]["error"]["kind"] == "bad-request"
+
+    def test_check_deadline_expired_while_queued(self):
+        # Drive the turn path directly with a back-dated receipt time.
+        from repro.service.server import (
+            _enqueue_session_op,
+            _open_session,
+            _session_turn,
+        )
+
+        state = _state()
+        opened = _open_session(state, {"id": 1, "kind": "open"})
+        sid = opened["session"]
+        _enqueue_session_op(
+            state,
+            {
+                "id": 2,
+                "kind": "check",
+                "session": sid,
+                "timeout": 0.05,
+            },
+            time.monotonic() - 10.0,
+        )
+        _session_turn(state, sid)
+        responses = _responses(state)
+        check = next(r for r in responses if r.get("id") == 2)
+        assert check["ok"] is False
+        assert check["error"]["kind"] == "deadline"
+        assert "queued" in check["error"]["message"]
+
+    def test_session_checks_share_server_cache_with_one_shot(self):
+        # A session's UNSAT check stores a validity entry that a later
+        # one-shot request for the negated conjunction hits directly.
+        rc, responses = _run_inline(
+            [
+                {"id": 1, "kind": "open", "engine": "hybrid"},
+                {
+                    "id": 2,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(< x y)",
+                },
+                {
+                    "id": 3,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(< y x)",
+                },
+                {"id": 4, "kind": "check", "session": "s1"},
+                {
+                    "id": 5,
+                    "formula": "(not (and (< x y) (< y x)))",
+                    "engine": "hybrid",
+                },
+            ],
+            config=ServeConfig(
+                workers=1, fork=False, install_signal_handlers=False
+            ),
+        )
+        assert rc == 0
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[4]["status"] == "unsat"
+        assert by_id[5]["status"] == "VALID"
+        assert by_id[5]["cache"]["hits_memory"] == 1
+
+
 def _spawn_serve(*extra_args):
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -299,6 +509,45 @@ class TestSubprocessEndToEnd:
         # Both accepted requests were answered despite the signal.
         assert by_id[1]["status"] == "VALID"
         assert by_id[2]["status"] == "INVALID"
+
+    def test_sigterm_drains_and_evicts_open_sessions(self):
+        proc = _spawn_serve("--workers", "1")
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            proc.stdin.write(json.dumps({"id": 1, "kind": "open"}) + "\n")
+            proc.stdin.flush()
+            opened = json.loads(proc.stdout.readline())
+            assert opened["ok"] and opened["session"] == "s1"
+            requests = [
+                {
+                    "id": 2,
+                    "kind": "assert",
+                    "session": "s1",
+                    "formula": "(< x y)",
+                },
+                {"id": 3, "kind": "check", "session": "s1"},
+            ]
+            for request in requests:
+                proc.stdin.write(json.dumps(request) + "\n")
+            proc.stdin.flush()
+            time.sleep(0.3)
+            # No close: the still-open session must be evicted on drain,
+            # after its accepted ops are answered.
+            proc.send_signal(signal.SIGTERM)
+            responses = [
+                json.loads(line) for line in proc.stdout.readlines()
+            ]
+            rc = proc.wait(timeout=60)
+        finally:
+            proc.kill()
+        assert rc == 0
+        by_id = {r["id"]: r for r in responses if "id" in r}
+        assert by_id[2]["ok"] is True
+        assert by_id[3]["status"] == "sat"
+        bye = responses[-1]
+        assert bye["event"] == "bye"
+        assert bye["sessions"] == {"opened": 1, "evicted": 1}
 
     def test_cache_dir_persists_across_server_runs(self, tmp_path):
         disk = str(tmp_path / "cache")

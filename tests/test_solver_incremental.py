@@ -77,6 +77,215 @@ class TestIncrementalBasics:
         assert solver.stats.propagations >= first
 
 
+def random_clauses(rng, num_vars, count, width=3):
+    return [
+        [
+            rng.choice([1, -1]) * rng.randint(1, num_vars)
+            for _ in range(rng.randint(1, width))
+        ]
+        for _ in range(count)
+    ]
+
+
+def implied_by(num_vars, clauses, lits):
+    """True iff ``clauses`` entail the clause ``lits`` (brute force)."""
+    negated = [[-lit] for lit in lits]
+    return not brute_force_sat(num_vars, clauses + negated)
+
+
+class TestAssumptions:
+    def test_sat_model_respects_assumptions(self):
+        clauses = [[1, 2], [-1, 3]]
+        solver = CdclSolver(make_cnf(3, clauses))
+        result = solver.solve_under_assumptions([-2])
+        assert result.is_sat
+        assert result.model[2] is False
+        for clause in clauses:
+            assert any((lit > 0) == result.model[abs(lit)] for lit in clause)
+
+    def test_unsat_core_over_assumption_literals(self):
+        # Assumptions 1 and 2 clash through the clause; 3 is irrelevant
+        # and final-conflict analysis must keep it out of the core.
+        solver = CdclSolver(make_cnf(3, [[-1, -2]]))
+        result = solver.solve_under_assumptions([3, 1, 2])
+        assert result.is_unsat
+        assert set(result.core) == {1, 2}
+
+    def test_contradictory_assumptions(self):
+        solver = CdclSolver(make_cnf(2, [[1, 2]]))
+        result = solver.solve_under_assumptions([1, -1])
+        assert result.is_unsat
+        assert set(result.core) == {1, -1}
+
+    def test_globally_unsat_gives_empty_core(self):
+        solver = CdclSolver(make_cnf(2, [[1], [-1]]))
+        result = solver.solve_under_assumptions([2])
+        assert result.is_unsat
+        assert result.core == []
+
+    def test_core_resolves_unsat(self):
+        clauses = [[-1, 2], [-2, 3], [-3, -1]]
+        solver = CdclSolver(make_cnf(4, clauses))
+        result = solver.solve_under_assumptions([4, 1])
+        assert result.is_unsat
+        assert set(result.core) <= {4, 1}
+        replay = CdclSolver(make_cnf(4, clauses))
+        assert replay.solve_under_assumptions(result.core).is_unsat
+
+    def test_invalid_assumption_literal_rejected(self):
+        solver = CdclSolver(make_cnf(2, [[1, 2]]))
+        with pytest.raises(ValueError):
+            solver.solve_under_assumptions([3])
+        with pytest.raises(ValueError):
+            solver.solve_under_assumptions([0])
+
+    def test_plain_solve_unaffected_after_assumption_calls(self):
+        solver = CdclSolver(make_cnf(2, [[1, 2]]))
+        assert solver.solve_under_assumptions([-1, -2]).is_unsat
+        result = solver.solve()
+        assert result.is_sat
+        assert solver.solve_under_assumptions([-1]).is_sat
+
+    def test_solve_delegates_to_assumption_path(self):
+        solver = CdclSolver(make_cnf(2, [[1], [-1]]))
+        result = solver.solve()
+        assert result.is_unsat
+        assert result.core == []
+
+
+class TestLearnedClauseRetention:
+    """Satellite regression: nothing learned may depend on an assumption.
+
+    Assumptions enter conflict analysis as reason-free decisions and are
+    never resolved on, so every learned clause is a resolvent of
+    database clauses alone.  These tests pin that semantics directly
+    (each learned clause is entailed by the original clauses) and
+    behaviorally (verdicts stay correct after the assumption is
+    retracted or flipped).
+    """
+
+    def _conflict_rich(self):
+        # All sign combinations over vars 1..3 force 4: solving under
+        # the assumption -4 generates real conflict-driven learning.
+        clauses = []
+        for a in (1, -1):
+            for b in (2, -2):
+                for c in (3, -3):
+                    clauses.append([a, b, c, 4])
+        return clauses
+
+    def test_learned_clauses_entailed_by_database_alone(self):
+        clauses = self._conflict_rich()
+        solver = CdclSolver(make_cnf(4, clauses))
+        assert solver.solve_under_assumptions([-4]).is_unsat
+        assert solver.stats.conflicts > 0
+        for learnt in solver.learned:
+            assert implied_by(4, clauses, learnt.lits)
+
+    def test_verdicts_survive_assumption_retraction(self):
+        clauses = self._conflict_rich()
+        solver = CdclSolver(make_cnf(4, clauses))
+        assert solver.solve_under_assumptions([-4]).is_unsat
+        # Retract: the instance itself is satisfiable, and any learned
+        # state from the -4 call must not leak into the verdict.
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[4] is True
+        assert solver.solve_under_assumptions([4]).is_sat
+
+    def test_activity_and_phase_retained_across_calls(self):
+        clauses = self._conflict_rich()
+        solver = CdclSolver(make_cnf(4, clauses))
+        first = solver.solve_under_assumptions([-4])
+        assert first.is_unsat
+        assert any(a > 0 for a in solver.activity[1:])
+        activity = list(solver.activity)
+        learned_before = len(solver.learned)
+        second = solver.solve_under_assumptions([4])
+        assert second.is_sat
+        assert second.stats is first.stats  # shared accumulator
+        # The second call starts from (and then extends) the first
+        # call's heuristic state rather than resetting it.
+        assert len(solver.learned) >= learned_before
+        assert all(
+            after >= before
+            for before, after in zip(activity, solver.activity)
+        )
+
+    def test_reduce_db_keeps_assumption_solving_correct(self):
+        rng = random.Random(7)
+        num_vars = 8
+        clauses = random_clauses(rng, num_vars, 40)
+        solver = CdclSolver(make_cnf(num_vars, clauses))
+        for trial in range(6):
+            assumptions = [
+                rng.choice([1, -1]) * v
+                for v in rng.sample(range(1, num_vars + 1), 2)
+            ]
+            expected = brute_force_sat(
+                num_vars, clauses + [[lit] for lit in assumptions]
+            )
+            assert (
+                solver.solve_under_assumptions(assumptions).is_sat
+                == expected
+            )
+            # Shrink the learned database between calls: retention is an
+            # optimization, never a soundness requirement.
+            solver._reduce_db()
+
+    def test_ensure_nvars_grows_variable_space(self):
+        solver = CdclSolver(make_cnf(2, [[1, 2]]))
+        solver.ensure_nvars(4)
+        assert solver.nvars == 4
+        solver.add_clause([3, 4])
+        solver.add_clause([-3])
+        result = solver.solve_under_assumptions([-1])
+        assert result.is_sat
+        assert result.model[2] is True
+        assert result.model[4] is True
+        solver.ensure_nvars(3)  # never shrinks
+        assert solver.nvars == 4
+
+
+class TestAssumptionDifferential:
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_matches_scratch_and_cores_check(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 6)
+        clauses = random_clauses(rng, num_vars, rng.randint(1, 12))
+        solver = CdclSolver(make_cnf(num_vars, clauses))
+        for _ in range(4):
+            assumptions = [
+                rng.choice([1, -1]) * v
+                for v in rng.sample(
+                    range(1, num_vars + 1),
+                    rng.randint(0, num_vars),
+                )
+            ]
+            expected = brute_force_sat(
+                num_vars, clauses + [[lit] for lit in assumptions]
+            )
+            result = solver.solve_under_assumptions(assumptions)
+            assert result.is_sat == expected
+            if result.is_sat:
+                for clause in clauses:
+                    assert any(
+                        (lit > 0) == result.model[abs(lit)]
+                        for lit in clause
+                    )
+                for lit in assumptions:
+                    assert (lit > 0) == result.model[abs(lit)]
+            else:
+                assert set(result.core) <= set(assumptions)
+                assert not brute_force_sat(
+                    num_vars,
+                    clauses + [[lit] for lit in result.core],
+                )
+        # The incremental state never pollutes a plain solve.
+        assert solver.solve().is_sat == brute_force_sat(num_vars, clauses)
+
+
 class TestIncrementalAgainstRestart:
     @settings(max_examples=80, deadline=None)
     @given(seed=st.integers(0, 100_000))

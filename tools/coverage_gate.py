@@ -5,9 +5,11 @@ Reads the ``coverage.json`` that ``pytest --cov=repro --cov-report=json``
 produces and fails (exit 1) when either floor is broken:
 
 * the global line-coverage floor (``--global-floor``), and
-* a stricter floor for the service layer (``--package`` /
-  ``--package-floor``) — the result cache and the serve loop are the
-  correctness-critical concurrency code this repo most needs pinned.
+* a stricter floor for each strictly-gated package (``--package``,
+  repeatable, with ``--package-floor``) — by default the service layer
+  (the result cache and the serve loop are the correctness-critical
+  concurrency code this repo most needs pinned) and the incremental
+  session layer (``engine/session.py``, the stateful solving path).
 
 Kept dependency-free on purpose: the local container has no coverage
 tooling (see ROADMAP.md), so this script only ever runs in CI after
@@ -20,6 +22,9 @@ import argparse
 import json
 import sys
 from typing import Dict, Tuple
+
+#: Strictly-gated packages when no ``--package`` is given.
+DEFAULT_PACKAGES = ["repro/service/", "repro/engine/session.py"]
 
 
 def package_rate(
@@ -52,16 +57,22 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--package",
-        default="repro/service/",
-        help="path fragment selecting the strictly-gated package",
+        action="append",
+        dest="packages",
+        default=None,
+        help=(
+            "path fragment selecting a strictly-gated package "
+            "(repeatable; default: %s)" % ", ".join(DEFAULT_PACKAGES)
+        ),
     )
     parser.add_argument(
         "--package-floor",
         type=float,
         default=90.0,
-        help="minimum line coverage percent for --package",
+        help="minimum line coverage percent for each --package",
     )
     args = parser.parse_args(argv)
+    packages = args.packages if args.packages else list(DEFAULT_PACKAGES)
 
     try:
         with open(args.report) as handle:
@@ -74,7 +85,6 @@ def main(argv=None) -> int:
     if total is None:
         print("coverage-gate: report has no totals.percent_covered")
         return 1
-    pkg_rate, pkg_covered, pkg_statements = package_rate(report, args.package)
 
     failed = False
     print(
@@ -84,14 +94,18 @@ def main(argv=None) -> int:
     if total < args.global_floor:
         print("coverage-gate: FAIL — total coverage below the floor")
         failed = True
-    if pkg_statements == 0:
-        print("coverage-gate: FAIL — no files match %r" % args.package)
-        failed = True
-    else:
+    for fragment in packages:
+        pkg_rate, pkg_covered, pkg_statements = package_rate(
+            report, fragment
+        )
+        if pkg_statements == 0:
+            print("coverage-gate: FAIL — no files match %r" % fragment)
+            failed = True
+            continue
         print(
             "coverage-gate: %s %.2f%% (%d/%d lines, floor %.2f%%)"
             % (
-                args.package,
+                fragment,
                 pkg_rate,
                 pkg_covered,
                 pkg_statements,
@@ -101,7 +115,7 @@ def main(argv=None) -> int:
         if pkg_rate < args.package_floor:
             print(
                 "coverage-gate: FAIL — %s coverage below the floor"
-                % args.package
+                % fragment
             )
             failed = True
     if not failed:
