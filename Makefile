@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint typecheck analyze fuzz fuzz-smoke bench-smoke coverage ci clean
+.PHONY: test lint typecheck analyze fuzz fuzz-smoke bench-smoke bench-gate profile coverage ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -33,13 +33,28 @@ typecheck:
 
 # Fixed benchmark subset through every engine; per-engine wall/encode/sat
 # seconds, the preprocessing on/off comparison, and the cold-vs-warm
-# result-cache comparison land in BENCH_PR4.json, and the
+# result-cache comparison land in BENCH_PR4.json, the
 # incremental-vs-scratch comparison on the prefix-sharing family lands
-# in BENCH_PR6.json (CI uploads both and fails if preprocessing, the
-# cache, or incremental solving changes a verdict).
+# in BENCH_PR6.json, and the arena-vs-legacy SAT core comparison on the
+# large generated families lands in BENCH_PR7.json (CI uploads all and
+# fails if preprocessing, the cache, incremental solving, or the arena
+# solver changes a verdict).
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke \
-		--out BENCH_PR4.json --incremental-out BENCH_PR6.json
+		--out BENCH_PR4.json --incremental-out BENCH_PR6.json \
+		--families large --sat-core-out BENCH_PR7.json
+
+# Perf-regression gate: compares BENCH_PR7.json's aggregate
+# arena-vs-legacy speedup (a machine-independent ratio) against the
+# committed benchmarks/baseline.json; fails on a verdict change or a
+# >25% speedup regression.
+bench-gate:
+	$(PYTHON) tools/bench_gate.py
+
+# cProfile one sat-core instance (PROFILE_ARGS picks instance/flags,
+# e.g. make profile PROFILE_ARGS="php_8_7 --legacy").
+profile:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/profile_sat.py $(PROFILE_ARGS)
 
 # Line coverage with floors (requires pytest-cov; CI installs it — the
 # local dev container intentionally has no coverage tooling).

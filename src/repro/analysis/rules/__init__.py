@@ -1,15 +1,18 @@
 """Rule packs.  Importing this package registers every rule.
 
-Three packs, one per invariant family the repo actually depends on:
+Four packs, one per invariant family the repo actually depends on:
 
 * :mod:`.concurrency` — ``RC1xx``: lock discipline, double-checked
   locking order, worker-target picklability;
 * :mod:`.determinism` — ``RD2xx``: process-stable canonical keys and
   fingerprints;
 * :mod:`.contract` — ``RE3xx``: the engine registry/status/telemetry
-  contract and exception hygiene in worker loops.
+  contract and exception hygiene in worker loops;
+* :mod:`.perf` — ``RP4xx``: allocation and attribute-lookup discipline
+  inside functions marked ``# repro: hot-loop`` (the SAT core's
+  propagation loop).
 """
 
-from . import concurrency, contract, determinism
+from . import concurrency, contract, determinism, perf
 
-__all__ = ["concurrency", "contract", "determinism"]
+__all__ = ["concurrency", "contract", "determinism", "perf"]

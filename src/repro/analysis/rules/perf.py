@@ -1,0 +1,228 @@
+"""Performance rules for functions marked ``# repro: hot-loop``.
+
+The SAT core's unit-propagation loop executes millions of times per
+solve and was tuned profile-first (see ``docs/architecture.md``, "SAT
+core memory layout"); two CPython cost classes kept reappearing during
+that work and are worth pinning as lint rules rather than folklore:
+
+* allocating a fresh container per iteration (``RP401``) — a tuple or
+  list display inside the loop body turns every iteration into an
+  allocator round-trip, which is exactly what the arena layout exists
+  to avoid;
+* re-resolving the same dotted attribute on every iteration
+  (``RP402``) — CPython performs a dictionary lookup per ``a.b`` load,
+  so hot loops cache attributes in locals once, before the loop.
+
+Both rules fire *only* inside functions whose ``def`` line (or the
+line directly above it) carries the ``# repro: hot-loop`` marker, so
+ordinary code keeps its readability idioms; opting a function in is a
+statement that its inner loops are measured and worth the strictness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ModuleContext, Rule, register_rule
+
+__all__ = [
+    "HOT_LOOP_MARKER",
+    "hot_loop_functions",
+    "ContainerAllocationInHotLoop",
+    "RepeatedAttributeLoadInHotLoop",
+]
+
+HOT_LOOP_MARKER = "repro: hot-loop"
+
+#: Constructor calls that allocate a fresh container.
+_ALLOCATING_CALLS = frozenset({"list", "dict", "set", "tuple"})
+
+
+def hot_loop_functions(
+    module: ModuleContext,
+) -> Iterator[ast.FunctionDef]:
+    """Functions opted into the perf rules via ``# repro: hot-loop``.
+
+    The marker counts when it sits on the ``def`` line itself or on the
+    comment line directly above it (decorators included).
+    """
+    marked_lines: Set[int] = set()
+    for index, line in enumerate(module.lines, start=1):
+        if HOT_LOOP_MARKER in line:
+            marked_lines.add(index)
+    if not marked_lines:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.lineno in marked_lines or node.lineno - 1 in marked_lines:
+            yield node
+
+
+def _loops(func: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.While)):
+            yield node
+
+
+def _swap_value_tuples(func: ast.AST) -> Set[int]:
+    """id()s of RHS tuples in the ``a, b = b, a`` swap idiom."""
+    exempt: Set[int] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Tuple)
+            and isinstance(node.value, ast.Tuple)
+        ):
+            exempt.add(id(node.value))
+    return exempt
+
+
+@register_rule
+class ContainerAllocationInHotLoop(Rule):
+    """A container allocated per iteration of a hot loop.
+
+    Tuple/list/dict/set displays, comprehensions, and bare
+    ``list()``/``dict()``/``set()``/``tuple()`` calls inside the loop
+    body of a ``# repro: hot-loop`` function allocate on every
+    iteration.  Hoist the container out of the loop, or restructure to
+    parallel scalars/flat arrays (the arena idiom).  All-constant
+    tuples (folded at compile time) and the ``a, b = b, a`` swap idiom
+    (no heap tuple on CPython) are exempt.
+    """
+
+    code = "RP401"
+    name = "container-allocation-in-hot-loop"
+    description = (
+        "tuple/list/dict/set allocated inside the loop body of a "
+        "function marked '# repro: hot-loop'"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for func in hot_loop_functions(module):
+            exempt = _swap_value_tuples(func)
+            seen: Set[int] = set()
+            for loop in _loops(func):
+                for node in ast.walk(loop):
+                    if id(node) in seen or node is loop:
+                        continue
+                    label = self._allocation_label(node, exempt)
+                    if label is None:
+                        continue
+                    seen.add(id(node))
+                    yield self.finding(
+                        module,
+                        node,
+                        "%s allocated per iteration inside hot-loop "
+                        "function %r; hoist it out of the loop or use "
+                        "parallel scalars" % (label, func.name),
+                    )
+
+    @staticmethod
+    def _allocation_label(
+        node: ast.AST, exempt_tuples: Set[int]
+    ) -> Optional[str]:
+        if isinstance(node, ast.Tuple):
+            if not isinstance(node.ctx, ast.Load):
+                return None
+            if id(node) in exempt_tuples:
+                return None
+            if all(isinstance(elt, ast.Constant) for elt in node.elts):
+                return None
+            return "tuple display"
+        if isinstance(node, ast.List) and isinstance(node.ctx, ast.Load):
+            return "list display"
+        if isinstance(node, ast.Dict):
+            return "dict display"
+        if isinstance(node, ast.Set):
+            return "set display"
+        if isinstance(node, ast.ListComp):
+            return "list comprehension"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if isinstance(node, ast.DictComp):
+            return "dict comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in _ALLOCATING_CALLS:
+                return "%s() call" % node.func.id
+        return None
+
+
+def _dotted_path(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for attribute chains rooted at a plain name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register_rule
+class RepeatedAttributeLoadInHotLoop(Rule):
+    """The same dotted attribute resolved twice in one hot-loop body.
+
+    Each ``a.b`` load is a dictionary lookup in CPython; a chain
+    repeated in a loop body pays it every iteration.  Cache the value
+    in a local before the loop (``stats = self.stats``).  Occurrences
+    inside a nested loop are charged to that inner loop only, so a
+    chain is reported exactly once, at the innermost loop that repeats
+    it.
+    """
+
+    code = "RP402"
+    name = "repeated-attribute-load-in-hot-loop"
+    description = (
+        "the same dotted attribute loaded twice or more inside one "
+        "loop body of a function marked '# repro: hot-loop'"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for func in hot_loop_functions(module):
+            for loop in _loops(func):
+                for path, node, count in self._repeated(loop):
+                    yield self.finding(
+                        module,
+                        node,
+                        "attribute chain %r loaded %d times per "
+                        "iteration inside hot-loop function %r; cache "
+                        "it in a local before the loop"
+                        % (path, count, func.name),
+                    )
+
+    @staticmethod
+    def _repeated(loop: ast.AST) -> Iterator[Tuple[str, ast.AST, int]]:
+        """(path, first node, count) for chains loaded >= 2 times at
+        this loop's own level (nested loops are excluded — they report
+        for themselves)."""
+        counts: Dict[str, List[ast.AST]] = {}
+
+        def visit(node: ast.AST) -> None:
+            if node is not loop and isinstance(node, (ast.For, ast.While)):
+                return  # charged to the inner loop
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                path = _dotted_path(node)
+                if path is not None:
+                    counts.setdefault(path, []).append(node)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(loop)
+        repeated = {
+            path for path, nodes in counts.items() if len(nodes) >= 2
+        }
+        for path in sorted(repeated):
+            # A repeated longer chain subsumes its prefixes: caching
+            # `self.stats.a` already caches the `self.stats` hop.
+            if any(
+                other.startswith(path + ".") for other in repeated
+            ):
+                continue
+            nodes = counts[path]
+            yield path, nodes[0], len(nodes)

@@ -183,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="length of the generated prefix-sharing chain",
     )
+    smoke.add_argument(
+        "--sat-core-out",
+        default="BENCH_PR7.json",
+        metavar="FILE",
+        help="JSON output path for the arena-vs-legacy SAT core "
+        "comparison (default BENCH_PR7.json; empty string disables)",
+    )
+    smoke.add_argument(
+        "--families",
+        default="small",
+        metavar="NAMES",
+        help="comma-separated sat-core family subset: small and/or "
+        "large (default small)",
+    )
     smoke.add_argument("--timeout", type=float, default=None)
     smoke.add_argument(
         "--engines",
@@ -530,10 +544,12 @@ def _cmd_bench_smoke(args) -> int:
     from .engine.bench_smoke import (
         DEFAULT_TIMEOUT,
         PREFIX_FAMILY_STEPS,
+        SAT_CORE_FAMILIES,
         format_table,
         run_bench_smoke,
         write_incremental_report,
         write_report,
+        write_sat_core_report,
     )
 
     try:
@@ -541,10 +557,20 @@ def _cmd_bench_smoke(args) -> int:
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    unknown = [f for f in families if f not in SAT_CORE_FAMILIES]
+    if unknown:
+        print(
+            "error: unknown sat-core families %s (known: %s)"
+            % (", ".join(unknown), ", ".join(sorted(SAT_CORE_FAMILIES))),
+            file=sys.stderr,
+        )
+        return 2
     report = run_bench_smoke(
         timeout=args.timeout or DEFAULT_TIMEOUT,
         engines=engines,
         incremental_steps=args.incremental_steps or PREFIX_FAMILY_STEPS,
+        sat_core_families=families or None,
     )
     print(format_table(report))
     if args.out:
@@ -553,6 +579,9 @@ def _cmd_bench_smoke(args) -> int:
     if args.incremental_out:
         write_incremental_report(report, args.incremental_out)
         print("wrote %s" % args.incremental_out)
+    if args.sat_core_out:
+        write_sat_core_report(report, args.sat_core_out)
+        print("wrote %s" % args.sat_core_out)
     if not report["meta"]["preprocess_verdicts_match"]:
         print(
             "error: preprocessing changed a verdict on the smoke suite "
@@ -571,6 +600,14 @@ def _cmd_bench_smoke(args) -> int:
         print(
             "error: incremental and scratch solving disagreed on the "
             "prefix-sharing family (see the incremental section of the "
+            "report)",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["meta"]["sat_core_verdicts_match"]:
+        print(
+            "error: the arena solver and the legacy reference disagreed "
+            "on a sat-core instance (see the sat_core section of the "
             "report)",
             file=sys.stderr,
         )

@@ -20,6 +20,17 @@ warm (same cache, canonical-key hit), recording both wall times, the
 speedup, and whether the verdicts agree — the warm-vs-cold evidence for
 the service layer, refreshed on every CI run.
 
+The ``sat_core`` section benchmarks the arena-based CDCL solver against
+the frozen pre-arena reference implementation
+(:mod:`repro.sat.legacy_solver`) on generated CNF families — fixed-seed
+random 3-CNF near the phase-transition ratio and pigeonhole instances.
+Both solvers decide every instance; CI fails on any verdict mismatch,
+and the per-instance wall seconds plus the aggregate speedup land in
+``BENCH_PR7.json``.  The ``small`` family keeps the default run fast;
+``--families large`` selects instances big enough for the speedup to
+dominate timing noise (the perf gate in ``tools/bench_gate.py`` compares
+that aggregate against ``benchmarks/baseline.json``).
+
 The ``incremental`` section compares assumption-based incremental
 solving (:class:`~repro.engine.session.Session`) against scratch solves
 on a generated prefix-sharing family: a growing chain of difference
@@ -46,11 +57,17 @@ from .contract import SolveRequest
 __all__ = [
     "SMOKE_BENCHMARKS",
     "PREFIX_FAMILY_STEPS",
+    "SAT_CORE_FAMILIES",
     "prefix_sharing_family",
+    "random_3cnf",
+    "pigeonhole_cnf",
+    "sat_core_instance",
+    "run_sat_core_comparison",
     "run_bench_smoke",
     "format_table",
     "write_report",
     "write_incremental_report",
+    "write_sat_core_report",
 ]
 
 #: Small members of three suite domains — decided in well under a second
@@ -67,6 +84,132 @@ DEFAULT_TIMEOUT = 5.0
 
 #: Length of the generated prefix-sharing chain (one check per step).
 PREFIX_FAMILY_STEPS = 40
+
+#: Generated CNF instances for the arena-vs-legacy solver comparison.
+#: Each entry is ``(name, kind, params)`` where ``kind`` selects the
+#: generator (``rand3`` → seed/vars/clauses at the ~4.26 phase-transition
+#: ratio, ``php`` → pigeons/holes).  ``small`` finishes in well under a
+#: second and runs by default; ``large`` is sized so the speedup ratio
+#: dominates timing noise and backs the committed perf baseline.
+SAT_CORE_FAMILIES: Dict[str, tuple] = {
+    "small": (
+        ("r3_100_426_s3", "rand3", (3, 100, 426)),
+        ("r3_120_511_s5", "rand3", (5, 120, 511)),
+        ("php_6_5", "php", (6, 5)),
+    ),
+    "large": (
+        ("r3_190_808_s19", "rand3", (19, 190, 808)),
+        ("r3_200_852_s7", "rand3", (7, 200, 852)),
+        ("r3_210_895_s23", "rand3", (23, 210, 895)),
+        ("php_8_7", "php", (8, 7)),
+    ),
+}
+
+
+def random_3cnf(seed: int, num_vars: int, num_clauses: int):
+    """Fixed-seed uniform random 3-CNF (three distinct variables)."""
+    import random
+
+    from ..sat.cnf import Cnf
+
+    rng = random.Random(seed)
+    cnf = Cnf()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        cnf.add_clause(
+            [v if rng.random() < 0.5 else -v for v in chosen]
+        )
+    return cnf
+
+
+def pigeonhole_cnf(pigeons: int, holes: int):
+    """Pigeonhole principle CNF; UNSAT whenever ``pigeons > holes``."""
+    from ..sat.cnf import Cnf
+
+    cnf = Cnf()
+    var = {
+        (p, h): cnf.new_var()
+        for p in range(pigeons)
+        for h in range(holes)
+    }
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return cnf
+
+
+def sat_core_instance(name: str):
+    """Build the named :data:`SAT_CORE_FAMILIES` instance."""
+    for members in SAT_CORE_FAMILIES.values():
+        for inst_name, kind, params in members:
+            if inst_name != name:
+                continue
+            if kind == "rand3":
+                return random_3cnf(*params)
+            return pigeonhole_cnf(*params)
+    raise ValueError("unknown sat-core instance %r" % name)
+
+
+def run_sat_core_comparison(
+    families: Optional[List[str]] = None,
+) -> Dict:
+    """Solve each family instance with both solvers; returns the section.
+
+    The arena solver and the frozen legacy reference get a fresh CNF
+    each (no shared state), statuses must agree instance by instance,
+    and the aggregate speedup is total legacy seconds over total arena
+    seconds — the number the perf gate tracks.
+    """
+    from ..sat.legacy_solver import CdclSolver as LegacySolver
+    from ..sat.solver import CdclSolver
+
+    family_names = list(families or ["small"])
+    section: Dict[str, Any] = {
+        "families": family_names,
+        "instances": {},
+        "verdicts_match": True,
+    }
+    total_arena = 0.0
+    total_legacy = 0.0
+    for family in family_names:
+        if family not in SAT_CORE_FAMILIES:
+            raise ValueError("unknown sat-core family %r" % family)
+        for name, _kind, _params in SAT_CORE_FAMILIES[family]:
+            start = time.perf_counter()
+            arena_result = CdclSolver(sat_core_instance(name)).solve()
+            arena_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            legacy_result = LegacySolver(sat_core_instance(name)).solve()
+            legacy_seconds = time.perf_counter() - start
+            match = arena_result.status == legacy_result.status
+            if not match:
+                section["verdicts_match"] = False
+            total_arena += arena_seconds
+            total_legacy += legacy_seconds
+            section["instances"][name] = {
+                "family": family,
+                "status_arena": arena_result.status,
+                "status_legacy": legacy_result.status,
+                "verdicts_match": match,
+                "seconds_arena": arena_seconds,
+                "seconds_legacy": legacy_seconds,
+                "speedup": (
+                    legacy_seconds / arena_seconds if arena_seconds else None
+                ),
+                "conflicts_arena": arena_result.stats.conflicts,
+                "conflicts_legacy": legacy_result.stats.conflicts,
+            }
+    section["aggregate"] = {
+        "seconds_arena": total_arena,
+        "seconds_legacy": total_legacy,
+        "speedup": total_legacy / total_arena if total_arena else None,
+    }
+    return section
 
 
 def prefix_sharing_family(steps: int = PREFIX_FAMILY_STEPS) -> List[Formula]:
@@ -283,6 +426,7 @@ def run_bench_smoke(
     engines: Optional[List[str]] = None,
     benchmarks: Optional[List[str]] = None,
     incremental_steps: int = PREFIX_FAMILY_STEPS,
+    sat_core_families: Optional[List[str]] = None,
 ) -> Dict:
     """Run the smoke matrix; returns the JSON-ready report dict."""
     from . import registry
@@ -299,6 +443,7 @@ def run_bench_smoke(
             "preprocess_verdicts_match": True,
             "cache_verdicts_match": True,
             "incremental_verdicts_match": True,
+            "sat_core_verdicts_match": True,
         },
         "engines": {},
         "preprocess": {},
@@ -343,6 +488,10 @@ def run_bench_smoke(
         report["incremental"]["verdicts_match"]
         and report["incremental"]["expected_statuses_ok"]
     )
+    report["sat_core"] = run_sat_core_comparison(sat_core_families)
+    report["meta"]["sat_core_verdicts_match"] = report["sat_core"][
+        "verdicts_match"
+    ]
     return report
 
 
@@ -414,6 +563,39 @@ def format_table(report: Dict) -> str:
                 "ok" if cache["verdicts_match"] else "MISMATCH",
             )
         )
+    sat_core = report.get("sat_core")
+    if sat_core:
+        lines.append("")
+        lines.append(
+            "%-16s %9s %9s %9s  %s"
+            % ("sat-core", "arena", "legacy", "speedup", "statuses")
+        )
+        for name, row in sat_core["instances"].items():
+            lines.append(
+                "%-16s %8.3fs %8.3fs %8.2fx  %s"
+                % (
+                    name,
+                    row["seconds_arena"],
+                    row["seconds_legacy"],
+                    row["speedup"] or 0.0,
+                    (
+                        row["status_arena"]
+                        if row["verdicts_match"]
+                        else "MISMATCH"
+                    ),
+                )
+            )
+        agg = sat_core["aggregate"]
+        lines.append(
+            "%-16s %8.3fs %8.3fs %8.2fx  %s"
+            % (
+                "aggregate",
+                agg["seconds_arena"],
+                agg["seconds_legacy"],
+                agg["speedup"] or 0.0,
+                "ok" if sat_core["verdicts_match"] else "MISMATCH",
+            )
+        )
     incremental = report.get("incremental")
     if incremental:
         ok = (
@@ -460,5 +642,20 @@ def write_incremental_report(report: Dict, path: str) -> None:
             ],
         },
         "incremental": report["incremental"],
+    }
+    write_report(sub, path)
+
+
+def write_sat_core_report(report: Dict, path: str) -> None:
+    """Write just the arena-vs-legacy section (BENCH_PR7.json)."""
+    sub = {
+        "meta": {
+            "python": report["meta"]["python"],
+            "generated_by": "repro bench-smoke",
+            "sat_core_verdicts_match": report["meta"][
+                "sat_core_verdicts_match"
+            ],
+        },
+        "sat_core": report["sat_core"],
     }
     write_report(sub, path)

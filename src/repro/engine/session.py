@@ -229,19 +229,24 @@ class _IncrementalBackend:
             sel = self._cnf.new_var(
                 ("session", "selector", len(self._selectors))
             )
+            # tseitin hands back a packed root; guard it with the packed
+            # negative selector literal so the clause never round-trips
+            # through the signed representation.
             _, root = tseitin(prop, self._cnf, self._tseitin_memo)
-            self._cnf.add_clause_unchecked([-sel, root])
+            self._cnf.add_packed_clause([(sel << 1) | 1, root])
             self._selectors[formula] = sel
             self._by_selector[sel] = formula
             self._sync()
         return sel
 
     def _sync(self) -> None:
-        """Feed CNF growth (new vars and clauses) into the live solver."""
-        self._solver.ensure_nvars(self._cnf.num_vars)
-        for clause in self._cnf.clauses[self._fed_clauses :]:
-            self._solver.add_clause(clause)
-        self._fed_clauses = len(self._cnf.clauses)
+        """Feed CNF growth (new vars and clauses) into the live solver.
+
+        Bulk-attaches straight from the packed arena: no signed clause
+        lists are materialized on the incremental path.
+        """
+        self._solver.attach_from(self._cnf, self._fed_clauses)
+        self._fed_clauses = len(self._cnf)
 
     def _dimacs(self, literal: Formula) -> int:
         if isinstance(literal, Not):

@@ -147,9 +147,9 @@ def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
     with clock.stage("cnf") as rec:
         cnf = to_cnf(encoding.check_formula, mode="pg")
         stats.cnf_vars = cnf.num_vars
-        stats.cnf_clauses = len(cnf.clauses)
+        stats.cnf_clauses = len(cnf)
         rec.counters["vars"] = cnf.num_vars
-        rec.counters["clauses"] = len(cnf.clauses)
+        rec.counters["clauses"] = len(cnf)
 
     pre = None
     solver_cnf = cnf

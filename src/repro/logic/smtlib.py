@@ -518,12 +518,23 @@ _RESERVED_SYMBOLS = frozenset(
 )
 
 
+def _reads_as_numeral(name: str) -> bool:
+    # The reader lexes any int()-parseable token ("5", "-0", "+3") as an
+    # integer literal, so such names must be |quoted| to survive.
+    try:
+        int(name)
+    except ValueError:
+        return False
+    return True
+
+
 def _smt_symbol(name: str) -> str:
     """Quote a symbol with ``|...|`` when it needs it."""
     simple = (
         name
         and name not in _RESERVED_SYMBOLS
         and not name[0].isdigit()
+        and not _reads_as_numeral(name)
         and all(
             ch.isalnum() or ch in "_-.~!@$%^&*+=<>?/" for ch in name
         )

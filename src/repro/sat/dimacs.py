@@ -3,6 +3,10 @@
 Provided so that encodings produced by this package can be cross-checked
 with external SAT solvers (the paper used zChaff 2001.2.17), and so random
 DIMACS instances can be fed to :mod:`repro.sat.solver` in tests.
+
+Both directions talk to the packed clause arena directly: the writer
+serializes straight from :meth:`Cnf.packed_arrays` (no signed clause
+lists are materialized) and the reader packs literals as it parses.
 """
 
 from __future__ import annotations
@@ -21,13 +25,19 @@ def write_dimacs(cnf: Cnf, fp: TextIO, comment: str = "") -> None:
     single ``fp.write`` — per-clause writes dominate serialization time
     on large CNFs (two buffered-IO calls per clause).
     """
+    lits, starts = cnf.packed_arrays()
     lines = []
     if comment:
         for line in comment.splitlines():
             lines.append("c %s" % line)
-    lines.append("p cnf %d %d" % (cnf.num_vars, len(cnf.clauses)))
-    for clause in cnf.clauses:
-        lines.append(" ".join(map(str, clause)) + " 0")
+    lines.append("p cnf %d %d" % (cnf.num_vars, len(starts) - 1))
+    for i in range(len(starts) - 1):
+        row = [
+            ("-%d" % (q >> 1)) if q & 1 else ("%d" % (q >> 1))
+            for q in lits[starts[i] : starts[i + 1]]
+        ]
+        row.append("0")
+        lines.append(" ".join(row))
     lines.append("")
     fp.write("\n".join(lines))
 
@@ -52,14 +62,16 @@ def read_dimacs(fp: TextIO) -> Cnf:
         for tok in line.split():
             lit = int(tok)
             if lit == 0:
-                cnf.add_clause(pending)
+                cnf.add_packed_clause(pending)
                 pending = []
             else:
                 while abs(lit) > cnf.num_vars:
                     cnf.new_var()
-                pending.append(lit)
+                pending.append(
+                    (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+                )
     if pending:
-        cnf.add_clause(pending)
+        cnf.add_packed_clause(pending)
     return cnf
 
 

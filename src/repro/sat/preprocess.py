@@ -24,6 +24,13 @@ returns a model of the original CNF — which is what lets the pipeline's
 countermodel decode (and the fuzzer's countermodel validation) keep
 working with preprocessing enabled.
 
+Everything in here — clause db, occurrence lists, signatures, unit
+queue, reconstruction stack — operates on **packed literals** (``2v`` /
+``2v + 1``, see :mod:`repro.sat.cnf`): clauses come out of the input
+arena packed and go into the simplified arena packed, with no signed
+round-trip in between.  Negation is ``lit ^ 1`` and the variable is
+``lit >> 1`` throughout.
+
 Variable numbering is preserved: the simplified :class:`Cnf` has the same
 ``num_vars`` and name table as the input, eliminated variables simply no
 longer occur in any clause.
@@ -98,6 +105,7 @@ class PreprocessResult:
         self.original = original
         self.simplified = simplified
         self.stats = stats
+        #: Reconstruction entries ``(packed_lit, packed_clauses)``.
         self.stack = stack
 
     @property
@@ -107,11 +115,12 @@ class PreprocessResult:
     def reconstruct(self, model: Dict[int, bool]) -> Dict[int, bool]:
         """Extend a model of the simplified CNF to one of the original.
 
-        The stack is replayed last-eliminated-first.  Each entry is
-        ``(lit, clauses)`` where ``clauses`` are the removed clauses that
-        contained ``lit``; the invariant (standard for variable
-        elimination) is that ``lit`` must be made true iff some such
-        clause is not already satisfied by its other literals.
+        ``model`` maps variables to booleans (the solver's vocabulary);
+        the stack is replayed last-eliminated-first over it.  Each entry
+        is ``(lit, clauses)`` in packed form, where ``clauses`` are the
+        removed clauses that contained ``lit``; the invariant (standard
+        for variable elimination) is that ``lit`` must be made true iff
+        some such clause is not already satisfied by its other literals.
         """
         out = dict(model)
         for lit, clauses in reversed(self.stack):
@@ -121,14 +130,14 @@ class PreprocessResult:
                 for other in clause:
                     if other == lit:
                         continue
-                    value = out.get(abs(other), False)
-                    if (other > 0) == value:
+                    value = out.get(other >> 1, False)
+                    if (other & 1 == 0) == value:
                         satisfied = True
                         break
                 if not satisfied:
                     lit_true = True
                     break
-            out[abs(lit)] = lit_true if lit > 0 else not lit_true
+            out[lit >> 1] = not lit_true if lit & 1 else lit_true
         return out
 
 
@@ -149,10 +158,11 @@ class _Preprocessor:
         self.max_rounds = max_rounds
         self.stats = PreprocessStats(
             vars_before=cnf.num_vars,
-            clauses_before=len(cnf.clauses),
-            literals_before=sum(len(c) for c in cnf.clauses),
+            clauses_before=len(cnf),
+            literals_before=cnf.literal_count,
         )
-        # clause db: None = deleted; occ maps literal -> live clause ids
+        # clause db (packed lits): None = deleted; occ maps packed
+        # literal -> live clause ids
         self.clauses: List[Optional[List[int]]] = []
         self.sigs: List[int] = []
         self.occ: Dict[int, Set[int]] = {}
@@ -167,7 +177,7 @@ class _Preprocessor:
     def _sig(clause: List[int]) -> int:
         sig = 0
         for lit in clause:
-            sig |= 1 << (abs(lit) & 63)
+            sig |= 1 << ((lit >> 1) & 63)
         return sig
 
     def _add_clause(self, clause: List[int]) -> None:
@@ -217,8 +227,8 @@ class _Preprocessor:
     # -- unit propagation ---------------------------------------------------
 
     def _enqueue(self, lit: int) -> None:
-        var = abs(lit)
-        want = lit > 0
+        var = lit >> 1
+        want = not (lit & 1)
         current = self.assignment.get(var)
         if current is None:
             self.assignment[var] = want
@@ -233,8 +243,9 @@ class _Preprocessor:
             lit = self.units.popleft()
             for ci in list(self.occ.get(lit, ())):
                 self._remove_clause(ci)
-            for ci in list(self.occ.get(-lit, ())):
-                self._strengthen(ci, -lit)
+            neg = lit ^ 1
+            for ci in list(self.occ.get(neg, ())):
+                self._strengthen(ci, neg)
 
     # -- pure literals ------------------------------------------------------
 
@@ -251,12 +262,12 @@ class _Preprocessor:
                 break
             if var in self.assignment:
                 continue
-            pos = self.occ.get(var)
-            neg = self.occ.get(-var)
+            pos = self.occ.get(var << 1)
+            neg = self.occ.get((var << 1) | 1)
             if pos and not neg:
-                lit = var
+                lit = var << 1
             elif neg and not pos:
-                lit = -var
+                lit = (var << 1) | 1
             else:
                 continue
             removed = [list(self.clauses[ci]) for ci in self.occ[lit]]
@@ -292,14 +303,14 @@ class _Preprocessor:
         # Scan candidates through the least-occurring literal; a clause
         # subsumed (even after one flip) must contain every literal of
         # ``clause`` except possibly one flipped — in particular ``best``
-        # or ``-best``.
+        # or ``best ^ 1``.
         best = min(
             clause,
             key=lambda l: len(self.occ.get(l, ()))
-            + len(self.occ.get(-l, ())),
+            + len(self.occ.get(l ^ 1, ())),
         )
         candidates = set(self.occ.get(best, ()))
-        candidates |= self.occ.get(-best, set())
+        candidates |= self.occ.get(best ^ 1, set())
         changed = False
         for cj in list(candidates):
             if cj == ci:
@@ -327,14 +338,15 @@ class _Preprocessor:
     def _subsumes(small: List[int], big: List[int]) -> Optional[int]:
         """``0`` if ``small ⊆ big``; the literal of ``big`` to strike if
         exactly one literal matches flipped (self-subsumption); ``None``
-        otherwise."""
+        otherwise.  (Packed literals are never 0, so 0 is a safe
+        "plain subsumption" sentinel.)"""
         big_set = set(big)
         flipped = 0
         for lit in small:
             if lit in big_set:
                 continue
-            if flipped == 0 and -lit in big_set:
-                flipped = -lit
+            if flipped == 0 and lit ^ 1 in big_set:
+                flipped = lit ^ 1
                 continue
             return None
         return flipped
@@ -353,8 +365,8 @@ class _Preprocessor:
                 break
             if var in self.assignment:
                 continue
-            pos = self.occ.get(var)
-            neg = self.occ.get(-var)
+            pos = self.occ.get(var << 1)
+            neg = self.occ.get((var << 1) | 1)
             if not pos or not neg:
                 continue  # absent or pure; not a resolution candidate
             if (
@@ -377,17 +389,18 @@ class _Preprocessor:
         ):
             return False
         budget = len(pos) + len(neg)
+        plit = var << 1
         resolvents: List[List[int]] = []
         for p in pos_cls:
             pset = set(p)
             for q in neg_cls:
-                resolvent = self._resolve(p, pset, q, var)
+                resolvent = self._resolve(p, pset, q, plit)
                 if resolvent is None:
                     continue
                 resolvents.append(resolvent)
                 if len(resolvents) > budget:
                     return False
-        self.stack.append((var, [list(c) for c in pos_cls]))
+        self.stack.append((plit, [list(c) for c in pos_cls]))
         for ci in pos:
             self._remove_clause(ci)
         for ci in neg:
@@ -400,13 +413,14 @@ class _Preprocessor:
 
     @staticmethod
     def _resolve(
-        p: List[int], pset: Set[int], q: List[int], var: int
+        p: List[int], pset: Set[int], q: List[int], plit: int
     ) -> Optional[List[int]]:
-        out = [lit for lit in p if lit != var]
+        out = [lit for lit in p if lit != plit]
+        nlit = plit | 1
         for lit in q:
-            if lit == -var:
+            if lit == nlit:
                 continue
-            if -lit in pset:
+            if lit ^ 1 in pset:
                 return None  # tautological resolvent
             if lit not in pset:
                 out.append(lit)
@@ -416,12 +430,12 @@ class _Preprocessor:
 
     def run(self) -> PreprocessResult:
         start = time.perf_counter()
-        for lits in self.cnf.clauses:
+        for lits in self.cnf.iter_packed():
             seen: Set[int] = set()
             deduped: List[int] = []
             tautology = False
             for lit in lits:
-                if -lit in seen:
+                if lit ^ 1 in seen:
                     tautology = True
                     break
                 if lit not in seen:
@@ -456,20 +470,19 @@ class _Preprocessor:
         simplified.names = dict(self.cnf.names)
         simplified._by_name = dict(self.cnf._by_name)
         if self.contradiction:
-            simplified.clauses = [[]]
+            simplified.add_packed_clause([])
             self.stats.status = UNSAT
+            live: List[List[int]] = []
         else:
             live = [c for c in self.clauses if c is not None]
-            simplified.clauses = live
+            simplified.add_packed_clauses(live)
             self.stats.status = SAT if not live else UNKNOWN
-        self.stats.clauses_after = sum(
-            1 for c in simplified.clauses if c
-        )
-        self.stats.literals_after = sum(len(c) for c in simplified.clauses)
+        self.stats.clauses_after = sum(1 for c in live if c)
+        self.stats.literals_after = sum(len(c) for c in live)
         occurring: Set[int] = set()
-        for clause in simplified.clauses:
+        for clause in live:
             for lit in clause:
-                occurring.add(abs(lit))
+                occurring.add(lit >> 1)
         self.stats.vars_after = len(occurring)
         return PreprocessResult(
             self.cnf, simplified, self.stats, self.stack

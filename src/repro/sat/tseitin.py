@@ -8,6 +8,12 @@ preserved: each distinct node is defined exactly once, which is what keeps
 the CNF size linear in DAG size (the property the paper's size analysis
 relies on).
 
+Since PR 7 the encoder works natively in the packed-literal convention of
+:mod:`repro.sat.cnf` (variable ``v`` is ``2v``, its negation ``2v + 1``):
+the node memo holds packed literals, negation is ``lit ^ 1``, and clauses
+land in the packed arena with no signed/packed round-trip anywhere on the
+bulk-insert path.
+
 Two encodings are supported:
 
 * **classic** Tseitin — every definition variable is constrained in both
@@ -98,10 +104,12 @@ def tseitin(
 ) -> Tuple[Cnf, int]:
     """Encode ``formula``; returns ``(cnf, root_literal)``.
 
-    The caller asserts the root by adding ``[root_literal]`` as a unit
-    clause (:func:`to_cnf` does exactly that).  Passing an existing ``cnf``
-    allows several formulas to share one variable space, and passing the
-    same ``lits`` memo across calls keeps shared sub-DAGs defined once.
+    The root literal is **packed** (``2v`` / ``2v + 1``); the caller
+    asserts the root by adding it as a packed unit clause (:func:`to_cnf`
+    does exactly that) and negates it with ``root ^ 1``.  Passing an
+    existing ``cnf`` allows several formulas to share one variable space,
+    and passing the same ``lits`` memo across calls keeps shared sub-DAGs
+    defined once (the memo holds packed literals).
 
     ``polarities`` switches on the Plaisted–Greenbaum mode: only the
     clause direction(s) a node's mask requires are emitted.  The mask must
@@ -113,7 +121,7 @@ def tseitin(
         cnf = Cnf()
     if lits is None:
         lits = {}
-    emit = cnf.add_clause_unchecked
+    emit = cnf.add_packed_clause
 
     # TRUE/FALSE get a dedicated always-true variable so that constant
     # sub-formulas need no special-casing in parents.
@@ -122,9 +130,9 @@ def tseitin(
     def const_lit(value: bool) -> int:
         nonlocal const_var
         if const_var is None:
-            const_var = cnf.new_var(("tseitin", "const_true"))
+            const_var = cnf.new_var(("tseitin", "const_true")) << 1
             emit([const_var])
-        return const_var if value else -const_var
+        return const_var if value else const_var | 1
 
     for node in postorder(formula):
         if node in lits:
@@ -133,48 +141,49 @@ def tseitin(
             lits[node] = const_lit(node.value)
             continue
         if isinstance(node, BoolVar):
-            lits[node] = cnf.var_for(node)
+            lits[node] = cnf.var_for(node) << 1
             continue
         if isinstance(node, Not):
-            lits[node] = -lits[node.arg]
+            lits[node] = lits[node.arg] ^ 1
             continue
         mask = BOTH if polarities is None else polarities.get(node, BOTH)
         if isinstance(node, And):
-            out = cnf.new_var()
+            out = cnf.new_var() << 1
             kids = [lits[a] for a in node.args]
             if mask & POS:
+                not_out = out | 1
                 for k in kids:
-                    emit([-out, k])
+                    emit([not_out, k])
             if mask & NEG:
-                emit([out] + [-k for k in kids])
+                emit([out] + [k ^ 1 for k in kids])
             lits[node] = out
         elif isinstance(node, Or):
-            out = cnf.new_var()
+            out = cnf.new_var() << 1
             kids = [lits[a] for a in node.args]
             if mask & NEG:
                 for k in kids:
-                    emit([out, -k])
+                    emit([out, k ^ 1])
             if mask & POS:
-                emit([-out] + kids)
+                emit([out | 1] + kids)
             lits[node] = out
         elif isinstance(node, Implies):
-            out = cnf.new_var()
+            out = cnf.new_var() << 1
             a, b = lits[node.lhs], lits[node.rhs]
             if mask & POS:
-                emit([-out, -a, b])
+                emit([out | 1, a ^ 1, b])
             if mask & NEG:
                 emit([out, a])
-                emit([out, -b])
+                emit([out, b ^ 1])
             lits[node] = out
         elif isinstance(node, Iff):
-            out = cnf.new_var()
+            out = cnf.new_var() << 1
             a, b = lits[node.lhs], lits[node.rhs]
             if mask & POS:
-                emit([-out, -a, b])
-                emit([-out, a, -b])
+                emit([out | 1, a ^ 1, b])
+                emit([out | 1, a, b ^ 1])
             if mask & NEG:
                 emit([out, a, b])
-                emit([out, -a, -b])
+                emit([out, a ^ 1, b ^ 1])
             lits[node] = out
         else:
             raise TypeError(
@@ -225,12 +234,12 @@ def to_cnf(formula: Formula, mode: str = "classic") -> Cnf:
             continue
         lits = _literal_clause(node, cnf)
         if lits is not None:
-            # var_for above already allocated every variable, so the
-            # checked add_clause loop would only re-validate them.
+            # Already packed by _literal_clause; var_for allocated every
+            # variable, so no validation pass is needed either.
             literal_clauses.append(lits)
             continue
         complex_nodes.append(node)
-    cnf.add_clauses_unchecked(literal_clauses)
+    cnf.add_packed_clauses(literal_clauses)
 
     polarities = None
     if mode == "pg":
@@ -238,18 +247,18 @@ def to_cnf(formula: Formula, mode: str = "classic") -> Cnf:
     shared_memo: dict = {}
     for node in complex_nodes:
         _, root = tseitin(node, cnf, shared_memo, polarities=polarities)
-        cnf.add_clause_unchecked([root])
+        cnf.add_packed_clause([root])
     return cnf
 
 
 def _literal_clause(node: Formula, cnf: Cnf):
-    """DIMACS literals when ``node`` is a literal or a clause of literals."""
+    """Packed literals when ``node`` is a literal or a clause of literals."""
 
     def literal(sub):
         if isinstance(sub, BoolVar):
-            return cnf.var_for(sub)
+            return cnf.var_for(sub) << 1
         if isinstance(sub, Not) and isinstance(sub.arg, BoolVar):
-            return -cnf.var_for(sub.arg)
+            return (cnf.var_for(sub.arg) << 1) | 1
         return None
 
     single = literal(node)

@@ -85,7 +85,7 @@ def check_validity_lazy(
     cnf = to_cnf(encoding.check_formula)
     stats.encode_seconds = time.perf_counter() - start
     stats.cnf_vars = cnf.num_vars
-    stats.cnf_clauses = len(cnf.clauses)
+    stats.cnf_clauses = len(cnf)
     stats.encoding = encoding.stats
 
     sat_start = time.perf_counter()

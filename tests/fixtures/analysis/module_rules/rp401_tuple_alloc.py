@@ -1,0 +1,10 @@
+"""Fixture: RP401 — container allocated per iteration of a hot loop."""
+
+
+def propagate(watches, vals):  # repro: hot-loop
+    out = []
+    for lit, ref in watches:
+        tmp, lit = lit, tmp  # swap idiom: exempt
+        pair = (1, 2)  # all-constant tuple: folded, exempt
+        out.append((lit, ref))  # seeded RP401: fresh tuple every round
+    return out, pair

@@ -1,0 +1,11 @@
+"""Fixture: RP402 — the same attribute chain re-resolved per iteration."""
+
+
+class Walker:
+    # repro: hot-loop
+    def drain(self, items):
+        total = 0
+        for item in items:
+            self.stats.visited += 1  # seeded RP402: self.stats twice
+            total += self.stats.weight
+        return total

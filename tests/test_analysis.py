@@ -39,6 +39,7 @@ ALL_CODES = (
     "RC101", "RC102", "RC103",
     "RD201", "RD202", "RD203", "RD204",
     "RE301", "RE302", "RE303", "RE304",
+    "RP401", "RP402",
 )
 
 
@@ -120,6 +121,8 @@ MODULE_CASES = [
     ("rd203_clock_in_digest.py", "RD203", "time.time()"),
     ("rd204_unversioned.py", "RD204", "without folding"),
     ("re304_silent_except.py", "RE304", "swallows the failure"),
+    ("rp401_tuple_alloc.py", "RP401", "allocated per iteration"),
+    ("rp402_attr_reload.py", "RP402", "cache it in a local"),
 ]
 
 
@@ -146,6 +149,133 @@ class TestModuleRules:
             ]
             (finding,) = analyze_paths([str(path)])
             assert finding.line in marked, filename
+
+
+# ---------------------------------------------------------------------------
+# Perf rules: marker scoping and exemptions
+# ---------------------------------------------------------------------------
+
+
+def _perf_findings(source):
+    import ast as _ast
+
+    from repro.analysis.rules.perf import (
+        ContainerAllocationInHotLoop,
+        RepeatedAttributeLoadInHotLoop,
+    )
+
+    module = ModuleContext("inline.py", source, _ast.parse(source))
+    findings = list(ContainerAllocationInHotLoop().check(module))
+    findings += list(RepeatedAttributeLoadInHotLoop().check(module))
+    return findings
+
+
+class TestPerfRules:
+    def test_unmarked_function_is_ignored(self):
+        source = (
+            "def build(rows):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        out.append((row, row.key))\n"
+            "        total = row.stats.a + row.stats.b\n"
+            "    return out\n"
+        )
+        assert _perf_findings(source) == []
+
+    def test_marker_on_def_line_scopes_the_function(self):
+        source = (
+            "def hot(rows):  # repro: hot-loop\n"
+            "    for row in rows:\n"
+            "        yield (row, 1)\n"
+            "def cold(rows):\n"
+            "    for row in rows:\n"
+            "        yield (row, 1)\n"
+        )
+        findings = _perf_findings(source)
+        assert [f.code for f in findings] == ["RP401"]
+        assert "hot" in findings[0].message
+
+    def test_swap_and_constant_tuples_exempt(self):
+        source = (
+            "def hot(rows):  # repro: hot-loop\n"
+            "    a, b = 0, 1\n"
+            "    for row in rows:\n"
+            "        a, b = b, a\n"
+            "        shape = (2, 3)\n"
+            "    return a, b, shape\n"
+        )
+        assert _perf_findings(source) == []
+
+    def test_allocation_outside_loop_is_fine(self):
+        source = (
+            "def hot(rows):  # repro: hot-loop\n"
+            "    seen = set()\n"
+            "    for row in rows:\n"
+            "        seen.add(row)\n"
+            "    return seen\n"
+        )
+        assert _perf_findings(source) == []
+
+    def test_repeated_chain_reported_once_at_longest(self):
+        source = (
+            "def hot(self, rows):  # repro: hot-loop\n"
+            "    t = 0\n"
+            "    for row in rows:\n"
+            "        t += self.stats.weight\n"
+            "        t += self.stats.weight\n"
+            "    return t\n"
+        )
+        findings = _perf_findings(source)
+        assert [f.code for f in findings] == ["RP402"]
+        assert "'self.stats.weight'" in findings[0].message
+
+    def test_single_load_per_iteration_is_fine(self):
+        source = (
+            "def hot(self, rows):  # repro: hot-loop\n"
+            "    t = 0\n"
+            "    for row in rows:\n"
+            "        t += self.weight\n"
+            "    return t\n"
+        )
+        assert _perf_findings(source) == []
+
+    def test_inner_loop_repeats_charged_to_inner_only(self):
+        source = (
+            "def hot(self, grid):  # repro: hot-loop\n"
+            "    t = 0\n"
+            "    for row in grid:\n"
+            "        for cell in row:\n"
+            "            t += self.stats.weight\n"
+            "            t += self.stats.weight\n"
+            "    return t\n"
+        )
+        findings = _perf_findings(source)
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
+    def test_store_context_does_not_count(self):
+        source = (
+            "def hot(self, rows):  # repro: hot-loop\n"
+            "    for row in rows:\n"
+            "        self.cursor = row\n"
+            "        self.cursor = row\n"
+        )
+        assert _perf_findings(source) == []
+
+    def test_propagate_is_marked_and_clean(self):
+        # The rules exist because of _propagate; it must carry the
+        # marker and satisfy them (locals cached, no per-iteration
+        # containers).
+        path = REPO_ROOT / "src" / "repro" / "sat" / "solver.py"
+        source = path.read_text()
+        assert "def _propagate(self) -> int:  # repro: hot-loop" in source
+        from repro.analysis.rules.perf import hot_loop_functions
+
+        import ast as _ast
+
+        module = ModuleContext(str(path), source, _ast.parse(source))
+        marked = [f.name for f in hot_loop_functions(module)]
+        assert "_propagate" in marked
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,135 @@
+"""The CI perf gate must itself be trustworthy (tools/bench_gate.py)."""
+
+import importlib.util
+import json
+import os
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    os.path.join(
+        os.path.dirname(os.path.dirname(__file__)),
+        "tools",
+        "bench_gate.py",
+    ),
+)
+bench_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_gate)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(__file__))
+
+
+def _section(speedup, statuses=None, verdicts_match=True):
+    statuses = statuses or {"r3_a": "UNSAT", "php_b": "UNSAT"}
+    instances = {
+        name: {
+            "family": "large",
+            "status_arena": status,
+            "status_legacy": status,
+            "verdicts_match": True,
+            "seconds_arena": 1.0,
+            "seconds_legacy": speedup,
+            "speedup": speedup,
+        }
+        for name, status in statuses.items()
+    }
+    return {
+        "families": ["large"],
+        "instances": instances,
+        "verdicts_match": verdicts_match,
+        "aggregate": {
+            "seconds_arena": float(len(instances)),
+            "seconds_legacy": speedup * len(instances),
+            "speedup": speedup,
+        },
+    }
+
+
+class TestCheck:
+    def test_identical_run_passes(self):
+        base = _section(2.5)
+        assert bench_gate.check(base, base, 0.25) == []
+
+    def test_small_regression_tolerated(self):
+        failures = bench_gate.check(_section(2.0), _section(2.5), 0.25)
+        assert failures == []  # 2.0 >= 2.5 * 0.75
+
+    def test_large_regression_fails(self):
+        failures = bench_gate.check(_section(1.5), _section(2.5), 0.25)
+        assert any("regressed" in f for f in failures)
+
+    def test_speedup_improvement_passes(self):
+        assert bench_gate.check(_section(4.0), _section(2.5), 0.25) == []
+
+    def test_verdict_mismatch_fails(self):
+        current = _section(2.5, verdicts_match=False)
+        failures = bench_gate.check(current, _section(2.5), 0.25)
+        assert any("disagreed" in f for f in failures)
+
+    def test_status_change_vs_baseline_fails(self):
+        current = _section(2.5, statuses={"r3_a": "SAT", "php_b": "UNSAT"})
+        failures = bench_gate.check(current, _section(2.5), 0.25)
+        assert any("verdict changed" in f for f in failures)
+
+    def test_missing_instance_fails(self):
+        current = _section(2.5, statuses={"r3_a": "UNSAT"})
+        failures = bench_gate.check(current, _section(2.5), 0.25)
+        assert any("missing" in f for f in failures)
+
+    def test_extra_current_instance_is_fine(self):
+        current = _section(
+            2.5,
+            statuses={"r3_a": "UNSAT", "php_b": "UNSAT", "new": "SAT"},
+        )
+        assert bench_gate.check(current, _section(2.5), 0.25) == []
+
+
+class TestMain:
+    def _write(self, tmp_path, name, section):
+        path = tmp_path / name
+        path.write_text(
+            json.dumps({"meta": {}, "sat_core": section}) + "\n"
+        )
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path):
+        report = self._write(tmp_path, "report.json", _section(2.5))
+        baseline = self._write(tmp_path, "baseline.json", _section(2.5))
+        code = bench_gate.main(
+            ["--report", report, "--baseline", baseline]
+        )
+        assert code == 0
+
+    def test_exit_one_on_regression(self, tmp_path):
+        report = self._write(tmp_path, "report.json", _section(1.0))
+        baseline = self._write(tmp_path, "baseline.json", _section(3.0))
+        code = bench_gate.main(
+            ["--report", report, "--baseline", baseline]
+        )
+        assert code == 1
+
+    def test_exit_one_on_missing_file(self, tmp_path):
+        baseline = self._write(tmp_path, "baseline.json", _section(2.0))
+        code = bench_gate.main(
+            ["--report", str(tmp_path / "absent.json"),
+             "--baseline", baseline]
+        )
+        assert code == 1
+
+    def test_exit_one_on_report_without_section(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("{}\n")
+        code = bench_gate.main(
+            ["--report", str(path), "--baseline", str(path)]
+        )
+        assert code == 1
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_committed_and_well_formed(self):
+        path = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
+        section = bench_gate.load_sat_core(path)
+        assert section["verdicts_match"] is True
+        assert section["aggregate"]["speedup"] >= 2.0
+        assert section["instances"]
+        for row in section["instances"].values():
+            assert row["status_arena"] == row["status_legacy"]

@@ -1,13 +1,21 @@
-"""The bench-smoke incremental-vs-scratch section (engine/bench_smoke.py)."""
+"""The bench-smoke generated-family sections (engine/bench_smoke.py)."""
 
 import json
 
+import pytest
+
 from repro.engine.bench_smoke import (
     PREFIX_FAMILY_STEPS,
+    SAT_CORE_FAMILIES,
     _run_incremental_comparison,
+    pigeonhole_cnf,
     prefix_sharing_family,
+    random_3cnf,
     run_bench_smoke,
+    run_sat_core_comparison,
+    sat_core_instance,
     write_incremental_report,
+    write_sat_core_report,
 )
 from repro.engine.session import Session
 from repro.logic.terms import Lt
@@ -24,8 +32,6 @@ class TestPrefixSharingFamily:
         assert prefix_sharing_family(9) == prefix_sharing_family(9)
 
     def test_rejects_degenerate_lengths(self):
-        import pytest
-
         with pytest.raises(ValueError):
             prefix_sharing_family(1)
 
@@ -65,6 +71,77 @@ class TestIncrementalComparison:
         assert report["speedup"] is not None
 
 
+class TestSatCoreGenerators:
+    def test_random_3cnf_deterministic_and_shaped(self):
+        a = random_3cnf(7, 30, 90)
+        b = random_3cnf(7, 30, 90)
+        assert a.clauses == b.clauses
+        assert a.num_vars == 30
+        assert len(a.clauses) == 90
+        for clause in a.clauses:
+            assert len(clause) == 3
+            assert len({abs(lit) for lit in clause}) == 3
+
+    def test_pigeonhole_shape(self):
+        cnf = pigeonhole_cnf(4, 3)
+        assert cnf.num_vars == 12
+        # 4 at-least-one clauses + 3 * C(4,2) at-most-one binaries.
+        assert len(cnf.clauses) == 4 + 3 * 6
+
+    def test_instance_lookup(self):
+        cnf = sat_core_instance("php_6_5")
+        assert cnf.num_vars == 30
+        with pytest.raises(ValueError):
+            sat_core_instance("no_such_instance")
+
+    def test_family_members_resolve(self):
+        for members in SAT_CORE_FAMILIES.values():
+            for name, _kind, _params in members:
+                assert sat_core_instance(name).num_vars > 0
+
+
+class TestSatCoreComparison:
+    def test_small_family_agrees_and_reports_timings(self):
+        section = run_sat_core_comparison(["small"])
+        assert section["verdicts_match"] is True
+        assert section["families"] == ["small"]
+        names = {n for n, _k, _p in SAT_CORE_FAMILIES["small"]}
+        assert set(section["instances"]) == names
+        for row in section["instances"].values():
+            assert row["status_arena"] == row["status_legacy"]
+            assert row["status_arena"] in ("SAT", "UNSAT")
+            assert row["seconds_arena"] > 0.0
+            assert row["seconds_legacy"] > 0.0
+            assert row["speedup"] is not None
+            assert row["conflicts_arena"] >= 0
+        agg = section["aggregate"]
+        assert agg["seconds_arena"] > 0.0
+        assert agg["speedup"] is not None
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            run_sat_core_comparison(["huge"])
+
+    def test_write_sat_core_report(self, tmp_path):
+        report = {
+            "meta": {
+                "python": "3.9.0",
+                "sat_core_verdicts_match": True,
+            },
+            "sat_core": {
+                "families": ["small"],
+                "instances": {},
+                "aggregate": {"speedup": 2.0},
+            },
+        }
+        path = tmp_path / "BENCH_PR7.json"
+        write_sat_core_report(report, str(path))
+        sub = json.loads(path.read_text())
+        assert sub["sat_core"]["aggregate"]["speedup"] == 2.0
+        assert sub["meta"]["sat_core_verdicts_match"] is True
+        assert "engines" not in sub
+
+
 class TestReportWiring:
     def test_run_bench_smoke_includes_incremental_section(self):
         report = run_bench_smoke(
@@ -74,6 +151,8 @@ class TestReportWiring:
         )
         assert report["meta"]["incremental_verdicts_match"] is True
         assert report["incremental"]["steps"] == 4
+        assert report["meta"]["sat_core_verdicts_match"] is True
+        assert report["sat_core"]["families"] == ["small"]
 
     def test_write_incremental_report(self, tmp_path):
         report = {

@@ -163,9 +163,11 @@ class TestLbdRetention:
     def _solver_with_learned(specs):
         """Build a solver over fresh vars and inject learned clauses.
 
-        ``specs`` is a list of (lits, lbd, activity) triples.
+        ``specs`` is a list of (lits, lbd, activity) triples; clauses are
+        placed straight into the arena with the given header metadata.
         """
-        from repro.sat.solver import _Clause
+        from repro.sat.cnf import pack_clause
+        from repro.sat.solver import FLAG_LEARNED
 
         nvars = max(abs(l) for lits, _, _ in specs for l in lits)
         cnf = Cnf()
@@ -173,16 +175,17 @@ class TestLbdRetention:
             cnf.new_var()
         solver = CdclSolver(cnf)
         for lits, lbd, activity in specs:
-            clause = _Clause(list(lits), learned=True)
-            clause.lbd = lbd
-            clause.activity = activity
-            solver.learned.append(clause)
-            solver._watch(clause)
+            ref = solver._alloc(pack_clause(lits), FLAG_LEARNED, lbd)
+            solver.arena[ref + 3] = activity
+            solver.learned_refs.append(ref)
+            solver._watch_clause(ref)
         return solver
 
     def test_glue_clauses_survive_reduction(self):
         # Six learned clauses, half must go; the low-LBD ("glue") ones
         # are exempt no matter how stale their activity is.
+        from repro.sat.solver import FLAG_DEAD
+
         specs = [
             ([1, 2, 3], 2, 0.0),   # glue: immortal
             ([2, 3, 4], 3, 0.0),   # glue boundary: immortal
@@ -193,17 +196,14 @@ class TestLbdRetention:
         ]
         solver = self._solver_with_learned(specs)
         solver._reduce_db()
-        kept = {tuple(c.lits) for c in solver.learned}
+        kept = {tuple(c) for c in solver.learned_signed()}
         assert (1, 2, 3) in kept
         assert (2, 3, 4) in kept
         assert solver.stats.deleted_clauses == 3
         # Deleted clauses must also be gone from every watch list.
-        watched = {
-            id(entry[1]) for wl in solver.watches for entry in wl
-        }
-        assert {id(c) for c in solver.learned} >= watched - {
-            id(c) for c in solver.clauses
-        }
+        for refs in solver.watch_refs + solver.bin_refs:
+            for ref in refs:
+                assert solver.arena[ref + 1] != FLAG_DEAD
 
     def test_binary_learned_clauses_never_deleted(self):
         specs = [([1, 2], 9, 0.0)] + [
@@ -211,7 +211,7 @@ class TestLbdRetention:
         ]
         solver = self._solver_with_learned(specs)
         solver._reduce_db()
-        assert (1, 2) in {tuple(c.lits) for c in solver.learned}
+        assert (1, 2) in {tuple(c) for c in solver.learned_signed()}
 
     def test_lbd_stamped_on_learned_clauses(self):
         # Pigeonhole generates plenty of conflicts; every learned clause

@@ -179,8 +179,8 @@ class TestLearnedClauseRetention:
         solver = CdclSolver(make_cnf(4, clauses))
         assert solver.solve_under_assumptions([-4]).is_unsat
         assert solver.stats.conflicts > 0
-        for learnt in solver.learned:
-            assert implied_by(4, clauses, learnt.lits)
+        for lits in solver.learned_signed():
+            assert implied_by(4, clauses, lits)
 
     def test_verdicts_survive_assumption_retraction(self):
         clauses = self._conflict_rich()
@@ -200,13 +200,13 @@ class TestLearnedClauseRetention:
         assert first.is_unsat
         assert any(a > 0 for a in solver.activity[1:])
         activity = list(solver.activity)
-        learned_before = len(solver.learned)
+        learned_before = len(solver.live_learned_refs())
         second = solver.solve_under_assumptions([4])
         assert second.is_sat
         assert second.stats is first.stats  # shared accumulator
         # The second call starts from (and then extends) the first
         # call's heuristic state rather than resetting it.
-        assert len(solver.learned) >= learned_before
+        assert len(solver.live_learned_refs()) >= learned_before
         assert all(
             after >= before
             for before, after in zip(activity, solver.activity)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the arena-vs-legacy SAT core benchmark.
+
+Reads the ``sat_core`` section of a ``BENCH_PR7.json`` report (written
+by ``repro bench-smoke``) and compares it against the committed
+``benchmarks/baseline.json``.  The gate fails (exit 1) when:
+
+* the two solvers disagreed on any instance verdict,
+* an instance's status differs from the committed baseline, or
+* the aggregate arena-vs-legacy speedup regressed by more than
+  ``--max-regression`` (default 25%) relative to the baseline's.
+
+The compared quantity is the *ratio* of legacy to arena sat seconds,
+not the raw wall times, so the gate is machine-independent: a slower CI
+runner slows both solvers and cancels out of the ratio.  The legacy
+solver (``repro/sat/legacy_solver.py``) is frozen precisely so this
+denominator stays meaningful across PRs.
+
+Kept dependency-free (stdlib only) like the other gates in tools/.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def load_sat_core(path: str) -> Dict:
+    with open(path) as fp:
+        report = json.load(fp)
+    section = report.get("sat_core")
+    if not isinstance(section, dict):
+        raise ValueError("%s has no sat_core section" % path)
+    return section
+
+
+def check(
+    current: Dict, baseline: Dict, max_regression: float
+) -> List[str]:
+    """Return a list of human-readable gate failures (empty = pass)."""
+    failures: List[str] = []
+    if not current.get("verdicts_match", False):
+        failures.append(
+            "arena and legacy solvers disagreed on at least one instance"
+        )
+    base_instances = baseline.get("instances", {})
+    cur_instances = current.get("instances", {})
+    for name, base_row in sorted(base_instances.items()):
+        cur_row = cur_instances.get(name)
+        if cur_row is None:
+            failures.append("instance %s missing from current run" % name)
+            continue
+        if cur_row["status_arena"] != base_row["status_arena"]:
+            failures.append(
+                "instance %s verdict changed: baseline %s, current %s"
+                % (name, base_row["status_arena"], cur_row["status_arena"])
+            )
+    base_speedup = baseline.get("aggregate", {}).get("speedup")
+    cur_speedup = current.get("aggregate", {}).get("speedup")
+    if base_speedup is None or cur_speedup is None:
+        failures.append("missing aggregate speedup (empty instance set?)")
+        return failures
+    floor = base_speedup * (1.0 - max_regression)
+    if cur_speedup < floor:
+        failures.append(
+            "aggregate speedup regressed: baseline %.2fx, current %.2fx "
+            "(floor %.2fx at %.0f%% tolerance)"
+            % (base_speedup, cur_speedup, floor, 100 * max_regression)
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report",
+        default="BENCH_PR7.json",
+        help="current-run report (default BENCH_PR7.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        help="committed baseline (default benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_sat_core(args.report)
+        baseline = load_sat_core(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print("bench gate: %s" % exc, file=sys.stderr)
+        return 1
+
+    failures = check(current, baseline, args.max_regression)
+    cur = current.get("aggregate", {}).get("speedup")
+    base = baseline.get("aggregate", {}).get("speedup")
+    if cur is not None and base is not None:
+        print(
+            "bench gate: aggregate speedup %.2fx (baseline %.2fx)"
+            % (cur, base)
+        )
+    for failure in failures:
+        print("bench gate: FAIL: %s" % failure, file=sys.stderr)
+    if failures:
+        return 1
+    print("bench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""cProfile runner for the SAT core (``make profile``).
+
+Solves one generated sat-core instance (see
+``repro.engine.bench_smoke.SAT_CORE_FAMILIES``) under cProfile and
+prints the top functions by internal time — the profile-first loop the
+arena refactor was tuned with.  The hot loop should be dominated by
+``_propagate``; anything else rising to the top is the next target.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_sat.py [instance] [--legacy]
+        [--sort tottime] [--limit 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "instance",
+        nargs="?",
+        default="r3_190_808_s19",
+        help="sat-core instance name (default r3_190_808_s19)",
+    )
+    parser.add_argument(
+        "--legacy",
+        action="store_true",
+        help="profile the frozen pre-arena reference solver instead",
+    )
+    parser.add_argument(
+        "--sort",
+        default="tottime",
+        help="pstats sort key (default tottime)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20, help="rows to print (default 20)"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine.bench_smoke import sat_core_instance
+
+    if args.legacy:
+        from repro.sat.legacy_solver import CdclSolver
+    else:
+        from repro.sat.solver import CdclSolver
+
+    try:
+        cnf = sat_core_instance(args.instance)
+    except ValueError as exc:
+        print("profile: %s" % exc, file=sys.stderr)
+        return 2
+    solver = CdclSolver(cnf)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = solver.solve()
+    profiler.disable()
+    print(
+        "%s on %s: %s (%d conflicts)"
+        % (
+            "legacy" if args.legacy else "arena",
+            args.instance,
+            result.status,
+            result.stats.conflicts,
+        )
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
