@@ -35,21 +35,25 @@ typecheck:
 # seconds, the preprocessing on/off comparison, and the cold-vs-warm
 # result-cache comparison land in BENCH_PR4.json, the
 # incremental-vs-scratch comparison on the prefix-sharing family lands
-# in BENCH_PR6.json, and the arena-vs-legacy SAT core comparison on the
-# large generated families lands in BENCH_PR7.json (CI uploads all and
-# fails if preprocessing, the cache, incremental solving, or the arena
-# solver changes a verdict).
+# in BENCH_PR6.json, the arena-vs-legacy SAT core comparison on the
+# large generated families lands in BENCH_PR7.json, and the
+# cube-and-conquer-vs-sequential comparison (with the clause-sharing
+# ablation) on the hard families lands in BENCH_PR8.json (CI uploads
+# all and fails if preprocessing, the cache, incremental solving, the
+# arena solver, or the cube conductor changes a verdict).
 bench-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench-smoke \
 		--out BENCH_PR4.json --incremental-out BENCH_PR6.json \
-		--families large --sat-core-out BENCH_PR7.json
+		--families large --sat-core-out BENCH_PR7.json \
+		--cube-out BENCH_PR8.json --cube-families hard --cube-procs 4
 
 # Perf-regression gate: compares BENCH_PR7.json's aggregate
-# arena-vs-legacy speedup (a machine-independent ratio) against the
-# committed benchmarks/baseline.json; fails on a verdict change or a
-# >25% speedup regression.
+# arena-vs-legacy speedup and BENCH_PR8.json's cube-vs-sequential
+# speedup (machine-independent ratios) against the committed
+# benchmarks/baseline.json; fails on a verdict change, a >25% speedup
+# regression, or a dead clause-sharing conduit.
 bench-gate:
-	$(PYTHON) tools/bench_gate.py
+	$(PYTHON) tools/bench_gate.py --cube-report BENCH_PR8.json
 
 # cProfile one sat-core instance (PROFILE_ARGS picks instance/flags,
 # e.g. make profile PROFILE_ARGS="php_8_7 --legacy").

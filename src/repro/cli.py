@@ -58,6 +58,8 @@ from .engine.contract import SolveOutcome, SolveRequest
 from .logic.parser import parse_formula
 from .logic.printer import pretty
 
+from .engine.cube import DEFAULT_DEPTH as _CUBE_DEFAULT_DEPTH
+
 __all__ = ["main", "build_parser"]
 
 
@@ -111,6 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the SatELite-style CNF simplification stage (eager "
         "methods; useful to isolate encoder/solver behaviour or to "
         "rule the preprocessor out when debugging a verdict)",
+    )
+    check.add_argument(
+        "--cube-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cube-tree depth for --method cube (default %d)"
+        % _CUBE_DEFAULT_DEPTH,
+    )
+    check.add_argument(
+        "--cube-procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cube-and-conquer worker processes for --method cube "
+        "(default: one per core, capped at 4; 1 = sequential conquering)",
+    )
+    check.add_argument(
+        "--no-share",
+        action="store_true",
+        help="disable learned-clause sharing between cube workers "
+        "(--method cube; for ablation/debugging)",
     )
 
     bench = sub.add_parser("bench", help="decide one suite benchmark")
@@ -196,6 +220,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAMES",
         help="comma-separated sat-core family subset: small and/or "
         "large (default small)",
+    )
+    smoke.add_argument(
+        "--cube-out",
+        default="BENCH_PR8.json",
+        metavar="FILE",
+        help="JSON output path for the cube-vs-sequential comparison "
+        "(default BENCH_PR8.json; empty string disables)",
+    )
+    smoke.add_argument(
+        "--cube-families",
+        default="small",
+        metavar="NAMES",
+        help="comma-separated cube family subset: small and/or hard "
+        "(default small)",
+    )
+    smoke.add_argument(
+        "--cube-procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the cube-and-conquer bench arm "
+        "(default 4)",
     )
     smoke.add_argument("--timeout", type=float, default=None)
     smoke.add_argument(
@@ -340,7 +386,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAMES",
         help="comma-separated subset of brute,sd,eij,hybrid,static,"
-        "sd+preprocess,hybrid+preprocess,lazy,svc,cached",
+        "sd+preprocess,hybrid+preprocess,lazy,svc,cached,cube",
     )
     fuzz.add_argument(
         "--no-metamorphic",
@@ -419,6 +465,13 @@ def _print_stats(outcome: SolveOutcome) -> None:
 def _cmd_check(args) -> int:
     formula, smtlib_mode = _read_formula(args.file, args.format)
     engine = registry.get(args.method)
+    options = {}
+    if args.cube_depth is not None:
+        options["cube_depth"] = args.cube_depth
+    if args.cube_procs is not None:
+        options["cube_procs"] = args.cube_procs
+    if args.no_share:
+        options["cube_share"] = False
     result = engine.solve(
         SolveRequest(
             formula=formula,
@@ -426,6 +479,7 @@ def _cmd_check(args) -> int:
             sep_thold=args.sep_thold,
             sd_ranges=args.sd_ranges,
             preprocess=not args.no_preprocess,
+            options=options,
         )
     )
     if smtlib_mode:
@@ -542,11 +596,14 @@ def _cmd_portfolio(args) -> int:
 
 def _cmd_bench_smoke(args) -> int:
     from .engine.bench_smoke import (
+        CUBE_FAMILIES,
+        DEFAULT_CUBE_PROCS,
         DEFAULT_TIMEOUT,
         PREFIX_FAMILY_STEPS,
         SAT_CORE_FAMILIES,
         format_table,
         run_bench_smoke,
+        write_cube_report,
         write_incremental_report,
         write_report,
         write_sat_core_report,
@@ -566,11 +623,24 @@ def _cmd_bench_smoke(args) -> int:
             file=sys.stderr,
         )
         return 2
+    cube_families = [
+        f.strip() for f in args.cube_families.split(",") if f.strip()
+    ]
+    unknown = [f for f in cube_families if f not in CUBE_FAMILIES]
+    if unknown:
+        print(
+            "error: unknown cube families %s (known: %s)"
+            % (", ".join(unknown), ", ".join(sorted(CUBE_FAMILIES))),
+            file=sys.stderr,
+        )
+        return 2
     report = run_bench_smoke(
         timeout=args.timeout or DEFAULT_TIMEOUT,
         engines=engines,
         incremental_steps=args.incremental_steps or PREFIX_FAMILY_STEPS,
         sat_core_families=families or None,
+        cube_families=cube_families or None,
+        cube_procs=args.cube_procs or DEFAULT_CUBE_PROCS,
     )
     print(format_table(report))
     if args.out:
@@ -582,6 +652,9 @@ def _cmd_bench_smoke(args) -> int:
     if args.sat_core_out:
         write_sat_core_report(report, args.sat_core_out)
         print("wrote %s" % args.sat_core_out)
+    if args.cube_out:
+        write_cube_report(report, args.cube_out)
+        print("wrote %s" % args.cube_out)
     if not report["meta"]["preprocess_verdicts_match"]:
         print(
             "error: preprocessing changed a verdict on the smoke suite "
@@ -609,6 +682,14 @@ def _cmd_bench_smoke(args) -> int:
             "error: the arena solver and the legacy reference disagreed "
             "on a sat-core instance (see the sat_core section of the "
             "report)",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["meta"]["cube_verdicts_match"]:
+        print(
+            "error: cube-and-conquer and the sequential solver disagreed "
+            "on a cube instance (see the cube_vs_sequential section of "
+            "the report)",
             file=sys.stderr,
         )
         return 1

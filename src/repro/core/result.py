@@ -61,6 +61,10 @@ class StageRecord:
     name: str
     seconds: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Non-numeric stage outputs threaded to later consumers (e.g. the
+    #: ``cnf`` stage's EIJ→CNF-var map for cube-and-conquer splitting).
+    #: Excluded from :meth:`describe` — counters are the human surface.
+    artifacts: Dict[str, object] = field(default_factory=dict)
 
     def describe(self) -> str:
         parts = "%-10s %8.3fs" % (self.name, self.seconds)

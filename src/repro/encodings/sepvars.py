@@ -151,6 +151,25 @@ class SepVarRegistry:
     def var_count(self) -> int:
         return len(self._bound_of)
 
+    def cnf_var_ids(self, cnf: "object") -> List[int]:
+        """CNF variable ids of the registry's EIJ/equality variables.
+
+        ``cnf`` is a :class:`repro.sat.cnf.Cnf` built from a formula over
+        this registry's variables (duck-typed to avoid an import cycle).
+        Variables the Tseitin transform never saw are skipped, so the
+        result is exactly the separation predicates that survived into
+        the clause database — the preferred cube-splitting points for
+        cube-and-conquer (paper §4: SepCnt counts these case splits).
+        The order is deterministic (sorted ids).
+        """
+        lookup = getattr(cnf, "lookup")
+        ids: Set[int] = set()
+        for var in list(self._bound_of) + list(self._eq_pair_of):
+            cnf_id = lookup(var)
+            if cnf_id is not None:
+                ids.add(cnf_id)
+        return sorted(ids)
+
     # -- model decoding -------------------------------------------------------
 
     def asserted_bounds(self, model: Dict[BoolVar, bool]) -> List[Bound]:

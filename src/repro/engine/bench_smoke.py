@@ -31,6 +31,17 @@ and the per-instance wall seconds plus the aggregate speedup land in
 dominate timing noise (the perf gate in ``tools/bench_gate.py`` compares
 that aggregate against ``benchmarks/baseline.json``).
 
+The ``cube_vs_sequential`` section measures cube-and-conquer
+(:mod:`repro.engine.cube`) against a single sequential solve on hard
+generated CNF families — pigeonhole instances and phase-transition
+random 3-CNF sized so the decomposition/sharing win dominates process
+overhead.  Per instance it records both statuses (CI fails on any
+mismatch), wall seconds, the speedup, and the clause-sharing evidence
+(exported/imported/broadcast counts); a share-ablation sub-section
+re-runs the pigeonhole members with sharing disabled so "sharing does
+not slow us down" is recorded, not assumed.  The section lands in
+``BENCH_PR8.json`` and is gated by ``tools/bench_gate.py``.
+
 The ``incremental`` section compares assumption-based incremental
 solving (:class:`~repro.engine.session.Session`) against scratch solves
 on a generated prefix-sharing family: a growing chain of difference
@@ -63,11 +74,16 @@ __all__ = [
     "pigeonhole_cnf",
     "sat_core_instance",
     "run_sat_core_comparison",
+    "CUBE_FAMILIES",
+    "DEFAULT_CUBE_PROCS",
+    "cube_instance",
+    "run_cube_comparison",
     "run_bench_smoke",
     "format_table",
     "write_report",
     "write_incremental_report",
     "write_sat_core_report",
+    "write_cube_report",
 ]
 
 #: Small members of three suite domains — decided in well under a second
@@ -104,6 +120,30 @@ SAT_CORE_FAMILIES: Dict[str, tuple] = {
         ("php_8_7", "php", (8, 7)),
     ),
 }
+
+
+#: Cube-and-conquer comparison instances: ``(name, kind, params, depth)``
+#: where ``depth`` is the cube-tree depth for that instance.  Harder
+#: instances get deeper trees: with more cubes per worker the local
+#: clause-database retention is diluted, but decomposition + sharing
+#: recover more total work — the crossover moves with instance size.
+#: ``small`` keeps the default run fast; ``hard`` is sized so the
+#: speedup ratio dominates process-management noise and backs the
+#: committed perf baseline.
+CUBE_FAMILIES: Dict[str, tuple] = {
+    "small": (
+        ("php_6_5", "php", (6, 5), 3),
+        ("r3_100_426_s3", "rand3", (3, 100, 426), 3),
+    ),
+    "hard": (
+        ("php_8_7", "php", (8, 7), 4),
+        ("php_9_8", "php", (9, 8), 5),
+        ("r3_190_808_s19", "rand3", (19, 190, 808), 4),
+    ),
+}
+
+#: Worker count for the cube-and-conquer bench arm.
+DEFAULT_CUBE_PROCS = 4
 
 
 def random_3cnf(seed: int, num_vars: int, num_clauses: int):
@@ -208,6 +248,147 @@ def run_sat_core_comparison(
         "seconds_arena": total_arena,
         "seconds_legacy": total_legacy,
         "speedup": total_legacy / total_arena if total_arena else None,
+    }
+    return section
+
+
+def cube_instance(name: str):
+    """Build the named :data:`CUBE_FAMILIES` instance (CNF only)."""
+    for members in CUBE_FAMILIES.values():
+        for inst_name, kind, params, _depth in members:
+            if inst_name != name:
+                continue
+            if kind == "rand3":
+                return random_3cnf(*params)
+            return pigeonhole_cnf(*params)
+    raise ValueError("unknown cube instance %r" % name)
+
+
+def _conquer_cnf(
+    cnf: Any,
+    depth: int,
+    procs: int,
+    share: bool,
+    timeout: Optional[float],
+) -> tuple:
+    """One cube-and-conquer run at the CNF level; ``(result, record)``."""
+    from ..core.result import StageRecord
+    from ..logic.terms import BoolVar
+    from .contract import SolveRequest
+    from .cube import conquer
+
+    record = StageRecord("sat")
+    request = SolveRequest(
+        formula=BoolVar("bench_cube_dummy"),  # conquer never reads it
+        time_limit=timeout,
+        options={
+            "cube_depth": depth,
+            "cube_procs": procs,
+            "cube_share": share,
+        },
+    )
+    result = conquer(cnf, request, record, [])
+    return result, record
+
+
+def run_cube_comparison(
+    families: Optional[List[str]] = None,
+    procs: int = DEFAULT_CUBE_PROCS,
+    timeout: Optional[float] = None,
+) -> Dict:
+    """Cube-and-conquer vs one sequential solve; returns the section.
+
+    Statuses must agree instance by instance; the aggregate speedup is
+    total sequential seconds over total cube seconds (the perf-gate
+    ratio).  Pigeonhole members are re-run with sharing disabled and the
+    wall times of both arms land in ``share_ablation`` — the evidence
+    that the conduit pays for itself.
+    """
+    from ..sat.solver import CdclSolver
+
+    family_names = list(families or ["small"])
+    section: Dict[str, Any] = {
+        "families": family_names,
+        "procs": procs,
+        "instances": {},
+        "verdicts_match": True,
+    }
+    total_sequential = 0.0
+    total_cube = 0.0
+    total_imported = 0
+    ablation: Dict[str, Any] = {"instances": {}}
+    ablation_share = 0.0
+    ablation_noshare = 0.0
+    for family in family_names:
+        if family not in CUBE_FAMILIES:
+            raise ValueError("unknown cube family %r" % family)
+        for name, kind, _params, depth in CUBE_FAMILIES[family]:
+            start = time.perf_counter()
+            seq_result = CdclSolver(
+                cube_instance(name), time_limit=timeout
+            ).solve()
+            seq_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            cube_result, record = _conquer_cnf(
+                cube_instance(name), depth, procs, True, timeout
+            )
+            cube_seconds = time.perf_counter() - start
+
+            match = seq_result.status == cube_result.status
+            if not match:
+                section["verdicts_match"] = False
+            total_sequential += seq_seconds
+            total_cube += cube_seconds
+            total_imported += cube_result.stats.imported_clauses
+            section["instances"][name] = {
+                "family": family,
+                "depth": depth,
+                "status_sequential": seq_result.status,
+                "status_cube": cube_result.status,
+                "verdicts_match": match,
+                "seconds_sequential": seq_seconds,
+                "seconds_cube": cube_seconds,
+                "speedup": (
+                    seq_seconds / cube_seconds if cube_seconds else None
+                ),
+                "cubes": record.counters.get("cubes", 0),
+                "resplits": record.counters.get("resplits", 0),
+                "conflicts_sequential": seq_result.stats.conflicts,
+                "conflicts_cube": cube_result.stats.conflicts,
+                "imported_clauses": cube_result.stats.imported_clauses,
+                "exported_clauses": cube_result.stats.exported_clauses,
+                "shared_clauses": record.counters.get("shared_clauses", 0),
+            }
+            if kind == "php":
+                start = time.perf_counter()
+                noshare_result, _ = _conquer_cnf(
+                    cube_instance(name), depth, procs, False, timeout
+                )
+                noshare_seconds = time.perf_counter() - start
+                ablation_share += cube_seconds
+                ablation_noshare += noshare_seconds
+                ablation["instances"][name] = {
+                    "status_noshare": noshare_result.status,
+                    "seconds_share": cube_seconds,
+                    "seconds_noshare": noshare_seconds,
+                }
+    if ablation["instances"]:
+        ablation["seconds_share"] = ablation_share
+        ablation["seconds_noshare"] = ablation_noshare
+        # Sharing must not slow the pigeonhole family down; 5% covers
+        # process-scheduling noise in the comparison itself.
+        ablation["no_share_no_faster"] = (
+            ablation_noshare >= ablation_share * 0.95
+        )
+        section["share_ablation"] = ablation
+    section["aggregate"] = {
+        "seconds_sequential": total_sequential,
+        "seconds_cube": total_cube,
+        "speedup": (
+            total_sequential / total_cube if total_cube else None
+        ),
+        "imported_clauses": total_imported,
     }
     return section
 
@@ -427,6 +608,8 @@ def run_bench_smoke(
     benchmarks: Optional[List[str]] = None,
     incremental_steps: int = PREFIX_FAMILY_STEPS,
     sat_core_families: Optional[List[str]] = None,
+    cube_families: Optional[List[str]] = None,
+    cube_procs: int = DEFAULT_CUBE_PROCS,
 ) -> Dict:
     """Run the smoke matrix; returns the JSON-ready report dict."""
     from . import registry
@@ -444,6 +627,7 @@ def run_bench_smoke(
             "cache_verdicts_match": True,
             "incremental_verdicts_match": True,
             "sat_core_verdicts_match": True,
+            "cube_verdicts_match": True,
         },
         "engines": {},
         "preprocess": {},
@@ -490,6 +674,12 @@ def run_bench_smoke(
     )
     report["sat_core"] = run_sat_core_comparison(sat_core_families)
     report["meta"]["sat_core_verdicts_match"] = report["sat_core"][
+        "verdicts_match"
+    ]
+    report["cube_vs_sequential"] = run_cube_comparison(
+        cube_families, procs=cube_procs
+    )
+    report["meta"]["cube_verdicts_match"] = report["cube_vs_sequential"][
         "verdicts_match"
     ]
     return report
@@ -596,6 +786,58 @@ def format_table(report: Dict) -> str:
                 "ok" if sat_core["verdicts_match"] else "MISMATCH",
             )
         )
+    cube = report.get("cube_vs_sequential")
+    if cube:
+        lines.append("")
+        lines.append(
+            "%-16s %9s %9s %9s %8s  %s"
+            % ("cube(x%d)" % cube["procs"], "seq", "cube", "speedup",
+               "shared", "statuses")
+        )
+        for name, row in cube["instances"].items():
+            lines.append(
+                "%-16s %8.3fs %8.3fs %8.2fx %8d  %s"
+                % (
+                    name,
+                    row["seconds_sequential"],
+                    row["seconds_cube"],
+                    row["speedup"] or 0.0,
+                    row["imported_clauses"],
+                    (
+                        row["status_cube"]
+                        if row["verdicts_match"]
+                        else "MISMATCH"
+                    ),
+                )
+            )
+        agg = cube["aggregate"]
+        lines.append(
+            "%-16s %8.3fs %8.3fs %8.2fx %8d  %s"
+            % (
+                "aggregate",
+                agg["seconds_sequential"],
+                agg["seconds_cube"],
+                agg["speedup"] or 0.0,
+                agg["imported_clauses"],
+                "ok" if cube["verdicts_match"] else "MISMATCH",
+            )
+        )
+        ablation = cube.get("share_ablation")
+        if ablation:
+            lines.append(
+                "%-16s %8.3fs %8.3fs %18s  %s"
+                % (
+                    "share-ablation",
+                    ablation["seconds_share"],
+                    ablation["seconds_noshare"],
+                    "(share vs noshare)",
+                    (
+                        "ok"
+                        if ablation["no_share_no_faster"]
+                        else "SHARING SLOWER"
+                    ),
+                )
+            )
     incremental = report.get("incremental")
     if incremental:
         ok = (
@@ -657,5 +899,18 @@ def write_sat_core_report(report: Dict, path: str) -> None:
             ],
         },
         "sat_core": report["sat_core"],
+    }
+    write_report(sub, path)
+
+
+def write_cube_report(report: Dict, path: str) -> None:
+    """Write just the cube-vs-sequential section (BENCH_PR8.json)."""
+    sub = {
+        "meta": {
+            "python": report["meta"]["python"],
+            "generated_by": "repro bench-smoke",
+            "cube_verdicts_match": report["meta"]["cube_verdicts_match"],
+        },
+        "cube_vs_sequential": report["cube_vs_sequential"],
     }
     write_report(sub, path)

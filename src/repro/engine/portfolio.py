@@ -43,13 +43,17 @@ _POLL_SECONDS = 0.05
 
 
 def default_members(
-    exclude: Sequence[str] = ("portfolio", "cached"),
+    exclude: Sequence[str] = ("portfolio", "cached", "cube"),
 ) -> List[str]:
     """Every registered engine except the meta-engines.
 
     The portfolio itself and the ``cached`` wrapper are excluded: racing
     the race is circular, and a cache member in a race adds nothing but
-    a second canonicalization of the same formula.
+    a second canonicalization of the same formula.  ``cube`` is excluded
+    because it is the *escalation* level — ``solve_batch`` re-runs
+    undecided formulas through cube-and-conquer after the race — and a
+    race member that forks its own worker fleet would oversubscribe the
+    machine for every easy formula.
     """
     from . import registry
 
@@ -136,6 +140,17 @@ def _portfolio_outcome(
     started: float,
 ) -> SolveOutcome:
     wall = time.perf_counter() - started
+    from ..core.result import StageRecord
+
+    race_record = StageRecord(
+        "race",
+        wall,
+        {
+            "members": len(members),
+            "finished": len(finished),
+            "cancelled": len(cancelled),
+        },
+    )
     if winner is None:
         # Nothing decided: adopt the highest-priority finished outcome
         # (keeps TRANSLATION_LIMIT vs UNKNOWN distinctions) or report
@@ -150,6 +165,7 @@ def _portfolio_outcome(
             status = best.status
             if status is Status.ERROR:
                 status = Status.UNKNOWN
+            best.stats.stages = list(best.stats.stages) + [race_record]
             return SolveOutcome(
                 engine="portfolio",
                 status=status,
@@ -157,12 +173,14 @@ def _portfolio_outcome(
                 detail="no engine decided (%s)" % summary,
                 wall_seconds=wall,
             )
-        return SolveOutcome(
+        undecided = SolveOutcome(
             engine="portfolio",
             status=Status.UNKNOWN,
             detail="deadline reached before any engine finished",
             wall_seconds=wall,
         )
+        undecided.stats.stages = [race_record]
+        return undecided
     outcome = SolveOutcome(
         engine="portfolio",
         status=winner.status,
@@ -177,6 +195,10 @@ def _portfolio_outcome(
         outcome.detail = (
             "%s; %s" % (outcome.detail, extra) if outcome.detail else extra
         )
+    # The race itself is a stage: telemetry must show how many members
+    # ran, finished, and were cancelled (tested by the loser-cancellation
+    # test; do not drop these counters).
+    outcome.stats.stages = list(outcome.stats.stages) + [race_record]
     return outcome
 
 
@@ -331,6 +353,49 @@ def _cancel_losers(
 # ---------------------------------------------------------------------------
 
 
+def _cube_escalate(
+    formulas: Sequence[Formula],
+    outcomes: List[SolveOutcome],
+    request_kwargs: Dict[str, Any],
+) -> None:
+    """Third scheduling level: cube-and-conquer for undecided formulas.
+
+    ``solve_batch`` schedules work at three grains — dedupe across
+    formulas, the portfolio race across engines, and (here) cubes
+    *within* a formula: anything the race left undecided is re-run
+    through the ``cube`` engine from the parent process, where the
+    conductor may fork real workers.  The conflict limit is dropped on
+    escalation (it is what usually defeated the race members); the
+    wall-clock budget still applies.
+    """
+    from . import registry
+
+    engine = registry.get("cube")
+    for idx, outcome in enumerate(outcomes):
+        if outcome.decided:
+            continue
+        kwargs = dict(request_kwargs)
+        kwargs["conflict_limit"] = None
+        try:
+            escalated = engine.solve(
+                SolveRequest(formula=formulas[idx], **kwargs)
+            )
+        except Exception as exc:  # escalation must never lose a verdict
+            outcome.detail = (
+                "%s; cube escalation failed: %s" % (outcome.detail, exc)
+                if outcome.detail
+                else "cube escalation failed: %s" % exc
+            )
+            continue
+        if escalated.decided:
+            escalated.detail = (
+                "cube escalation after undecided portfolio"
+                if not escalated.detail
+                else escalated.detail
+            )
+            outcomes[idx] = escalated
+
+
 def _batch_worker(item: Tuple[Dict[str, Any], List[str]]) -> SolveOutcome:
     payload, members = item
     return _solve_sequential(_request_from_payload(payload), members)
@@ -367,6 +432,7 @@ def solve_batch(
     jobs: Optional[int] = None,
     dedupe: bool = True,
     cache: Optional[Any] = None,
+    cube_fallback: bool = True,
     **request_kwargs: Any,
 ) -> List[SolveOutcome]:
     """Decide many formulas with a pool of portfolio workers.
@@ -375,6 +441,11 @@ def solve_batch(
     worker (pool children are daemonic and cannot fork the parallel
     race); parallelism comes from deciding ``jobs`` formulas at once.
     Results keep the input order.
+
+    With ``cube_fallback`` (the default) formulas the portfolio leaves
+    undecided are escalated to the ``cube`` engine — the third
+    scheduling level: dedupe across formulas, race across engines,
+    cube-and-conquer within a formula (see :func:`_cube_escalate`).
 
     With ``dedupe`` (the default) the batch is first partitioned into
     alpha-isomorphism classes via :func:`repro.logic.canonical.canonicalize`:
@@ -391,8 +462,12 @@ def solve_batch(
     formulas = list(formulas)
     if not formulas:
         return []
+    escalate = cube_fallback and "cube" not in members
     if not dedupe and cache is None:
-        return _solve_batch_raw(formulas, members, jobs, request_kwargs)
+        outcomes = _solve_batch_raw(formulas, members, jobs, request_kwargs)
+        if escalate:
+            _cube_escalate(formulas, outcomes, request_kwargs)
+        return outcomes
 
     from ..core.result import CacheStats, DecisionStats
     from ..logic.canonical import canonicalize, lift_interpretation
@@ -452,12 +527,14 @@ def solve_batch(
                 continue
         to_solve.append(key)
 
+    canonical_formulas = [forms[classes[key][0]].formula for key in to_solve]
     solved = _solve_batch_raw(
-        [forms[classes[key][0]].formula for key in to_solve],
-        members,
-        jobs,
-        request_kwargs,
+        canonical_formulas, members, jobs, request_kwargs
     )
+    if escalate:
+        # Escalate before cache-store/fan-out so a cube verdict is cached
+        # and distributed to every isomorphic duplicate.
+        _cube_escalate(canonical_formulas, solved, request_kwargs)
     for key, outcome in zip(to_solve, solved):
         if outcome.stats.cache is None:
             outcome.stats.cache = CacheStats()

@@ -54,12 +54,14 @@ def _ensure_builtins() -> None:
     with _REGISTRY_LOCK:
         if _BUILTINS_LOADED:
             return
+        from . import cube as _cube
         from . import engines as _engines
         from . import portfolio as _portfolio
         from ..service import cache as _cache
 
         for factory in _engines.BUILTIN_ENGINES:
             register(factory())
+        register(_cube.CubeEngine())
         register(_portfolio.PortfolioEngine())
         register(_cache.CachedEngine())
         _BUILTINS_LOADED = True

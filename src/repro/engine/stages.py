@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..core.decision import decode_countermodel, lift_countermodel
 from ..core.result import DecisionStats, StageRecord
@@ -38,7 +38,17 @@ from ..sat.tseitin import to_cnf
 from ..transform.func_elim import eliminate_applications
 from .contract import SolveOutcome, SolveRequest
 
-__all__ = ["StageClock", "run_eager", "boolvar_model"]
+__all__ = ["StageClock", "run_eager", "boolvar_model", "SatRunner"]
+
+#: Replacement SAT search for :func:`run_eager`: called with the solver's
+#: CNF, the request, the live ``sat`` :class:`StageRecord`, and the CNF
+#: variable ids of the surviving separation predicates (EIJ/equality
+#: registry variables — see ``cnf`` stage artifacts).  Must return a
+#: :class:`repro.sat.solver.SatResult`-shaped object.  Cube-and-conquer
+#: (:mod:`repro.engine.cube`) plugs in here; everything before and after
+#: the SAT stage — encoding, preprocessing, model reconstruction,
+#: countermodel decode — is shared with the sequential engines.
+SatRunner = Callable[[Any, SolveRequest, StageRecord, List[int]], Any]
 
 
 class StageClock:
@@ -88,7 +98,11 @@ _ENCODERS = {
 }
 
 
-def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
+def run_eager(
+    request: SolveRequest,
+    method: str = "hybrid",
+    sat_runner: Optional[SatRunner] = None,
+) -> SolveOutcome:
     """Run the eager pipeline end to end with per-stage telemetry.
 
     The returned outcome's ``stats`` keeps the historical field split
@@ -150,6 +164,11 @@ def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
         stats.cnf_clauses = len(cnf)
         rec.counters["vars"] = cnf.num_vars
         rec.counters["clauses"] = len(cnf)
+        # Surface the EIJ→CNF-var map: these are the separation
+        # predicates cube-and-conquer prefers as splitting points.
+        sep_cnf_vars = encoding.registry.cnf_var_ids(cnf)
+        rec.counters["sep_cnf_vars"] = len(sep_cnf_vars)
+        rec.artifacts["sep_cnf_vars"] = sep_cnf_vars
 
     pre = None
     solver_cnf = cnf
@@ -174,12 +193,15 @@ def run_eager(request: SolveRequest, method: str = "hybrid") -> SolveOutcome:
             return outcome(Status.VALID)
 
     with clock.stage("sat") as rec:
-        solver = CdclSolver(
-            solver_cnf,
-            max_conflicts=request.conflict_limit,
-            time_limit=request.time_limit,
-        )
-        sat_result = solver.solve()
+        if sat_runner is not None:
+            sat_result = sat_runner(solver_cnf, request, rec, sep_cnf_vars)
+        else:
+            solver = CdclSolver(
+                solver_cnf,
+                max_conflicts=request.conflict_limit,
+                time_limit=request.time_limit,
+            )
+            sat_result = solver.solve()
         stats.sat = sat_result.stats
         rec.counters["decisions"] = sat_result.stats.decisions
         rec.counters["propagations"] = sat_result.stats.propagations

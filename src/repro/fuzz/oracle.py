@@ -345,7 +345,13 @@ def default_methods(
     ``incremental`` is the assumption-based session layer under
     differential test (one persistent session per campaign, random
     prefix-sharing sequences cross-checked against one-shot scratch
-    solves; see :func:`_incremental_method`).
+    solves; see :func:`_incremental_method`).  ``cube`` is the
+    cube-and-conquer conductor under differential test: every sample is
+    split by the lookahead generator and conquered under assumption
+    prefixes, and both the verdict and the lifted countermodel are
+    cross-checked against the sequential procedures (sequential
+    conquering — ``cube_procs=1`` — keeps the campaign fast while still
+    exercising cube generation, refutation, and prefix solving).
     Every method dispatches through :mod:`repro.engine.registry`.
     """
     methods: Dict[str, Callable[[Formula], MethodOutcome]] = {
@@ -360,6 +366,7 @@ def default_methods(
         "svc": _engine_method("svc", max_splits=200_000),
         "cached": _cached_method(),
         "incremental": _incremental_method(),
+        "cube": _engine_method("cube", cube_depth=2, cube_procs=1),
     }
     if names is None:
         return methods

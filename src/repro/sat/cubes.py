@@ -1,0 +1,350 @@
+"""Lookahead cube generation for cube-and-conquer solving.
+
+A *cube* is a conjunction of assumption literals; a cube set partitions
+one hard CNF into sub-problems whose union of search spaces covers the
+original (refuting every cube proves UNSAT, one satisfiable cube gives a
+model).  Splitting variables are chosen march-style: for each candidate
+both polarities are propagated and the candidate maximizing the product
+of the two implied-assignment counts wins — the product rewards
+*balanced* splits, which is what makes the sub-problems genuinely
+smaller instead of one trivial and one unchanged.
+
+The generator prefers the separation-predicate (EIJ) variables surfaced
+by the encoder hook (:meth:`repro.encodings.sepvars.SepVarRegistry.
+cnf_var_ids`): the paper's §4 SepCnt analysis identifies exactly these
+per-predicate Booleans as the structurally important case splits.
+
+Failed-literal detection falls out of the lookahead for free: a
+polarity whose propagation conflicts forces the opposite literal.  At
+the root that is a learned unit (returned in :attr:`CubeSet.units`, and
+asserted in the generating solver so later lookaheads benefit); deeper
+in the tree the forced literal extends the cube without consuming
+depth, and a node with both polarities failed refutes its whole cube.
+
+Everything is deterministic for a fixed :attr:`CubeConfig.seed`: the
+candidate ranking breaks occurrence-count ties with a seeded jitter and
+the expansion is a plain depth-first walk (the RD2xx determinism rule
+pack applies to this subsystem like any other).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .cnf import Cnf, unpack_literal
+from .solver import NO_REASON, CdclSolver
+
+__all__ = [
+    "CubeConfig",
+    "CubeStats",
+    "CubeSet",
+    "CubeSplitter",
+    "generate_cubes",
+    "split_cube",
+]
+
+#: Status values for :attr:`CubeSet.status`.
+SPLIT = "SPLIT"
+UNSAT = "UNSAT"
+
+
+@dataclass
+class CubeConfig:
+    """Knobs for :func:`generate_cubes`.
+
+    ``depth`` bounds the decision depth of the cube tree (ignoring free
+    failed-literal extensions); ``max_cubes`` caps the number of leaves
+    regardless of depth.  ``prefer_vars`` (CNF variable ids, typically
+    the EIJ map from the encoder hook) are ranked ahead of every other
+    candidate.  ``imbalance`` stops splitting a node whose best
+    candidate propagates ``imbalance`` times more on one side than the
+    other — such a split shrinks one child only.  ``seed`` fixes the
+    candidate tie-break jitter, making cube runs reproducible.
+    """
+
+    depth: int = 4
+    max_cubes: int = 64
+    max_candidates: int = 24
+    seed: int = 0
+    imbalance: float = 64.0
+    prefer_vars: Sequence[int] = ()
+
+
+@dataclass
+class CubeStats:
+    """What the generator did (reported through the engine telemetry)."""
+
+    cubes: int = 0
+    refuted_branches: int = 0
+    failed_literals: int = 0
+    lookaheads: int = 0
+    max_depth: int = 0
+
+
+@dataclass
+class CubeSet:
+    """The generator's output.
+
+    ``status`` is ``"UNSAT"`` when cube generation alone refuted the
+    formula (every branch failed, or a root-level contradiction) —
+    ``cubes`` is then empty.  Otherwise ``status`` is ``"SPLIT"`` and
+    ``cubes`` holds signed assumption prefixes whose disjunction covers
+    the formula.  ``units`` are root-implied failed-literal units
+    (signed), safe to assert in any solver working on the same CNF.
+    """
+
+    status: str
+    cubes: List[List[int]] = field(default_factory=list)
+    units: List[int] = field(default_factory=list)
+    stats: CubeStats = field(default_factory=CubeStats)
+
+
+def _ranked_candidates(
+    cnf: Cnf, config: CubeConfig
+) -> List[int]:
+    """Global candidate order: preferred vars first, then by occurrence.
+
+    Ties (equal occurrence counts) are broken by a seeded jitter so two
+    runs with the same seed pick identical splits while different seeds
+    explore different — still valid — cube trees.
+    """
+    occ = [0] * (cnf.num_vars + 1)
+    lits, _starts = cnf.packed_arrays()
+    for q in lits:
+        occ[q >> 1] += 1
+    rng = random.Random(config.seed)
+    jitter = [rng.random() for _ in range(cnf.num_vars + 1)]
+
+    def key(var: int) -> Tuple[int, float, int]:
+        return (-occ[var], jitter[var], var)
+
+    preferred = sorted(
+        {v for v in config.prefer_vars if 1 <= v <= cnf.num_vars and occ[v]},
+        key=key,
+    )
+    seen = set(preferred)
+    rest = sorted(
+        (v for v in range(1, cnf.num_vars + 1) if occ[v] and v not in seen),
+        key=key,
+    )
+    return preferred + rest
+
+
+def _probe(solver: CdclSolver, lit: int) -> Tuple[bool, int]:
+    """Propagate ``lit`` on a scratch level; ``(conflicted, growth)``."""
+    base = solver.trail_size
+    solver.trail_lim.append(base)
+    solver._assign(lit, NO_REASON)
+    conflicted = solver._propagate() >= 0
+    growth = solver.trail_size - base
+    solver._backtrack(len(solver.trail_lim) - 1)
+    return conflicted, growth
+
+
+def _best_split(
+    solver: CdclSolver,
+    ranked: List[int],
+    config: CubeConfig,
+    stats: CubeStats,
+) -> Tuple[int, int, List[int]]:
+    """Lookahead over the node's candidates.
+
+    Returns ``(verdict, best_lit, forced)`` where ``verdict`` is 1 for a
+    refuted node (both polarities of some candidate failed), 0 for a
+    node that should become a leaf (no splittable candidate), and 2 for
+    a split on packed literal ``best_lit``.  ``forced`` collects packed
+    failed-literal implications found (and already assigned) on the way.
+    """
+    vals = solver.vals
+    best_lit = -1
+    best_score = -1
+    forced: List[int] = []
+    scored = 0
+    for var in ranked:
+        if scored >= config.max_candidates:
+            break
+        plit = var << 1
+        if vals[plit] != 0:
+            continue
+        scored += 1
+        stats.lookaheads += 1
+        pos_fail, pos_growth = _probe(solver, plit)
+        neg_fail, neg_growth = _probe(solver, plit | 1)
+        if pos_fail and neg_fail:
+            return 1, -1, forced
+        if pos_fail or neg_fail:
+            implied = (plit | 1) if pos_fail else plit
+            stats.failed_literals += 1
+            forced.append(implied)
+            # Assign at the current node level: the implication holds
+            # under this cube prefix, and _backtrack past the node pops
+            # it along with the prefix.
+            solver._assign(implied, NO_REASON)
+            if solver._propagate() >= 0:
+                return 1, -1, forced
+            continue
+        score = pos_growth * neg_growth * 1024 + pos_growth + neg_growth
+        if score > best_score:
+            balanced = (
+                min(pos_growth, neg_growth) * config.imbalance
+                >= max(pos_growth, neg_growth)
+            )
+            if balanced:
+                best_score = score
+                best_lit = plit
+    if best_lit < 0:
+        return 0, -1, forced
+    return 2, best_lit, forced
+
+
+def generate_cubes(cnf: Cnf, config: Optional[CubeConfig] = None) -> CubeSet:
+    """Split ``cnf`` into a deterministic set of assumption cubes."""
+    config = config or CubeConfig()
+    stats = CubeStats()
+    solver = CdclSolver(cnf, inprocess=False)
+    if not _root_propagate(solver):
+        return CubeSet(status=UNSAT, stats=stats)
+    ranked = _ranked_candidates(cnf, config)
+
+    units: List[int] = []
+    cubes: List[List[int]] = []
+    # Depth-first expansion; each stack entry is the packed cube prefix.
+    stack: List[List[int]] = [[]]
+    while stack:
+        prefix = stack.pop()
+        if not _push_prefix(solver, prefix):
+            stats.refuted_branches += 1
+            solver._backtrack(0)
+            continue
+        depth = len(prefix)
+        stats.max_depth = max(stats.max_depth, depth)
+        at_cap = len(cubes) + len(stack) + 1 >= config.max_cubes
+        if depth >= config.depth or at_cap:
+            cubes.append([unpack_literal(q) for q in prefix])
+            stats.cubes += 1
+            solver._backtrack(0)
+            continue
+        verdict, best_lit, forced = _best_split(solver, ranked, config, stats)
+        solver._backtrack(0)
+        if verdict == 1:
+            stats.refuted_branches += 1
+            continue
+        if depth == 0 and forced:
+            # Root-level failed literals are plain units of the CNF:
+            # publish them and keep them asserted for later lookaheads.
+            for q in forced:
+                units.append(unpack_literal(q))
+                solver.add_clause([unpack_literal(q)])
+            if not _root_propagate(solver):
+                return CubeSet(status=UNSAT, units=units, stats=stats)
+            forced = []
+        extended = prefix + forced
+        if verdict == 0:
+            cubes.append([unpack_literal(q) for q in extended])
+            stats.cubes += 1
+            continue
+        # Deterministic order: the stack pops the positive child first.
+        stack.append(extended + [best_lit | 1])
+        stack.append(extended + [best_lit])
+    if not cubes:
+        return CubeSet(status=UNSAT, units=units, stats=stats)
+    return CubeSet(status=SPLIT, cubes=cubes, units=units, stats=stats)
+
+
+def split_cube(
+    solver: CdclSolver,
+    ranked: List[int],
+    cube: List[int],
+    config: CubeConfig,
+    stats: Optional[CubeStats] = None,
+) -> Optional[List[List[int]]]:
+    """Re-split one cube (dynamic refutation of a timed-out conquer job).
+
+    ``solver`` is a resident generator solver over the same CNF;
+    ``cube`` is signed.  Returns the refined signed cubes: two children
+    on a successful split, ``[cube]`` unchanged when no candidate splits
+    the node, and ``None`` when the cube's prefix is refuted outright.
+    """
+    stats = stats if stats is not None else CubeStats()
+    packed = [
+        ((lit << 1) if lit > 0 else ((-lit) << 1) | 1) for lit in cube
+    ]
+    if not _push_prefix(solver, packed):
+        solver._backtrack(0)
+        return None
+    verdict, best_lit, forced = _best_split(solver, ranked, config, stats)
+    solver._backtrack(0)
+    if verdict == 1:
+        return None
+    extended = cube + [unpack_literal(q) for q in forced]
+    if verdict == 0:
+        return [extended]
+    pos = unpack_literal(best_lit)
+    return [extended + [pos], extended + [-pos]]
+
+
+class CubeSplitter:
+    """Resident re-splitter for the cube-and-conquer conductor.
+
+    Keeps one lookahead solver and the ranked candidate order alive so
+    timed-out cubes can be re-split repeatedly without re-paying the
+    per-call setup of :func:`generate_cubes`.  ``ok`` turns false when a
+    root-level contradiction is discovered (the CNF itself is UNSAT).
+    """
+
+    def __init__(self, cnf: Cnf, config: Optional[CubeConfig] = None) -> None:
+        self.config = config or CubeConfig()
+        self.stats = CubeStats()
+        self._solver = CdclSolver(cnf, inprocess=False)
+        self._ranked = _ranked_candidates(cnf, self.config)
+        self.ok = _root_propagate(self._solver)
+
+    def add_units(self, units: Sequence[int]) -> None:
+        """Assert shared/learned signed units in the lookahead solver."""
+        for unit in units:
+            self._solver.add_clause([unit])
+        if self.ok:
+            self.ok = _root_propagate(self._solver)
+
+    def resplit(self, cube: List[int]) -> Optional[List[List[int]]]:
+        """Refine one signed cube; see :func:`split_cube`."""
+        if not self.ok:
+            return None
+        return split_cube(
+            self._solver, self._ranked, cube, self.config, self.stats
+        )
+
+
+def _root_propagate(solver: CdclSolver) -> bool:
+    """Flush root units and propagate; ``False`` = CNF already UNSAT."""
+    if not solver._ok:
+        return False
+    vals = solver.vals
+    for lit in solver._units:
+        val = vals[lit]
+        if val < 0:
+            return False
+        if val == 0:
+            solver._assign(lit, NO_REASON)
+    return solver._propagate() < 0
+
+
+def _push_prefix(solver: CdclSolver, prefix: List[int]) -> bool:
+    """Assume a packed prefix, one decision level per literal.
+
+    Returns ``False`` when the prefix conflicts (the cube is refuted by
+    propagation alone).  The caller backtracks to level 0 either way.
+    """
+    vals = solver.vals
+    for q in prefix:
+        val = vals[q]
+        if val < 0:
+            return False
+        solver.trail_lim.append(solver.trail_size)
+        if val == 0:
+            solver._assign(q, NO_REASON)
+            if solver._propagate() >= 0:
+                return False
+    return True

@@ -57,7 +57,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from .cnf import Cnf, pack_literal, unpack_literal
 
@@ -95,6 +95,9 @@ class SatStats:
     vivified_literals: int = 0
     subsumed_clauses: int = 0
     compactions: int = 0
+    # Clause-sharing counters (cube-and-conquer, PR 8).
+    exported_clauses: int = 0
+    imported_clauses: int = 0
 
 
 @dataclass
@@ -218,6 +221,24 @@ class CdclSolver:
         self._ok = True
         self._units: List[int] = []
         self._heap: List = []
+        #: Clause-sharing hooks (cube-and-conquer conduit, PR 8).
+        #: ``export_hook(signed_lits, lbd)`` is called for every learned
+        #: clause passing the size/glue admission filter below; learned
+        #: units are exported with ``lbd=1``.  ``import_hook()`` returns
+        #: signed clauses to adopt and is drained at restart boundaries
+        #: (the solver is at the root level there, so imported clauses
+        #: and units attach exactly like :meth:`add_clause` additions).
+        #: Shared clauses are sound across cubes because nothing learned
+        #: ever depends on assumptions (see
+        #: :meth:`solve_under_assumptions`).
+        self.export_hook: Optional[Callable[[List[int], int], None]] = None
+        self.import_hook: Optional[Callable[[], List[List[int]]]] = None
+        #: Admission filter: non-unit clauses are exported when they are
+        #: short (at most ``export_max_size`` literals) *or* glue (LBD at
+        #: most ``export_max_lbd``) — pigeonhole-style instances learn
+        #: long low-LBD clauses, so an AND filter would share nothing.
+        self.export_max_size = 8
+        self.export_max_lbd = 4
         #: Scratch stamps for duplicate/tautology detection on insert.
         self._stamps: List[int] = [0] * (2 * n)
         self._stamp = 0
@@ -1216,6 +1237,36 @@ class CdclSolver:
         self._mark_dead(ref)
         return True
 
+    # -- clause sharing -------------------------------------------------------
+
+    def _import_shared(self) -> bool:
+        """Adopt clauses from :attr:`import_hook`; ``False`` = root conflict.
+
+        Called at restart boundaries, where the solver sits at decision
+        level 0: every imported clause attaches through the
+        :meth:`add_clause` path (deduplication, unit extraction), pending
+        units are flushed onto the root trail, and one propagation round
+        integrates the new clauses.  A contradiction here means the
+        clause database alone is unsatisfiable.
+        """
+        assert self.import_hook is not None
+        clauses = self.import_hook()
+        if not clauses:
+            return True
+        for lits in clauses:
+            self.add_clause(lits)
+            self.stats.imported_clauses += 1
+        if not self._ok:
+            return False
+        vals = self.vals
+        for lit in self._units:
+            val = vals[lit]
+            if val < 0:
+                return False
+            if val == 0:
+                self._assign(lit, NO_REASON)
+        return self._propagate() < 0
+
     # -- main loop ------------------------------------------------------------
 
     def solve(self) -> SatResult:
@@ -1272,6 +1323,11 @@ class CdclSolver:
                 self._assign(lit, NO_REASON)
         if self._propagate() >= 0:
             return self._finish(UNSAT, start, core=[])
+        # A solve call is a restart boundary too: cube workers often
+        # finish a cube between two Luby restarts, and clauses shared by
+        # their peers must not wait a full restart period to arrive.
+        if self.import_hook is not None and not self._import_shared():
+            return self._finish(UNSAT, start, core=[])
 
         max_learned = max(self.n_original // 3, 2000)
         conflicts_until_restart = self.RESTART_BASE * _luby(1)
@@ -1290,6 +1346,9 @@ class CdclSolver:
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     unit = learnt[0]
+                    if self.export_hook is not None:
+                        self.stats.exported_clauses += 1
+                        self.export_hook([unpack_literal(unit)], 1)
                     if vals[unit] < 0:
                         return self._finish(UNSAT, start, core=[])
                     if vals[unit] == 0:
@@ -1302,6 +1361,14 @@ class CdclSolver:
                     self._watch_clause(ref)
                     self._bump_clause(ref)
                     self._assign(learnt[0], ref)
+                    if self.export_hook is not None and (
+                        len(learnt) <= self.export_max_size
+                        or lbd <= self.export_max_lbd
+                    ):
+                        self.stats.exported_clauses += 1
+                        self.export_hook(
+                            [unpack_literal(q) for q in learnt], lbd
+                        )
                 self.var_inc /= self.VAR_DECAY
                 self.cla_inc /= self.CLAUSE_DECAY
 
@@ -1328,6 +1395,8 @@ class CdclSolver:
                 # Backtracking to 0 pops the assumption levels too; the
                 # decision step below re-pushes them in order.
                 self._backtrack(0)
+                if self.import_hook is not None and not self._import_shared():
+                    return self._finish(UNSAT, start, core=[])
                 continue
 
             if len(self.learned_refs) - self.trail_size >= max_learned:

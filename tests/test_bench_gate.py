@@ -83,12 +83,112 @@ class TestCheck:
         assert bench_gate.check(current, _section(2.5), 0.25) == []
 
 
-class TestMain:
-    def _write(self, tmp_path, name, section):
-        path = tmp_path / name
-        path.write_text(
-            json.dumps({"meta": {}, "sat_core": section}) + "\n"
+def _cube_section(
+    speedup,
+    statuses=None,
+    verdicts_match=True,
+    imported=100,
+    ablation_ok=True,
+):
+    statuses = statuses or {"php_a": "UNSAT", "r3_b": "UNSAT"}
+    instances = {
+        name: {
+            "family": "hard",
+            "status_sequential": status,
+            "status_cube": status,
+            "verdicts_match": True,
+            "seconds_sequential": speedup,
+            "seconds_cube": 1.0,
+            "speedup": speedup,
+            "imported_clauses": imported,
+        }
+        for name, status in statuses.items()
+    }
+    return {
+        "families": ["hard"],
+        "instances": instances,
+        "verdicts_match": verdicts_match,
+        "procs": 4,
+        "aggregate": {
+            "seconds_sequential": speedup * len(instances),
+            "seconds_cube": float(len(instances)),
+            "speedup": speedup,
+            "imported_clauses": imported * len(instances),
+        },
+        "share_ablation": {
+            "instances": {},
+            "seconds_share": 1.0,
+            "seconds_noshare": 2.0 if ablation_ok else 0.5,
+            "no_share_no_faster": ablation_ok,
+        },
+    }
+
+
+class TestCheckCube:
+    def test_identical_run_passes(self):
+        base = _cube_section(2.0)
+        failures, warnings = bench_gate.check_cube(base, base, 0.25)
+        assert failures == []
+        assert warnings == []
+
+    def test_missing_baseline_section_warns_not_fails(self):
+        failures, warnings = bench_gate.check_cube(
+            _cube_section(2.0), None, 0.25
         )
+        assert failures == []
+        assert any("baseline has no" in w for w in warnings)
+
+    def test_verdict_mismatch_fails_even_without_baseline(self):
+        current = _cube_section(2.0, verdicts_match=False)
+        failures, _ = bench_gate.check_cube(current, None, 0.25)
+        assert any("disagreed" in f for f in failures)
+
+    def test_dead_sharing_fails(self):
+        current = _cube_section(2.0, imported=0)
+        failures, _ = bench_gate.check_cube(
+            current, _cube_section(2.0), 0.25
+        )
+        assert any("sharing is dead" in f for f in failures)
+
+    def test_sat_only_run_does_not_require_imports(self):
+        current = _cube_section(
+            2.0, statuses={"r3_s": "SAT"}, imported=0
+        )
+        base = _cube_section(2.0, statuses={"r3_s": "SAT"}, imported=0)
+        failures, _ = bench_gate.check_cube(current, base, 0.25)
+        assert failures == []
+
+    def test_regression_vs_baseline_fails(self):
+        failures, _ = bench_gate.check_cube(
+            _cube_section(1.0), _cube_section(2.5), 0.25
+        )
+        assert any("regressed" in f for f in failures)
+
+    def test_status_change_vs_baseline_fails(self):
+        current = _cube_section(
+            2.0, statuses={"php_a": "SAT", "r3_b": "UNSAT"}
+        )
+        failures, _ = bench_gate.check_cube(
+            current, _cube_section(2.0), 0.25
+        )
+        assert any("verdict changed" in f for f in failures)
+
+    def test_ablation_violation_warns_not_fails(self):
+        current = _cube_section(2.0, ablation_ok=False)
+        failures, warnings = bench_gate.check_cube(
+            current, _cube_section(2.0), 0.25
+        )
+        assert failures == []
+        assert any("ablation" in w for w in warnings)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, section, cube=None):
+        path = tmp_path / name
+        report = {"meta": {}, "sat_core": section}
+        if cube is not None:
+            report["cube_vs_sequential"] = cube
+        path.write_text(json.dumps(report) + "\n")
         return str(path)
 
     def test_exit_zero_on_pass(self, tmp_path):
@@ -123,6 +223,60 @@ class TestMain:
         )
         assert code == 1
 
+    def test_cube_report_gated(self, tmp_path):
+        report = self._write(
+            tmp_path, "report.json", _section(2.5), cube=_cube_section(2.0)
+        )
+        baseline = self._write(
+            tmp_path,
+            "baseline.json",
+            _section(2.5),
+            cube=_cube_section(2.0),
+        )
+        code = bench_gate.main(
+            ["--report", report, "--baseline", baseline,
+             "--cube-report", report]
+        )
+        assert code == 0
+
+    def test_cube_section_absent_from_baseline_tolerated(self, tmp_path):
+        # The tolerance path: current run has the new section, the
+        # committed baseline predates it — warn and pass.
+        report = self._write(
+            tmp_path, "report.json", _section(2.5), cube=_cube_section(2.0)
+        )
+        baseline = self._write(tmp_path, "baseline.json", _section(2.5))
+        code = bench_gate.main(
+            ["--report", report, "--baseline", baseline,
+             "--cube-report", report]
+        )
+        assert code == 0
+
+    def test_cube_report_without_section_fails(self, tmp_path):
+        report = self._write(tmp_path, "report.json", _section(2.5))
+        baseline = self._write(tmp_path, "baseline.json", _section(2.5))
+        code = bench_gate.main(
+            ["--report", report, "--baseline", baseline,
+             "--cube-report", report]
+        )
+        assert code == 1
+
+    def test_cube_regression_fails(self, tmp_path):
+        report = self._write(
+            tmp_path, "report.json", _section(2.5), cube=_cube_section(1.0)
+        )
+        baseline = self._write(
+            tmp_path,
+            "baseline.json",
+            _section(2.5),
+            cube=_cube_section(3.0),
+        )
+        code = bench_gate.main(
+            ["--report", report, "--baseline", baseline,
+             "--cube-report", report]
+        )
+        assert code == 1
+
 
 class TestCommittedBaseline:
     def test_baseline_is_committed_and_well_formed(self):
@@ -133,3 +287,17 @@ class TestCommittedBaseline:
         assert section["instances"]
         for row in section["instances"].values():
             assert row["status_arena"] == row["status_legacy"]
+
+    def test_cube_baseline_is_committed_and_well_formed(self):
+        path = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
+        section = bench_gate.load_section(path, "cube_vs_sequential")
+        assert section is not None
+        assert section["verdicts_match"] is True
+        # The PR's acceptance bar: >= 1.5x aggregate with 4 workers and
+        # a live clause-sharing conduit.
+        assert section["procs"] >= 4
+        assert section["aggregate"]["speedup"] >= 1.5
+        assert section["aggregate"]["imported_clauses"] > 0
+        assert section["share_ablation"]["no_share_no_faster"] is True
+        for row in section["instances"].values():
+            assert row["status_cube"] == row["status_sequential"]

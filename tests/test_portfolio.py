@@ -258,3 +258,100 @@ class TestBatch:
             if o.stats.cache is not None
         )
         assert dedupes == 3
+
+
+class UndecidedEngine(Engine):
+    """Returns UNKNOWN instantly — forces the cube escalation path."""
+
+    name = "undecided-test"
+    capabilities = EngineCapabilities(description="abstains", complete=False)
+
+    def solve(self, request):
+        return SolveOutcome(engine=self.name, status=Status.UNKNOWN)
+
+
+@pytest.fixture
+def undecided():
+    registry.register(UndecidedEngine())
+    try:
+        yield
+    finally:
+        registry.unregister("undecided-test")
+
+
+class TestRaceTelemetry:
+    def test_cancellation_recorded_and_losers_terminated(self, sleepy):
+        outcome = solve_portfolio(
+            request_for(VALID_F), engines=["sleepy-test", "hybrid"]
+        )
+        assert outcome.status == Status.VALID
+        # The loser must be gone from the process table...
+        leftovers = [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith("portfolio-")
+        ]
+        assert leftovers == []
+        # ...and the race StageRecord must say so: telemetry records the
+        # cancellation, not just the detail string.
+        races = [s for s in outcome.stats.stages if s.name == "race"]
+        assert len(races) == 1
+        assert races[0].counters["members"] == 2
+        assert races[0].counters["cancelled"] >= 1
+        assert (
+            races[0].counters["finished"]
+            + races[0].counters["cancelled"]
+            <= 2
+        )
+
+    def test_race_record_present_without_cancellation(self):
+        outcome = solve_portfolio(
+            request_for(VALID_F), engines=["hybrid"], parallel=False
+        )
+        races = [s for s in outcome.stats.stages if s.name == "race"]
+        assert len(races) == 1
+        assert races[0].counters["cancelled"] == 0
+
+
+class TestCubeFallback:
+    def test_batch_escalates_undecided_to_cube(self, undecided):
+        formulas = [parse_formula(VALID_F), parse_formula(INVALID_F)]
+        outcomes = solve_batch(
+            formulas, engines=["undecided-test"], jobs=1
+        )
+        assert [o.valid for o in outcomes] == [True, False]
+        assert all(o.engine == "cube" for o in outcomes)
+        assert any(
+            "cube escalation" in (o.detail or "") for o in outcomes
+        )
+
+    def test_batch_no_fallback_stays_undecided(self, undecided):
+        outcomes = solve_batch(
+            [parse_formula(VALID_F)],
+            engines=["undecided-test"],
+            jobs=1,
+            cube_fallback=False,
+        )
+        assert outcomes[0].valid is None
+
+    def test_escalated_countermodel_lifted_through_dedupe(self, undecided):
+        formula = parse_formula(INVALID_F)
+        outcomes = solve_batch(
+            [formula], engines=["undecided-test"], jobs=1
+        )
+        assert outcomes[0].status == Status.INVALID
+        assert outcomes[0].counterexample is not None
+        assert not evaluate(formula, outcomes[0].counterexample)
+
+    def test_decided_outcomes_not_escalated(self):
+        # A decided batch must never pay for cube escalation.
+        outcomes = solve_batch(
+            [parse_formula(VALID_F)], engines=["hybrid"], jobs=1
+        )
+        assert outcomes[0].valid is True
+        assert outcomes[0].engine == "portfolio"
+
+    def test_cube_excluded_from_default_members(self):
+        members = default_members()
+        assert "cube" not in members
+        assert "portfolio" not in members

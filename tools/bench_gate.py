@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf-regression gate over the arena-vs-legacy SAT core benchmark.
+"""Perf-regression gate over the bench-smoke perf benchmarks.
 
 Reads the ``sat_core`` section of a ``BENCH_PR7.json`` report (written
 by ``repro bench-smoke``) and compares it against the committed
@@ -16,6 +16,21 @@ runner slows both solvers and cancels out of the ratio.  The legacy
 solver (``repro/sat/legacy_solver.py``) is frozen precisely so this
 denominator stays meaningful across PRs.
 
+With ``--cube-report`` the gate additionally checks the
+``cube_vs_sequential`` section of a ``BENCH_PR8.json`` report: the
+cube-and-conquer conductor must agree with the sequential solver on
+every instance verdict, per-instance statuses must match the committed
+baseline, the aggregate cube-vs-sequential speedup must not regress
+beyond the tolerance, and clause sharing must be live (imported-clause
+counts above zero — a silently dead sharing conduit is a perf bug even
+when verdicts stay right).  A share-ablation violation (``--no-share``
+faster than sharing) is reported as a warning, not a failure, because
+it is timing-jitter-sensitive on loaded CI runners.
+
+Sections present in the current run but absent from the committed
+baseline are reported as warnings and skipped, not failed, so a PR can
+introduce a new benchmark section before the baseline is regenerated.
+
 Kept dependency-free (stdlib only) like the other gates in tools/.
 """
 
@@ -24,7 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 
 def load_sat_core(path: str) -> Dict:
@@ -33,6 +48,21 @@ def load_sat_core(path: str) -> Dict:
     section = report.get("sat_core")
     if not isinstance(section, dict):
         raise ValueError("%s has no sat_core section" % path)
+    return section
+
+
+def load_section(path: str, name: str) -> Optional[Dict]:
+    """The named report section, or ``None`` when absent.
+
+    Missing *files* still raise (a gate pointed at a nonexistent report
+    is a CI wiring bug); missing *sections* are the tolerated case (a
+    baseline that predates the section).
+    """
+    with open(path) as fp:
+        report = json.load(fp)
+    section = report.get(name)
+    if section is not None and not isinstance(section, dict):
+        raise ValueError("%s has a malformed %s section" % (path, name))
     return section
 
 
@@ -72,6 +102,85 @@ def check(
     return failures
 
 
+def check_cube(
+    current: Dict,
+    baseline: Optional[Dict],
+    max_regression: float,
+) -> Tuple[List[str], List[str]]:
+    """Gate the ``cube_vs_sequential`` section.
+
+    Returns ``(failures, warnings)``.  ``baseline=None`` (section not
+    yet committed) downgrades every baseline-relative check to a
+    warning; correctness checks — verdict agreement and live clause
+    sharing — still fail outright because they need no baseline.
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    if not current.get("verdicts_match", False):
+        failures.append(
+            "cube-and-conquer and the sequential solver disagreed on at "
+            "least one instance"
+        )
+    unsat_rows = [
+        row
+        for row in current.get("instances", {}).values()
+        if row.get("status_sequential") == "UNSAT"
+    ]
+    if unsat_rows and not any(
+        row.get("imported_clauses", 0) for row in unsat_rows
+    ):
+        failures.append(
+            "clause sharing is dead: no worker imported a single learned "
+            "clause on any UNSAT instance"
+        )
+    ablation = current.get("share_ablation")
+    if ablation and not ablation.get("no_share_no_faster", True):
+        warnings.append(
+            "share ablation violated: --no-share ran faster than sharing "
+            "(%.2fs vs %.2fs) — jitter-sensitive, not gating"
+            % (
+                ablation.get("seconds_noshare", 0.0),
+                ablation.get("seconds_share", 0.0),
+            )
+        )
+    cur_speedup = current.get("aggregate", {}).get("speedup")
+    if baseline is None:
+        warnings.append(
+            "baseline has no cube_vs_sequential section; skipping "
+            "baseline-relative checks (regenerate benchmarks/baseline.json "
+            "to arm them)"
+        )
+        return failures, warnings
+    base_instances = baseline.get("instances", {})
+    cur_instances = current.get("instances", {})
+    for name, base_row in sorted(base_instances.items()):
+        cur_row = cur_instances.get(name)
+        if cur_row is None:
+            failures.append(
+                "cube instance %s missing from current run" % name
+            )
+            continue
+        if cur_row["status_cube"] != base_row["status_cube"]:
+            failures.append(
+                "cube instance %s verdict changed: baseline %s, current %s"
+                % (name, base_row["status_cube"], cur_row["status_cube"])
+            )
+    base_speedup = baseline.get("aggregate", {}).get("speedup")
+    if base_speedup is None or cur_speedup is None:
+        failures.append(
+            "missing aggregate cube speedup (empty instance set?)"
+        )
+        return failures, warnings
+    floor = base_speedup * (1.0 - max_regression)
+    if cur_speedup < floor:
+        failures.append(
+            "aggregate cube speedup regressed: baseline %.2fx, current "
+            "%.2fx (floor %.2fx at %.0f%% tolerance)"
+            % (base_speedup, cur_speedup, floor, 100 * max_regression)
+        )
+    return failures, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -90,6 +199,14 @@ def main(argv=None) -> int:
         default=0.25,
         help="allowed fractional speedup regression (default 0.25)",
     )
+    parser.add_argument(
+        "--cube-report",
+        default=None,
+        help=(
+            "cube-and-conquer report to gate as well (BENCH_PR8.json; "
+            "checks the cube_vs_sequential section)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -107,6 +224,40 @@ def main(argv=None) -> int:
             "bench gate: aggregate speedup %.2fx (baseline %.2fx)"
             % (cur, base)
         )
+
+    warnings: List[str] = []
+    if args.cube_report is not None:
+        try:
+            cube_current = load_section(
+                args.cube_report, "cube_vs_sequential"
+            )
+            if cube_current is None:
+                raise ValueError(
+                    "%s has no cube_vs_sequential section"
+                    % args.cube_report
+                )
+            cube_baseline = load_section(
+                args.baseline, "cube_vs_sequential"
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("bench gate: %s" % exc, file=sys.stderr)
+            return 1
+        cube_failures, warnings = check_cube(
+            cube_current, cube_baseline, args.max_regression
+        )
+        failures.extend(cube_failures)
+        cube_speedup = cube_current.get("aggregate", {}).get("speedup")
+        if cube_speedup is not None:
+            imported = cube_current.get("aggregate", {}).get(
+                "imported_clauses", 0
+            )
+            print(
+                "bench gate: cube speedup %.2fx, %d clause(s) imported"
+                % (cube_speedup, imported)
+            )
+
+    for warning in warnings:
+        print("bench gate: WARN: %s" % warning, file=sys.stderr)
     for failure in failures:
         print("bench gate: FAIL: %s" % failure, file=sys.stderr)
     if failures:

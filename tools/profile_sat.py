@@ -7,18 +7,79 @@ prints the top functions by internal time — the profile-first loop the
 arena refactor was tuned with.  The hot loop should be dominated by
 ``_propagate``; anything else rising to the top is the next target.
 
+With ``--cube`` the same instance is solved by the cube-and-conquer
+conductor instead: the conductor (cube generation, scheduling, clause
+broadcast) is profiled in-process, every worker process runs under its
+own cProfile and dumps pstats into a temp directory
+(``REPRO_CUBE_PROFILE_DIR``), and the tool merges conductor + worker
+profiles into one report — so the printed table covers the whole
+parallel solve, not just the parent process.
+
 Usage::
 
     PYTHONPATH=src python tools/profile_sat.py [instance] [--legacy]
-        [--sort tottime] [--limit 20]
+        [--cube] [--procs 4] [--depth N] [--sort tottime] [--limit 20]
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import glob
+import os
 import pstats
+import shutil
 import sys
+import tempfile
+
+
+def _profile_cube(cnf, args) -> int:
+    """Profile the conductor + workers; merge and print the pstats."""
+    from repro.core.result import StageRecord
+    from repro.engine.contract import SolveRequest
+    from repro.engine.cube import DEFAULT_DEPTH, conquer
+    from repro.logic.terms import BoolVar
+
+    record = StageRecord("sat", 0.0)
+    request = SolveRequest(
+        formula=BoolVar("profile_cube_dummy"),
+        options={
+            "cube_depth": args.depth or DEFAULT_DEPTH,
+            "cube_procs": args.procs,
+        },
+    )
+    tmpdir = tempfile.mkdtemp(prefix="repro-cube-profile-")
+    os.environ["REPRO_CUBE_PROFILE_DIR"] = tmpdir
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        result = conquer(cnf, request, record, [])
+        profiler.disable()
+        print(
+            "cube on %s: %s (%d conflicts, %d cubes, %d workers)"
+            % (
+                args.instance,
+                result.status,
+                result.stats.conflicts,
+                record.counters.get("cubes", 0),
+                record.counters.get("workers", 1),
+            )
+        )
+        stats = pstats.Stats(profiler)
+        worker_dumps = sorted(
+            glob.glob(os.path.join(tmpdir, "cube-worker-*.pstats"))
+        )
+        for dump in worker_dumps:
+            stats.add(dump)
+        print(
+            "merged %d worker profile(s) from %s"
+            % (len(worker_dumps), tmpdir)
+        )
+        stats.sort_stats(args.sort).print_stats(args.limit)
+    finally:
+        os.environ.pop("REPRO_CUBE_PROFILE_DIR", None)
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -35,6 +96,26 @@ def main(argv=None) -> int:
         help="profile the frozen pre-arena reference solver instead",
     )
     parser.add_argument(
+        "--cube",
+        action="store_true",
+        help=(
+            "profile the cube-and-conquer conductor; workers dump "
+            "per-process pstats that are merged into the report"
+        ),
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=4,
+        help="cube workers with --cube (default 4; 1 = sequential)",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="cube tree depth with --cube (default: engine default)",
+    )
+    parser.add_argument(
         "--sort",
         default="tottime",
         help="pstats sort key (default tottime)",
@@ -44,7 +125,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.engine.bench_smoke import sat_core_instance
+    from repro.engine.bench_smoke import cube_instance, sat_core_instance
 
     if args.legacy:
         from repro.sat.legacy_solver import CdclSolver
@@ -53,9 +134,23 @@ def main(argv=None) -> int:
 
     try:
         cnf = sat_core_instance(args.instance)
-    except ValueError as exc:
-        print("profile: %s" % exc, file=sys.stderr)
-        return 2
+    except ValueError:
+        try:
+            # Cube-family instances (php_9_8, ...) are valid targets too.
+            cnf = cube_instance(args.instance)
+        except ValueError as exc:
+            print("profile: %s" % exc, file=sys.stderr)
+            return 2
+
+    if args.cube:
+        if args.legacy:
+            print(
+                "profile: --cube and --legacy are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        return _profile_cube(cnf, args)
+
     solver = CdclSolver(cnf)
     profiler = cProfile.Profile()
     profiler.enable()
