@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint typecheck analyze fuzz fuzz-smoke bench-smoke bench-gate profile coverage ci clean
+.PHONY: test lint typecheck analyze fuzz fuzz-smoke bench-smoke bench-gate compete-smoke profile coverage ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -47,13 +47,27 @@ bench-smoke:
 		--families large --sat-core-out BENCH_PR7.json \
 		--cube-out BENCH_PR8.json --cube-families hard --cube-procs 4
 
+# SMT-LIB evaluation smoke: sweeps the committed fixture corpus plus a
+# benchgen-emitted mini-corpus through the hybrid and portfolio engines
+# (repro compete), failing on any verdict-vs-:status mismatch or
+# instance error; the SMT-COMP-style scoring report lands in
+# BENCH_PR9.json (CI uploads it).
+compete-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro compete \
+		tests/fixtures/smtlib/corpus --emit-benchgen .compete-benchgen \
+		--methods hybrid,portfolio --timeout 30 --fail-on-error \
+		--out BENCH_PR9.json
+
 # Perf-regression gate: compares BENCH_PR7.json's aggregate
 # arena-vs-legacy speedup and BENCH_PR8.json's cube-vs-sequential
 # speedup (machine-independent ratios) against the committed
 # benchmarks/baseline.json; fails on a verdict change, a >25% speedup
-# regression, or a dead clause-sharing conduit.
+# regression, or a dead clause-sharing conduit.  BENCH_PR9.json (from
+# compete-smoke) is checked too: mismatches fail, solved/PAR-2 movement
+# against the baseline's compete section only warns.
 bench-gate:
-	$(PYTHON) tools/bench_gate.py --cube-report BENCH_PR8.json
+	$(PYTHON) tools/bench_gate.py --cube-report BENCH_PR8.json \
+		--compete-report BENCH_PR9.json
 
 # cProfile one sat-core instance (PROFILE_ARGS picks instance/flags,
 # e.g. make profile PROFILE_ARGS="php_8_7 --legacy").
@@ -81,5 +95,5 @@ fuzz-smoke:
 ci: lint typecheck test fuzz-smoke
 
 clean:
-	rm -rf fuzz-failures .pytest_cache .hypothesis
+	rm -rf fuzz-failures .pytest_cache .hypothesis .compete-benchgen
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

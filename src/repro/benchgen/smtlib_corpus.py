@@ -1,0 +1,97 @@
+"""Emit the synthetic suite as a ``:status``-annotated SMT-LIB 2 corpus.
+
+Self-hosting bridge between the generated benchmark families and the
+``repro compete`` runner: each selected suite benchmark is serialized
+with :func:`repro.logic.smtlib.to_smtlib_script` (asserting the
+*negation*, so a valid formula's script is ``unsat``) together with its
+invalid mutant (``sat``), each carrying the standard
+``(set-info :status ...)`` annotation the scorer checks verdicts
+against.  The emitted directory doubles as a mutation corpus for
+``repro fuzz --corpus``.
+
+Everything is deterministic: same suite, same parameters, same bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from ..logic.smtlib import to_smtlib_script
+from .base import Benchmark
+from .suite import suite
+
+__all__ = ["default_corpus", "emit_corpus"]
+
+#: Suite indices of the smallest benchmark per non-invariant family —
+#: small enough that every engine method decides them well inside the
+#: smoke budget (the invariant family is deliberately excluded: it is
+#: constructed so EIJ — and HYBRID at the default threshold — time out).
+_SMOKE_NAMES = (
+    "pipeline_s2_r2_1",
+    "loadstore_e3_p6_1",
+    "ooo_t4_1",
+    "cache_c2_1",
+    "driver_s3_1",
+    "transval_s1_i3_1",
+)
+
+
+def default_corpus(count: Optional[int] = None) -> List[Benchmark]:
+    """The self-hosted corpus: per-family smallest benchmarks, both
+    polarities (the valid formula and its invalid mutant)."""
+    valid = {bench.name: bench for bench in suite(valid=True)}
+    invalid = {bench.name: bench for bench in suite(valid=False)}
+    names = list(_SMOKE_NAMES)
+    missing = [name for name in names if name not in valid]
+    if missing:
+        raise ValueError(
+            "smoke corpus names drifted from the suite: %s"
+            % ", ".join(missing)
+        )
+    if count is not None:
+        names = names[:count]
+    out: List[Benchmark] = []
+    for name in names:
+        out.append(valid[name])
+        out.append(invalid[name])
+    return out
+
+
+def emit_corpus(
+    out_dir: str, count: Optional[int] = None
+) -> List[Tuple[str, str]]:
+    """Write the corpus into ``out_dir``; returns ``(path, status)``.
+
+    A *valid* benchmark's script asserts the negation, so its expected
+    ``check-sat`` answer — and emitted ``:status`` — is ``unsat``; the
+    invalid mutants are ``sat``.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[Tuple[str, str]] = []
+    for bench in default_corpus(count):
+        status = "unsat" if bench.expected_valid else "sat"
+        stem = "%s_%s" % (
+            bench.name,
+            "valid" if bench.expected_valid else "invalid",
+        )
+        path = os.path.join(out_dir, stem + ".smt2")
+        script = to_smtlib_script(
+            bench.formula,
+            status=status,
+            comments=[
+                "benchgen self-hosted corpus: %s (domain %s, %d DAG "
+                "nodes, expected_valid=%s)"
+                % (
+                    bench.name,
+                    bench.domain,
+                    bench.dag_size,
+                    bench.expected_valid,
+                ),
+                "regenerate: repro compete --emit-benchgen <dir>",
+            ],
+        )
+        with open(path, "w") as fp:
+            fp.write(script)
+        written.append((path, status))
+    return written

@@ -21,6 +21,13 @@ Subcommands
     preprocessing on/off comparison (vars/clauses/sat-wall) for the
     eager engines and a cold-vs-warm result-cache comparison; exits
     nonzero if preprocessing or the cache changes any verdict.
+``compete DIR...``
+    Sweep directories of SMT-LIB 2 benchmarks through one or more
+    engines with per-instance timeouts, check every verdict against the
+    scripts' ``(set-info :status ...)`` annotations, and print an
+    SMT-COMP-style scoring table (PAR-2, per-family breakdown); the
+    JSON artifact lands in ``BENCH_PR9.json``.  Exits 1 on any
+    verdict-vs-status mismatch.
 ``serve``
     Serve validity requests as line-delimited JSON over stdin/stdout
     (see ``docs/serve-protocol.md``): a worker pool with per-request
@@ -47,6 +54,7 @@ directly.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -251,6 +259,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated engine subset (default: every engine)",
     )
 
+    compete = sub.add_parser(
+        "compete",
+        help="sweep SMT-LIB benchmark directories with per-instance "
+        "timeouts and score verdicts against :status annotations "
+        "(see docs/smtlib.md)",
+    )
+    compete.add_argument(
+        "roots",
+        nargs="*",
+        help="benchmark directories (or individual .smt2 files)",
+    )
+    compete.add_argument(
+        "--methods",
+        default="hybrid",
+        metavar="NAMES",
+        help="comma-separated engine methods to sweep (default hybrid)",
+    )
+    compete.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-instance wall-clock budget (default 10)",
+    )
+    compete.add_argument(
+        "--sep-thold", type=int, default=None, metavar="N",
+        help="SEP_THOLD override passed to every solve",
+    )
+    compete.add_argument(
+        "--out",
+        default="BENCH_PR9.json",
+        metavar="FILE",
+        help="JSON scoring artifact (default BENCH_PR9.json; empty "
+        "string disables)",
+    )
+    compete.add_argument(
+        "--emit-benchgen",
+        default=None,
+        metavar="DIR",
+        help="emit the self-hosted :status-annotated benchgen corpus "
+        "into DIR and include it in the sweep",
+    )
+    compete.add_argument(
+        "--fail-on-error",
+        action="store_true",
+        help="also exit 1 when any instance errors (parse failure, "
+        "out-of-fragment construct, engine crash) — the self-hosted "
+        "smoke corpus runs with this on",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="serve line-delimited JSON validity requests over "
@@ -386,7 +444,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAMES",
         help="comma-separated subset of brute,sd,eij,hybrid,static,"
-        "sd+preprocess,hybrid+preprocess,lazy,svc,cached,cube",
+        "sd+preprocess,hybrid+preprocess,lazy,svc,cached,incremental,"
+        "cube,smtlib-roundtrip",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="mutate the .smt2 instances under DIR (metamorphic "
+        "transform chains) instead of generating random samples",
     )
     fuzz.add_argument(
         "--no-metamorphic",
@@ -463,7 +529,14 @@ def _print_stats(outcome: SolveOutcome) -> None:
 
 
 def _cmd_check(args) -> int:
-    formula, smtlib_mode = _read_formula(args.file, args.format)
+    from .logic.parser import ParseError
+    from .logic.smtlib import SmtLibError
+
+    try:
+        formula, smtlib_mode = _read_formula(args.file, args.format)
+    except (ParseError, SmtLibError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     engine = registry.get(args.method)
     options = {}
     if args.cube_depth is not None:
@@ -696,6 +769,71 @@ def _cmd_bench_smoke(args) -> int:
     return 0
 
 
+def _cmd_compete(args) -> int:
+    from .engine.compete import (
+        DEFAULT_TIMEOUT as COMPETE_DEFAULT_TIMEOUT,
+        CompeteConfig,
+        format_table,
+        run_compete,
+        write_report,
+    )
+
+    try:
+        methods = _parse_engine_list(args.methods) or []
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    roots = list(args.roots)
+    if args.emit_benchgen:
+        from .benchgen.smtlib_corpus import emit_corpus
+
+        written = emit_corpus(args.emit_benchgen)
+        print(
+            "emitted %d benchgen instance(s) into %s"
+            % (len(written), args.emit_benchgen)
+        )
+        roots.append(args.emit_benchgen)
+    if not roots:
+        print(
+            "compete: provide at least one benchmark directory "
+            "(or --emit-benchgen DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_compete(
+            CompeteConfig(
+                roots=roots,
+                methods=methods,
+                timeout=args.timeout or COMPETE_DEFAULT_TIMEOUT,
+                sep_thold=args.sep_thold,
+                fail_on_error=args.fail_on_error,
+            )
+        )
+    except FileNotFoundError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(format_table(report))
+    if args.out:
+        write_report(report, args.out)
+        print("wrote %s" % args.out)
+    if report["mismatches_total"]:
+        print(
+            "error: %d verdict(s) contradict the :status annotations"
+            % report["mismatches_total"],
+            file=sys.stderr,
+        )
+        return 1
+    if args.fail_on_error and report["errors_total"]:
+        print(
+            "error: %d instance(s) errored (--fail-on-error)"
+            % report["errors_total"],
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .service.server import ServeConfig, run_server
 
@@ -888,6 +1026,10 @@ def _cmd_fuzz(args) -> int:
             methods = inject_strictness_bug(
                 methods or default_methods(), victim="hybrid"
             )
+        if args.corpus is not None and not os.path.isdir(args.corpus):
+            raise ValueError(
+                "corpus directory %r does not exist" % args.corpus
+            )
         config = FuzzConfig(
             iterations=args.iterations,
             seed=args.seed,
@@ -897,15 +1039,20 @@ def _cmd_fuzz(args) -> int:
             out_dir=None if args.self_check else args.out,
             methods=methods,
             max_failures=args.max_failures,
+            corpus_dir=args.corpus,
         )
         config.profile_names()  # validate the profile name up front
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
 
-    report = run_campaign(
-        config, log=lambda line: print("fuzz: %s" % line)
-    )
+    try:
+        report = run_campaign(
+            config, log=lambda line: print("fuzz: %s" % line)
+        )
+    except ValueError as exc:  # e.g. a corpus with no parseable instance
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     for line in report.summary_lines():
         print(line)
     if args.self_check:
@@ -928,6 +1075,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "portfolio": _cmd_portfolio,
         "bench-smoke": _cmd_bench_smoke,
+        "compete": _cmd_compete,
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,

@@ -1,6 +1,8 @@
 """The fuzzing campaign driver behind ``repro fuzz``.
 
-One iteration = generate a sample for the next profile, run the
+One iteration = generate a sample for the next profile (or, in corpus
+mode, mutate the next parsed ``.smt2`` instance through the metamorphic
+transforms), run the
 differential oracle, then (for agreeing samples) check that the
 metamorphic transforms preserve the consensus verdict.  Any failure is
 delta-debugged down to a minimal reproducer and serialized twice — the
@@ -59,6 +61,10 @@ class FuzzConfig:
     oracle_limit: int = DEFAULT_ORACLE_LIMIT
     max_failures: int = 5
     max_shrink_checks: int = 600
+    #: When set, samples come from the ``.smt2`` scripts under this
+    #: directory (mutated through the metamorphic transforms) instead of
+    #: the random generator — real-world shapes for the oracle to chew.
+    corpus_dir: Optional[str] = None
 
     def profile_names(self) -> List[str]:
         if self.profile == "all":
@@ -132,6 +138,53 @@ class FuzzReport:
             for path in failure.paths:
                 lines.append("      wrote %s" % path)
         return lines
+
+
+def _load_corpus(corpus_dir: str) -> List[tuple]:
+    """``(name, validity query)`` per parseable ``.smt2`` instance.
+
+    Out-of-fragment or malformed files are skipped (external corpora
+    legitimately contain them — ``repro compete`` is where they are
+    accounted for); an empty result is an error.
+    """
+    from ..logic.smtlib import SmtLibError, parse_smtlib
+    from ..logic.terms import Not
+
+    samples: List[tuple] = []
+    for dirpath, dirnames, filenames in os.walk(corpus_dir):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".smt2"):
+                continue
+            path = os.path.join(dirpath, filename)
+            try:
+                with open(path) as fp:
+                    script = parse_smtlib(fp.read())
+            except SmtLibError:
+                continue
+            samples.append(
+                (os.path.relpath(path, corpus_dir), Not(script.conjunction()))
+            )
+    if not samples:
+        raise ValueError(
+            "no parseable .smt2 instance under %r" % corpus_dir
+        )
+    return samples
+
+
+def _mutate_sample(formula: Formula, rng: random.Random) -> Formula:
+    """A corpus sample, pushed through a short random transform chain.
+
+    A zero-length chain (about a third of draws) replays the instance
+    verbatim; longer chains walk its verdict-preserving neighbourhood so
+    repeated passes over a small corpus keep producing fresh shapes.
+    """
+    names = [name for name, _ in TRANSFORMS]
+    for _ in range(rng.randint(0, 2)):
+        variant = apply_transform(rng.choice(names), formula, rng)
+        if variant is not None:
+            formula = variant
+    return formula
 
 
 def _metamorphic_discrepancy(
@@ -250,13 +303,28 @@ def run_campaign(
     } or methods
     report = FuzzReport(config=config)
     profiles = config.profile_names()
+    corpus = (
+        _load_corpus(config.corpus_dir)
+        if config.corpus_dir is not None
+        else None
+    )
     transform_names = [name for name, _ in TRANSFORMS]
     started = time.perf_counter()
 
     for iteration in range(config.iterations):
         report.iterations_run = iteration + 1
-        profile = profiles[iteration % len(profiles)]
-        formula = generate_formula(config.seed * 1_000_003 + iteration, profile)
+        if corpus is not None:
+            name, base = corpus[iteration % len(corpus)]
+            profile = "corpus:%s" % name
+            formula = _mutate_sample(
+                base,
+                random.Random("corpus:%d:%d" % (config.seed, iteration)),
+            )
+        else:
+            profile = profiles[iteration % len(profiles)]
+            formula = generate_formula(
+                config.seed * 1_000_003 + iteration, profile
+            )
         rng = random.Random(
             "meta:%d:%d:%s" % (config.seed, iteration, profile)
         )

@@ -327,6 +327,44 @@ def _incremental_method(
     return run
 
 
+def _smtlib_roundtrip_method(
+    inner: str = "hybrid",
+) -> Callable[[Formula], MethodOutcome]:
+    """The ``smtlib-roundtrip`` differential arm: printer ∘ reader.
+
+    Serializes every sample with :func:`to_smtlib_script` (asserting the
+    negation, the way benchmark scripts are written), re-reads it with
+    :func:`parse_smtlib`, and requires the recovered validity query to
+    land in the same alpha-invariant canonical-key class as the input —
+    any drift is reported as an error outright.  The verdict is then
+    computed on the *reparsed* formula, so a silent perturbation that
+    survived the key check would still surface as a verdict disagreement
+    against the arms solving the original.
+    """
+    from ..logic.canonical import canonical_key
+    from ..logic.smtlib import parse_smtlib, to_smtlib_script
+    from ..logic.terms import Not
+
+    def run(formula: Formula) -> MethodOutcome:
+        outcome = MethodOutcome("smtlib-roundtrip")
+        script = parse_smtlib(to_smtlib_script(formula))
+        recovered = Not(script.conjunction())
+        if canonical_key(recovered) != canonical_key(formula):
+            outcome.error = (
+                "print -> parse changed the formula's canonical key"
+            )
+            return outcome
+        result = registry.get(inner).solve(SolveRequest(formula=recovered))
+        outcome.valid = result.valid
+        if result.valid is False and result.counterexample is not None:
+            outcome.countermodel_ok = not evaluate(
+                recovered, result.counterexample
+            )
+        return outcome
+
+    return run
+
+
 def default_methods(
     oracle_limit: int = DEFAULT_ORACLE_LIMIT,
     names: Optional[List[str]] = None,
@@ -352,6 +390,10 @@ def default_methods(
     cross-checked against the sequential procedures (sequential
     conquering — ``cube_procs=1`` — keeps the campaign fast while still
     exercising cube generation, refutation, and prefix solving).
+    ``smtlib-roundtrip`` is the SMT-LIB printer/reader pair under
+    differential test: every sample is serialized and re-parsed, the
+    canonical keys must match, and the verdict is recomputed on the
+    reparsed formula (see :func:`_smtlib_roundtrip_method`).
     Every method dispatches through :mod:`repro.engine.registry`.
     """
     methods: Dict[str, Callable[[Formula], MethodOutcome]] = {
@@ -367,6 +409,7 @@ def default_methods(
         "cached": _cached_method(),
         "incremental": _incremental_method(),
         "cube": _engine_method("cube", cube_depth=2, cube_procs=1),
+        "smtlib-roundtrip": _smtlib_roundtrip_method(),
     }
     if names is None:
         return methods

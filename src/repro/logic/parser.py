@@ -5,6 +5,11 @@ take integer terms, Boolean connectives take formulas, and an unknown head
 symbol becomes a function application in term position and a predicate
 application in formula position.  Bare identifiers become symbolic integer
 constants or symbolic Boolean constants the same way.
+
+``|quoted|`` symbols (the escaping rules shared with the SMT-LIB
+syntax; see :mod:`repro.logic.lexicon`) are read as plain identifiers
+with the interpretation rules switched off: ``|ite|`` is a symbol named
+``ite``, ``|0|`` a symbol named ``0``, never an operator or a literal.
 """
 
 from __future__ import annotations
@@ -40,6 +45,17 @@ class ParseError(ValueError):
     """Raised on malformed input."""
 
 
+class _Quoted(str):
+    """A symbol that was written ``|quoted|``: exempt from the reserved-
+    word and integer-literal interpretations a bare spelling gets."""
+
+    __slots__ = ()
+
+
+def _is_quoted(sx: "SExpr") -> bool:
+    return isinstance(sx, _Quoted)
+
+
 def _tokenize(text: str) -> List[str]:
     tokens: List[str] = []
     buf: List[str] = []
@@ -49,6 +65,16 @@ def _tokenize(text: str) -> List[str]:
         if ch == ";":
             while i < n and text[i] != "\n":
                 i += 1
+            continue
+        if ch == "|":
+            if buf:
+                tokens.append("".join(buf))
+                buf.clear()
+            end = text.find("|", i + 1)
+            if end < 0:
+                raise ParseError("unterminated |quoted| symbol")
+            tokens.append(_Quoted(text[i + 1 : end]))
+            i = end + 1
             continue
         if ch in "()":
             if buf:
@@ -71,16 +97,18 @@ def _read_sexpr(tokens: List[str], pos: int) -> Tuple[SExpr, int]:
     if pos >= len(tokens):
         raise ParseError("unexpected end of input")
     tok = tokens[pos]
-    if tok == "(":
+    if tok == "(" and not _is_quoted(tok):
         items: List[SExpr] = []
         pos += 1
-        while pos < len(tokens) and tokens[pos] != ")":
+        while pos < len(tokens) and not (
+            tokens[pos] == ")" and not _is_quoted(tokens[pos])
+        ):
             item, pos = _read_sexpr(tokens, pos)
             items.append(item)
         if pos >= len(tokens):
             raise ParseError("missing closing parenthesis")
         return items, pos + 1
-    if tok == ")":
+    if tok == ")" and not _is_quoted(tok):
         raise ParseError("unexpected ')'")
     return tok, pos + 1
 
@@ -101,16 +129,19 @@ _TERM_HEADS = {"succ", "pred", "+", "ite"}
 
 def _to_term(sx: SExpr) -> Term:
     if isinstance(sx, str):
-        if sx in ("true", "false"):
+        if sx in ("true", "false") and not _is_quoted(sx):
             raise ParseError("%s is a formula, expected a term" % sx)
         _check_name(sx)
-        return Var(sx)
+        return Var(str(sx))
     if not sx:
         raise ParseError("empty application")
     head = sx[0]
     if not isinstance(head, str):
         raise ParseError("application head must be a symbol: %r" % (head,))
     args = sx[1:]
+    if _is_quoted(head):
+        _check_name(head)
+        return FuncApp(str(head), [_to_term(a) for a in args])
     if head == "succ":
         _arity(sx, 1)
         return Offset(_to_term(args[0]), 1)
@@ -126,23 +157,27 @@ def _to_term(sx: SExpr) -> Term:
     if head in _FORMULA_HEADS:
         raise ParseError("%s is a formula head, expected a term" % head)
     _check_name(head)
-    return FuncApp(head, [_to_term(a) for a in args])
+    return FuncApp(str(head), [_to_term(a) for a in args])
 
 
 def _to_formula(sx: SExpr) -> Formula:
     if isinstance(sx, str):
-        if sx == "true":
-            return TRUE
-        if sx == "false":
-            return FALSE
+        if not _is_quoted(sx):
+            if sx == "true":
+                return TRUE
+            if sx == "false":
+                return FALSE
         _check_name(sx)
-        return BoolVar(sx)
+        return BoolVar(str(sx))
     if not sx:
         raise ParseError("empty application")
     head = sx[0]
     if not isinstance(head, str):
         raise ParseError("application head must be a symbol: %r" % (head,))
     args = sx[1:]
+    if _is_quoted(head):
+        _check_name(head)
+        return PredApp(str(head), [_to_term(a) for a in args])
     if head == "and":
         return And(*[_to_formula(a) for a in args])
     if head == "or":
@@ -174,7 +209,7 @@ def _to_formula(sx: SExpr) -> Formula:
     if head in _TERM_HEADS:
         raise ParseError("%s is a term head, expected a formula" % head)
     _check_name(head)
-    return PredApp(head, [_to_term(a) for a in args])
+    return PredApp(str(head), [_to_term(a) for a in args])
 
 
 def _arity(sx: List[SExpr], n: int) -> None:
@@ -185,7 +220,7 @@ def _arity(sx: List[SExpr], n: int) -> None:
 
 
 def _to_int(sx: SExpr) -> int:
-    if not isinstance(sx, str):
+    if not isinstance(sx, str) or _is_quoted(sx):
         raise ParseError("expected an integer literal, got %r" % (sx,))
     try:
         return int(sx)
@@ -194,6 +229,8 @@ def _to_int(sx: SExpr) -> int:
 
 
 def _check_name(name: str) -> None:
+    if _is_quoted(name):
+        return  # |quoted| spellings are always plain identifiers
     if name in _FORMULA_HEADS or name in _TERM_HEADS:
         raise ParseError("reserved word used as identifier: %s" % name)
     try:

@@ -8,12 +8,18 @@ Figure 1::
 
 ``succ``/``pred`` chains collapse to ``(+ t k)`` for ``|k| > 1`` so that the
 printed form stays readable for large offsets.  :mod:`repro.logic.parser`
-reads this syntax back; round-tripping is exact.
+reads this syntax back; round-tripping is exact.  Awkward names —
+reserved heads, numeral spellings, anything outside the simple-symbol
+alphabet — are ``|quoted|`` under the escaping rules shared with the
+SMT-LIB printer (:mod:`repro.logic.lexicon`), so formulas parsed from
+external SMT-LIB benchmarks survive the native round trip too.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
+
+from .lexicon import render_symbol
 
 from .terms import (
     And,
@@ -33,7 +39,20 @@ from .terms import (
     Var,
 )
 
-__all__ = ["to_sexpr", "pretty"]
+__all__ = ["to_sexpr", "pretty", "SEXPR_RESERVED"]
+
+#: Words the s-expression reader interprets specially; a variable or
+#: function symbol spelled like one must be ``|quoted|`` to read back.
+SEXPR_RESERVED = frozenset(
+    [
+        "true", "false", "and", "or", "not", "=>", "iff", "=",
+        "<", "<=", ">", ">=", "succ", "pred", "+", "ite",
+    ]
+)
+
+
+def _symbol(name: str) -> str:
+    return render_symbol(name, SEXPR_RESERVED)
 
 
 def to_sexpr(root: Node) -> str:
@@ -49,9 +68,9 @@ def to_sexpr(root: Node) -> str:
 
 def _render(node: Node, memo: Dict[Node, str]) -> str:
     if isinstance(node, Var):
-        return node.name
+        return _symbol(node.name)
     if isinstance(node, BoolVar):
-        return node.name
+        return _symbol(node.name)
     if isinstance(node, BoolConst):
         return "true" if node.value else "false"
     if isinstance(node, Offset):
@@ -62,7 +81,10 @@ def _render(node: Node, memo: Dict[Node, str]) -> str:
             return "(pred %s)" % base
         return "(+ %s %d)" % (base, node.k)
     if isinstance(node, FuncApp):
-        return "(%s %s)" % (node.symbol, " ".join(memo[a] for a in node.args))
+        return "(%s %s)" % (
+            _symbol(node.symbol),
+            " ".join(memo[a] for a in node.args),
+        )
     if isinstance(node, Ite):
         return "(ite %s %s %s)" % (
             memo[node.cond],
@@ -70,7 +92,10 @@ def _render(node: Node, memo: Dict[Node, str]) -> str:
             memo[node.els],
         )
     if isinstance(node, PredApp):
-        return "(%s %s)" % (node.symbol, " ".join(memo[a] for a in node.args))
+        return "(%s %s)" % (
+            _symbol(node.symbol),
+            " ".join(memo[a] for a in node.args),
+        )
     if isinstance(node, Not):
         return "(not %s)" % memo[node.arg]
     if isinstance(node, And):
@@ -114,7 +139,7 @@ def _head_symbol(node: Node) -> str:
     if isinstance(node, Offset):
         return "+ _ %d" % node.k
     if isinstance(node, (FuncApp, PredApp)):
-        return node.symbol
+        return _symbol(node.symbol)
     if isinstance(node, Ite):
         return "ite"
     if isinstance(node, Not):

@@ -1,0 +1,8 @@
+; (! term :named label) annotations wrap contradictory assertions
+(set-logic QF_IDL)
+(set-info :status unsat)
+(declare-const a Int)
+(declare-const b Int)
+(assert (! (< a b) :named lower))
+(assert (! (< b a) :named upper))
+(check-sat)

@@ -1,0 +1,9 @@
+; chained = folds into pairwise conjunction; distinct contradicts it
+(set-logic QF_IDL)
+(set-info :status unsat)
+(declare-const a Int)
+(declare-const b Int)
+(declare-const c Int)
+(assert (= a b c))
+(assert (distinct a c))
+(check-sat)

@@ -1,0 +1,14 @@
+;; a comment-heavy script with ignored commands
+(set-option :produce-models true)
+(set-logic QF_IDL)          ; trailing comment
+(set-info :source "hand-written conformance corpus")
+(set-info :status sat)
+(echo "solving")
+(declare-const   x   Int)   ; extra whitespace
+(get-info :name)
+(assert
+  ; a comment inside an assert
+  (< x 10))
+(check-sat)
+(get-model)
+(exit)

@@ -1,0 +1,8 @@
+; 0-arity define-fun acts as a named alias
+(set-logic QF_IDL)
+(set-info :status unsat)
+(declare-const base Int)
+(define-fun origin () Int (+ base 10))
+(assert (< origin base))
+(assert (< base origin))
+(check-sat)

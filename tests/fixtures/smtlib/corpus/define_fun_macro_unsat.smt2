@@ -1,0 +1,8 @@
+; define-fun is a macro: (inc (inc x)) expands to x + 2
+(set-logic QF_UFIDL)
+(set-info :status unsat)
+(declare-fun x () Int)
+(define-fun inc ((a Int)) Int (+ a 1))
+(define-fun twice-inc ((a Int)) Int (inc (inc a)))
+(assert (not (= (twice-inc x) (+ x 2))))
+(check-sat)

@@ -1,0 +1,8 @@
+; the inner t shadows the outer one: t = (x+1)+1 = x+2, never equal x
+(set-logic QF_IDL)
+(set-info :status unsat)
+(declare-const x Int)
+(assert (let ((t (+ x 1)))
+          (let ((t (+ t 1)))
+            (= t x))))
+(check-sat)

@@ -1,0 +1,11 @@
+; SMT-LIB let is *parallel*: both bindings read the outer environment,
+; so (let ((x y) (y x)) ...) swaps the two values.  A sequential
+; (mis)reading would make this script unsat.
+(set-logic QF_IDL)
+(set-info :status sat)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= x 1))
+(assert (= y 2))
+(assert (let ((x y) (y x)) (and (= x 2) (= y 1))))
+(check-sat)

@@ -1,0 +1,9 @@
+; |0| and |let| are plain symbols, never a numeral or reserved word
+(set-logic QF_IDL)
+(set-info :status sat)
+(declare-const |0| Int)
+(declare-const |let| Int)
+(declare-const |two words| Int)
+(assert (= |0| (+ |let| 1)))
+(assert (< |two words| |0|))
+(check-sat)

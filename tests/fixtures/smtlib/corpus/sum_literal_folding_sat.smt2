@@ -1,0 +1,8 @@
+; (+ 1 2 x) folds its literal operands into one offset
+(set-logic QF_IDL)
+(set-info :status sat)
+(declare-const x Int)
+(declare-const y Int)
+(assert (= (+ 1 2 x) (+ x 3)))
+(assert (= y (- x 2)))
+(check-sat)

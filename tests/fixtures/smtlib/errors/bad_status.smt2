@@ -1,0 +1,6 @@
+; expect-error: :status
+(set-logic QF_IDL)
+(set-info :status maybe)
+(declare-const x Int)
+(assert (< x 3))
+(check-sat)

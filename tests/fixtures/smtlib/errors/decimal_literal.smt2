@@ -1,0 +1,5 @@
+; expect-error: decimal
+(set-logic QF_IDL)
+(declare-const x Int)
+(assert (< x 3.5))
+(check-sat)

@@ -1,0 +1,6 @@
+; expect-error: declared twice
+(set-logic QF_IDL)
+(declare-const x Int)
+(declare-const x Int)
+(assert (< x 3))
+(check-sat)

@@ -1,0 +1,6 @@
+; expect-error: difference
+(set-logic QF_IDL)
+(declare-const a Int)
+(declare-const b Int)
+(assert (< (- a b) 3))
+(check-sat)

@@ -1,0 +1,8 @@
+; expect-error: outside the SUF fragment
+; expect-line: 7
+; expect-column: 13
+(set-logic QF_IDL)
+(declare-const x Int)
+(declare-const y Int)
+(assert (< (* 2 x) y))
+(check-sat)

@@ -1,0 +1,7 @@
+; expect-error: incremental
+(set-logic QF_IDL)
+(declare-const x Int)
+(push 1)
+(assert (< x 3))
+(pop 1)
+(check-sat)

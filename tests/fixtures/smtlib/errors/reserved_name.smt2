@@ -1,0 +1,7 @@
+; expect-error: reserved word
+; expect-line: 5
+; expect-column: 16
+(set-logic QF_IDL)
+(declare-const let Int)
+(assert true)
+(check-sat)

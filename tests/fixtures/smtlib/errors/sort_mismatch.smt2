@@ -1,0 +1,5 @@
+; expect-error: share a sort
+(set-logic QF_UF)
+(declare-const x Int)
+(assert (= x true))
+(check-sat)

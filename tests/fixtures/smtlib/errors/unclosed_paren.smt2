@@ -1,0 +1,4 @@
+; expect-error: missing closing parenthesis
+(set-logic QF_IDL)
+(declare-const x Int)
+(assert (< x 3)

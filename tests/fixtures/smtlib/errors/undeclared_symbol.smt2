@@ -1,0 +1,5 @@
+; expect-error: undeclared
+(set-logic QF_IDL)
+(declare-const x Int)
+(assert (< x undeclared_thing))
+(check-sat)

@@ -1,0 +1,6 @@
+; expect-error: QF_LIA
+; expect-line: 3
+(set-logic QF_LIA)
+(declare-const x Int)
+(assert (< x 3))
+(check-sat)

@@ -1,0 +1,4 @@
+; expect-error: unterminated
+(set-logic QF_IDL)
+(declare-const |oops Int)
+(check-sat)

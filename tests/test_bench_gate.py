@@ -301,3 +301,89 @@ class TestCommittedBaseline:
         assert section["share_ablation"]["no_share_no_faster"] is True
         for row in section["instances"].values():
             assert row["status_cube"] == row["status_sequential"]
+
+
+def _compete_report(mismatches=0, solved=34, par2=0.5, methods=("hybrid",)):
+    return {
+        "meta": {"instance_count": 34},
+        "methods": {
+            m: {"score": {"instances": 34, "solved": solved, "par2": par2}}
+            for m in methods
+        },
+        "mismatches_total": mismatches,
+    }
+
+
+def _compete_baseline(solved=34, par2=0.5, methods=("hybrid",)):
+    return {
+        "instance_count": 34,
+        "methods": {
+            m: {"instances": 34, "solved": solved, "par2": par2}
+            for m in methods
+        },
+    }
+
+
+class TestCheckCompete:
+    def test_clean_report_passes(self):
+        failures, warnings = bench_gate.check_compete(
+            _compete_report(), _compete_baseline()
+        )
+        assert failures == []
+        assert warnings == []
+
+    def test_mismatch_fails_hard(self):
+        failures, _ = bench_gate.check_compete(
+            _compete_report(mismatches=2), _compete_baseline()
+        )
+        assert any(":status" in f for f in failures)
+
+    def test_mismatch_fails_even_without_baseline(self):
+        failures, warnings = bench_gate.check_compete(
+            _compete_report(mismatches=1), None
+        )
+        assert failures
+        assert any("no compete section" in w for w in warnings)
+
+    def test_solved_drop_warns_not_fails(self):
+        failures, warnings = bench_gate.check_compete(
+            _compete_report(solved=30), _compete_baseline(solved=34)
+        )
+        assert failures == []
+        assert any("solved count dropped" in w for w in warnings)
+
+    def test_par2_jump_warns_not_fails(self):
+        failures, warnings = bench_gate.check_compete(
+            _compete_report(par2=20.0), _compete_baseline(par2=0.5)
+        )
+        assert failures == []
+        assert any("PAR-2 worsened" in w for w in warnings)
+
+    def test_subsecond_par2_jitter_tolerated(self):
+        # 3x the baseline ratio, but under the 2-second absolute slack:
+        # machine jitter on a tiny corpus, not a regression.
+        failures, warnings = bench_gate.check_compete(
+            _compete_report(par2=0.3), _compete_baseline(par2=0.1)
+        )
+        assert failures == []
+        assert not any("PAR-2" in w for w in warnings)
+
+    def test_missing_method_warns(self):
+        failures, warnings = bench_gate.check_compete(
+            _compete_report(methods=("hybrid",)),
+            _compete_baseline(methods=("hybrid", "portfolio")),
+        )
+        assert failures == []
+        assert any("portfolio" in w for w in warnings)
+
+    def test_committed_report_passes_committed_baseline(self):
+        report_path = os.path.join(REPO_ROOT, "BENCH_PR9.json")
+        baseline_path = os.path.join(
+            REPO_ROOT, "benchmarks", "baseline.json"
+        )
+        with open(report_path) as fp:
+            report = json.load(fp)
+        with open(baseline_path) as fp:
+            baseline = json.load(fp).get("compete")
+        failures, _ = bench_gate.check_compete(report, baseline)
+        assert failures == []

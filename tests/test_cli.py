@@ -164,6 +164,33 @@ class TestSmtLibInput:
         assert code == 0
 
 
+class TestCheckParseErrors:
+    """Malformed input is a clean exit-2 diagnostic, not a traceback."""
+
+    def test_out_of_fragment_smtlib(self, capsys):
+        script = (
+            "(set-logic QF_IDL)(declare-const a Int)"
+            "(assert (= (* a 2) a))(check-sat)"
+        )
+        code, _out = run_cli(["check", "-"], stdin_text=script)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "outside the SUF fragment" in err
+
+    def test_malformed_smtlib_reports_position(self, capsys):
+        code, _out = run_cli(
+            ["check", "-"], stdin_text="(set-logic QF_IDL)(assert"
+        )
+        assert code == 2
+        assert "line" in capsys.readouterr().err
+
+    def test_malformed_sexpr(self, capsys):
+        code, _out = run_cli(["check", "-"], stdin_text="(=> (and")
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestNoPreprocessFlag:
     def test_flag_parsed(self):
         args = build_parser().parse_args(["check", "-", "--no-preprocess"])

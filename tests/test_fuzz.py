@@ -5,10 +5,12 @@ point the CI target runs; the self-check proves the harness can actually
 catch and shrink an injected encoder bug.
 """
 
+import os
 import random
 
 import pytest
 
+from helpers import random_suf_formula
 from repro.cli import main as cli_main
 from repro.fuzz import (
     PROFILES,
@@ -441,3 +443,109 @@ class TestPreprocessConfigs:
                 # have re-validated against the input formula.
                 assert outcome.countermodel_ok in (None, True)
                 assert outcome.error is None
+
+
+class TestSmtlibRoundtripArm:
+    def test_default_methods_include_smtlib_roundtrip(self):
+        assert "smtlib-roundtrip" in default_methods()
+
+    def test_roundtrip_arm_agrees_with_brute(self):
+        methods = default_methods(names=["brute", "smtlib-roundtrip"])
+        for seed in range(25):
+            formula = random_suf_formula(seed)
+            arm = methods["smtlib-roundtrip"](formula)
+            ref = methods["brute"](formula)
+            assert arm.error is None, (seed, arm.error)
+            if None not in (arm.valid, ref.valid):
+                assert arm.valid == ref.valid, seed
+            assert arm.countermodel_ok in (None, True)
+
+    def test_roundtrip_arm_reports_key_drift_as_error(self):
+        # A printer that mangles the formula must be caught by the key
+        # check, not silently solved.
+        from unittest import mock
+
+        from repro.logic import builders as b
+        from repro.logic.smtlib import to_smtlib_script as real_printer
+
+        formula = random_suf_formula(3)
+
+        def mangling_printer(f, **kwargs):
+            return real_printer(
+                b.band(f, b.lt(b.const("vx"), b.const("vy"))), **kwargs
+            )
+
+        with mock.patch(
+            "repro.logic.smtlib.to_smtlib_script", mangling_printer
+        ):
+            outcome = default_methods(names=["smtlib-roundtrip"])[
+                "smtlib-roundtrip"
+            ](formula)
+        assert outcome.error is not None
+        assert "canonical key" in outcome.error
+
+
+class TestCorpusMode:
+    CORPUS = os.path.join(
+        os.path.dirname(__file__), "fixtures", "smtlib", "corpus"
+    )
+
+    def test_campaign_over_fixture_corpus(self):
+        config = FuzzConfig(
+            iterations=8,
+            seed=7,
+            metamorphic=True,
+            shrink=False,
+            out_dir=None,
+            methods=default_methods(names=["brute", "hybrid"]),
+            corpus_dir=self.CORPUS,
+        )
+        report = run_campaign(config)
+        assert report.ok, [f.discrepancy.describe() for f in report.failures]
+        assert report.iterations_run == 8
+        assert report.decided == 8
+
+    def test_corpus_mutation_is_deterministic(self):
+        from repro.fuzz.harness import _load_corpus, _mutate_sample
+        from repro.logic.printer import to_sexpr
+
+        samples = _load_corpus(self.CORPUS)
+        assert len(samples) >= 20
+        base = samples[0][1]
+        one = _mutate_sample(base, random.Random("corpus:0:5"))
+        two = _mutate_sample(base, random.Random("corpus:0:5"))
+        assert to_sexpr(one) == to_sexpr(two)
+
+    def test_empty_corpus_rejected(self, tmp_path):
+        from repro.fuzz.harness import _load_corpus
+
+        with pytest.raises(ValueError, match="no parseable"):
+            _load_corpus(str(tmp_path))
+
+    def test_cli_corpus_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "fuzz",
+                "--iterations",
+                "4",
+                "--seed",
+                "2",
+                "--methods",
+                "brute,hybrid",
+                "--corpus",
+                self.CORPUS,
+                "--no-shrink",
+                "--out",
+                "",
+            ]
+        )
+        assert rc == 0
+        assert "no discrepancies" in capsys.readouterr().out
+
+    def test_cli_missing_corpus_dir(self, capsys):
+        from repro.cli import main
+
+        rc = main(["fuzz", "--corpus", "/nonexistent/corpus/dir"])
+        assert rc == 2

@@ -118,3 +118,57 @@ class TestRoundTrip:
     def test_pretty_short_stays_one_line(self):
         formula = b.eq(b.const("x"), b.const("y"))
         assert "\n" not in pretty(formula)
+
+
+class TestQuotedSymbols:
+    """The |...| escaping rules shared with the SMT-LIB syntax
+    (repro.logic.lexicon): awkward names survive the native round trip."""
+
+    @pytest.mark.parametrize(
+        "name", ["0", "-3", "two words", "ite", "succ", "iff", "true", "a;b"]
+    )
+    def test_awkward_name_round_trips(self, name):
+        formula = b.band(
+            b.eq(b.const(name), b.const("ok")),
+            b.bor(
+                b.bconst(name),
+                b.lt(b.func(name)(b.const("ok")), b.const(name)),
+            ),
+        )
+        assert parse_formula(to_sexpr(formula)) is formula
+        assert parse_formula(pretty(formula)) is formula
+
+    def test_quoted_reserved_head_is_a_symbol(self):
+        assert parse_formula("(= |ite| y)") is b.eq(
+            b.const("ite"), b.const("y")
+        )
+        assert parse_formula("|true|") is b.bconst("true")
+
+    def test_quoted_numeral_is_a_symbol(self):
+        assert parse_formula("(= |0| y)") is b.eq(b.const("0"), b.const("y"))
+
+    def test_quoted_literal_position_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("(= (+ x |1|) y)")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_formula("(= |oops y)")
+
+    def test_plain_names_stay_unquoted(self):
+        formula = b.eq(b.const("x1"), b.func("f")(b.const("y")))
+        assert "|" not in to_sexpr(formula)
+
+    def test_printer_and_smtlib_share_lexicon(self):
+        from repro.logic import lexicon
+        from repro.logic.printer import SEXPR_RESERVED
+        from repro.logic.smtlib import RESERVED_WORDS, needs_quoting
+
+        # One rule engine, two reserved sets.
+        for name in ("0", "two words", "-7"):
+            assert lexicon.symbol_needs_quoting(name, SEXPR_RESERVED)
+            assert needs_quoting(name)
+        assert lexicon.symbol_needs_quoting("iff", SEXPR_RESERVED)
+        assert "iff" not in RESERVED_WORDS
+        assert needs_quoting("let")
+        assert not lexicon.symbol_needs_quoting("let", SEXPR_RESERVED)

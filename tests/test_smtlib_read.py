@@ -1,0 +1,325 @@
+"""Conformance suite for the SMT-LIB 2 reader.
+
+Three layers:
+
+* fixture-driven: every script under ``tests/fixtures/smtlib/corpus``
+  must parse and its ``check-sat`` answer must match the committed
+  ``(set-info :status ...)`` annotation; every script under
+  ``tests/fixtures/smtlib/errors`` must raise :class:`SmtLibError`
+  matching its ``; expect-error:`` / ``; expect-line:`` /
+  ``; expect-column:`` directives;
+* targeted unit tests for the semantic corners (parallel ``let``,
+  ``define-fun`` macro expansion, annotations, quoted symbols, the
+  shared printer/reader escaping rules);
+* a hypothesis round-trip property: SUF formula -> printer -> reader
+  recovers the original up to the alpha-invariant canonical key.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import random_suf_formula
+from repro.logic import builders as b
+from repro.logic.canonical import canonical_key
+from repro.logic.smtlib import (
+    RESERVED_WORDS,
+    SmtLibError,
+    UnsupportedLogicError,
+    needs_quoting,
+    parse_smtlib,
+    reads_as_numeral,
+    to_smtlib,
+    to_smtlib_script,
+)
+from repro.logic.terms import Not
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "smtlib")
+CORPUS_FILES = sorted(glob.glob(os.path.join(FIXTURES, "corpus", "*.smt2")))
+ERROR_FILES = sorted(glob.glob(os.path.join(FIXTURES, "errors", "*.smt2")))
+
+
+def _param(paths):
+    return pytest.mark.parametrize(
+        "path", paths, ids=[os.path.basename(p) for p in paths]
+    )
+
+
+# ---------------------------------------------------------------------------
+# fixture corpus
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_is_large_enough():
+    # ISSUE 9 floor: >= 25 hand-written scripts in the committed corpus.
+    assert len(CORPUS_FILES) + len(ERROR_FILES) >= 25
+    assert len(ERROR_FILES) >= 10
+
+
+@_param(CORPUS_FILES)
+def test_corpus_parses_and_matches_status(path):
+    with open(path) as fp:
+        script = parse_smtlib(fp.read())
+    assert script.check_sat_requested
+    if script.expected_status in ("sat", "unsat"):
+        assert script.check_sat(method="hybrid") == script.expected_status
+
+
+@_param(ERROR_FILES)
+def test_error_fixture_raises_with_position(path):
+    with open(path) as fp:
+        text = fp.read()
+    expected = re.search(r"; expect-error: (.+)", text)
+    assert expected is not None, "error fixture lacks an expect-error line"
+    with pytest.raises(SmtLibError) as excinfo:
+        parse_smtlib(text)
+    assert expected.group(1).strip() in str(excinfo.value)
+    line = re.search(r"; expect-line: (\d+)", text)
+    if line is not None:
+        assert excinfo.value.line == int(line.group(1))
+    column = re.search(r"; expect-column: (\d+)", text)
+    if column is not None:
+        assert excinfo.value.column == int(column.group(1))
+
+
+def test_error_messages_carry_positions():
+    # Every fixture error message must name a line and column: the
+    # prefix is part of the contract, not a courtesy.
+    for path in ERROR_FILES:
+        with open(path) as fp:
+            text = fp.read()
+        with pytest.raises(SmtLibError) as excinfo:
+            parse_smtlib(text)
+        assert re.match(r"line \d+, column \d+: ", str(excinfo.value)), path
+        assert excinfo.value.line is not None
+
+
+# ---------------------------------------------------------------------------
+# targeted semantics
+# ---------------------------------------------------------------------------
+
+
+def _status(text):
+    return parse_smtlib(text).check_sat(method="hybrid")
+
+
+def test_let_is_parallel_not_sequential():
+    # Both bindings read the *outer* environment, so the swap succeeds.
+    swap = """
+    (set-logic QF_IDL)
+    (declare-const x Int) (declare-const y Int)
+    (assert (= x 1)) (assert (= y 2))
+    (assert (let ((x y) (y x)) (and (= x 2) (= y 1))))
+    (check-sat)
+    """
+    assert _status(swap) == "sat"
+    # A sequential reading would instead satisfy x = y = 2:
+    sequential = swap.replace("(= x 2) (= y 1)", "(= x 2) (= y 2)")
+    assert _status(sequential) == "unsat"
+
+
+def test_let_shadowing_is_lexical():
+    text = """
+    (set-logic QF_IDL)
+    (declare-const t Int)
+    (assert (let ((t (+ t 5))) (= t (+ t 0))))
+    (assert (< t 0))
+    (check-sat)
+    """
+    # The shadowed t inside the let never leaks back out.
+    script = parse_smtlib(text)
+    assert script.check_sat(method="hybrid") == "sat"
+
+
+def test_define_fun_expands_nested_macros():
+    script = parse_smtlib(
+        """
+        (set-logic QF_UFIDL)
+        (declare-const x Int)
+        (define-fun inc ((a Int)) Int (+ a 1))
+        (define-fun inc3 ((a Int)) Int (inc (inc (inc a))))
+        (assert (= (inc3 x) (+ x 3)))
+        (check-sat)
+        """
+    )
+    # The asserted equation is a tautology after expansion, so sat.
+    assert script.check_sat(method="hybrid") == "sat"
+
+
+def test_define_fun_arity_checked_at_call_site():
+    with pytest.raises(SmtLibError, match="expects 1 argument"):
+        parse_smtlib(
+            """
+            (set-logic QF_IDL)
+            (declare-const x Int)
+            (define-fun inc ((a Int)) Int (+ a 1))
+            (assert (= (inc x x) x))
+            (check-sat)
+            """
+        )
+
+
+def test_define_fun_body_checked_at_definition_site():
+    with pytest.raises(SmtLibError, match="undeclared"):
+        parse_smtlib(
+            """
+            (set-logic QF_IDL)
+            (define-fun broken ((a Int)) Int (+ a missing))
+            (check-sat)
+            """
+        )
+
+
+def test_define_fun_recursion_is_rejected():
+    with pytest.raises(SmtLibError):
+        parse_smtlib(
+            """
+            (set-logic QF_IDL)
+            (define-fun loop ((a Int)) Int (loop a))
+            (check-sat)
+            """
+        )
+
+
+def test_named_annotations_recorded():
+    script = parse_smtlib(
+        """
+        (set-logic QF_IDL)
+        (declare-const a Int) (declare-const b Int)
+        (assert (! (< a b) :named lower))
+        (check-sat)
+        """
+    )
+    assert "lower" in script.named
+    assert canonical_key(script.named["lower"]) == canonical_key(
+        b.lt(b.const("a"), b.const("b"))
+    )
+
+
+def test_duplicate_named_annotation_rejected():
+    with pytest.raises(SmtLibError, match="named"):
+        parse_smtlib(
+            """
+            (set-logic QF_IDL)
+            (declare-const a Int)
+            (assert (! (< a 1) :named lbl))
+            (assert (! (< a 2) :named lbl))
+            (check-sat)
+            """
+        )
+
+
+def test_quoted_symbol_is_not_a_numeral():
+    script = parse_smtlib(
+        """
+        (set-logic QF_IDL)
+        (declare-const |0| Int)
+        (assert (= |0| 0))
+        (check-sat)
+        """
+    )
+    assert script.check_sat(method="hybrid") == "sat"
+    assert "0" in script.int_consts
+
+
+def test_expected_status_captured():
+    script = parse_smtlib(
+        "(set-logic QF_IDL)(set-info :status unsat)"
+        "(declare-const x Int)(assert (< x x))(check-sat)"
+    )
+    assert script.expected_status == "unsat"
+    assert script.check_sat(method="hybrid") == "unsat"
+
+
+def test_get_model_flag():
+    script = parse_smtlib(
+        "(set-logic QF_IDL)(declare-const x Int)"
+        "(assert (< x 1))(check-sat)(get-model)"
+    )
+    assert script.get_model_requested
+
+
+def test_unsupported_constructs_raise_unsupported_logic_error():
+    for text, needle in [
+        ("(set-logic QF_BV)", "logic"),
+        ("(set-logic QF_IDL)(declare-sort S 0)", "sort"),
+        (
+            "(set-logic QF_IDL)(declare-const x Int)(push 1)",
+            "incremental",
+        ),
+        (
+            "(set-logic QF_IDL)(declare-const a Int)"
+            "(assert (= (select a 0) 1))",
+            "fragment",
+        ),
+    ]:
+        with pytest.raises(UnsupportedLogicError, match=needle):
+            parse_smtlib(text)
+
+
+# ---------------------------------------------------------------------------
+# shared escaping rules (printer and reader agree by construction)
+# ---------------------------------------------------------------------------
+
+
+def test_reserved_words_need_quoting():
+    for word in ("let", "assert", "and", "true", "_", "!"):
+        assert word in RESERVED_WORDS
+        assert needs_quoting(word)
+
+
+def test_numeral_spellings_need_quoting():
+    for name in ("0", "42", "-3", "+7"):
+        assert reads_as_numeral(name)
+        assert needs_quoting(name)
+    for name in ("x0", "a-b", "v_1"):
+        assert not reads_as_numeral(name)
+        assert not needs_quoting(name)
+
+
+@pytest.mark.parametrize(
+    "name", ["let", "0", "-1", "two words", "assert", "a;b"]
+)
+def test_awkward_names_round_trip(name):
+    formula = b.eq(b.const(name), b.offset(b.const("ok"), 1))
+    text = to_smtlib_script(formula)
+    script = parse_smtlib(text)
+    assert canonical_key(Not(script.conjunction())) == canonical_key(formula)
+    assert name in script.int_consts
+
+
+def test_printer_quotes_match_reader_lexer():
+    # to_smtlib must emit |...| exactly when the reader would not read
+    # the bare spelling back as the same symbol.
+    formula = b.eq(b.const("let"), b.const("plain"))
+    text = to_smtlib(formula)
+    assert "|let|" in text
+    assert "|plain|" not in text
+
+
+# ---------------------------------------------------------------------------
+# round-trip property (ISSUE 9 acceptance: >= 200 examples)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_roundtrip_print_parse_canonical_identity(seed):
+    formula = random_suf_formula(seed)
+    script = parse_smtlib(to_smtlib_script(formula))
+    assert canonical_key(Not(script.conjunction())) == canonical_key(formula)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_roundtrip_positive_polarity(seed):
+    # negate=False asserts the formula itself.
+    formula = random_suf_formula(seed)
+    script = parse_smtlib(to_smtlib_script(formula, negate=False))
+    assert canonical_key(script.conjunction()) == canonical_key(formula)

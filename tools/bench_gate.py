@@ -181,6 +181,71 @@ def check_cube(
     return failures, warnings
 
 
+def check_compete(
+    current: Dict, baseline: Optional[Dict]
+) -> Tuple[List[str], List[str]]:
+    """Gate a ``repro compete`` report (``BENCH_PR9.json``).
+
+    Warn-don't-fail by design: solved counts and PAR-2 scores depend on
+    wall-clock timeouts, which are too jittery on shared CI runners to
+    gate on, so baseline-relative movement is reported as warnings only.
+    The one hard failure is a verdict-vs-``:status`` mismatch — a
+    soundness signal (the compete runner itself already exits nonzero on
+    it; this is the backstop for hand-run reports).
+    """
+    failures: List[str] = []
+    warnings: List[str] = []
+    if current.get("mismatches_total", 0):
+        failures.append(
+            "compete report has %d verdict(s) contradicting :status "
+            "annotations" % current["mismatches_total"]
+        )
+    if baseline is None:
+        warnings.append(
+            "baseline has no compete section; skipping baseline-relative "
+            "checks (regenerate benchmarks/baseline.json to arm them)"
+        )
+        return failures, warnings
+    for method, base_score in sorted(baseline.get("methods", {}).items()):
+        section = current.get("methods", {}).get(method)
+        if section is None:
+            warnings.append(
+                "compete method %s in the baseline but not the current "
+                "run" % method
+            )
+            continue
+        score = section.get("score", {})
+        if score.get("solved", 0) < base_score.get("solved", 0):
+            warnings.append(
+                "compete[%s] solved count dropped: baseline %d, current %d"
+                % (method, base_score["solved"], score.get("solved", 0))
+            )
+        base_par2 = base_score.get("par2")
+        cur_par2 = score.get("par2")
+        # Ratio check only, but with an absolute slack floor: on a corpus
+        # this small the PAR-2 is fractions of a second, where machine
+        # jitter alone exceeds 1.5x.
+        if (
+            base_par2
+            and cur_par2 is not None
+            and cur_par2 > 1.5 * base_par2
+            and cur_par2 - base_par2 > 2.0
+        ):
+            warnings.append(
+                "compete[%s] PAR-2 worsened beyond 1.5x: baseline %.2f, "
+                "current %.2f" % (method, base_par2, cur_par2)
+            )
+    base_count = baseline.get("instance_count")
+    cur_count = current.get("meta", {}).get("instance_count")
+    if base_count is not None and cur_count is not None:
+        if cur_count < base_count:
+            warnings.append(
+                "compete instance count shrank: baseline %d, current %d"
+                % (base_count, cur_count)
+            )
+    return failures, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -205,6 +270,14 @@ def main(argv=None) -> int:
         help=(
             "cube-and-conquer report to gate as well (BENCH_PR8.json; "
             "checks the cube_vs_sequential section)"
+        ),
+    )
+    parser.add_argument(
+        "--compete-report",
+        default=None,
+        help=(
+            "repro compete report to check as well (BENCH_PR9.json; "
+            "mismatches fail, solved/PAR-2 movement only warns)"
         ),
     )
     args = parser.parse_args(argv)
@@ -254,6 +327,33 @@ def main(argv=None) -> int:
             print(
                 "bench gate: cube speedup %.2fx, %d clause(s) imported"
                 % (cube_speedup, imported)
+            )
+
+    if args.compete_report is not None:
+        try:
+            with open(args.compete_report) as fp:
+                compete_current = json.load(fp)
+            compete_baseline = load_section(args.baseline, "compete")
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("bench gate: %s" % exc, file=sys.stderr)
+            return 1
+        compete_failures, compete_warnings = check_compete(
+            compete_current, compete_baseline
+        )
+        failures.extend(compete_failures)
+        warnings.extend(compete_warnings)
+        for method, section in sorted(
+            compete_current.get("methods", {}).items()
+        ):
+            score = section.get("score", {})
+            print(
+                "bench gate: compete[%s] %d/%d solved, PAR-2 %.2f"
+                % (
+                    method,
+                    score.get("solved", 0),
+                    score.get("instances", 0),
+                    score.get("par2", 0.0),
+                )
             )
 
     for warning in warnings:
