@@ -1,16 +1,38 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint typecheck analyze fuzz fuzz-smoke bench-smoke bench-gate compete-smoke profile coverage ci clean
+.PHONY: test lint typecheck analyze analyze-baseline sarif fuzz fuzz-smoke bench-smoke bench-gate compete-smoke profile coverage ci clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
-# Repo-specific static analysis (concurrency / determinism /
-# engine-contract rules; see docs/static-analysis.md).  Always available:
-# it needs only the stdlib.
+# Repo-specific static analysis (concurrency / determinism / flow /
+# lifecycle / engine-contract rules; see docs/static-analysis.md).
+# Always available: it needs only the stdlib.  The whole tree is
+# checked — src, tools, AND tests — against the committed baseline
+# (analysis-baseline.json): any finding not in the baseline fails, any
+# stale baseline entry fails (--prune), and every suppression must
+# carry a '-- why' justification.  Seeded rule fixtures are excluded.
 analyze:
-	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro analyze src/repro
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro analyze src tools tests \
+		--exclude tests/fixtures/analysis \
+		--baseline analysis-baseline.json --prune --check-suppressions
+
+# Regenerate the committed baseline after deliberately accepting (or
+# burning down) findings.  Review the diff before committing it.
+analyze-baseline:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro analyze src tools tests \
+		--exclude tests/fixtures/analysis \
+		--baseline analysis-baseline.json --write-baseline
+
+# SARIF 2.1.0 log for CI code-scanning upload (exit status ignored:
+# the gating run is `make analyze`; this one only renders the log).
+sarif:
+	-PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro analyze src tools tests \
+		--exclude tests/fixtures/analysis \
+		--baseline analysis-baseline.json \
+		--format sarif > analysis.sarif
+	@echo "wrote analysis.sarif"
 
 # ruff + the repro analyzer.  ruff is skipped with a notice when not
 # installed (the dev container ships without it; CI installs it).

@@ -1,10 +1,10 @@
-"""Repo-specific static analysis: concurrency, determinism, and
-engine-contract lints.
+"""Repo-specific static analysis: concurrency, determinism, flow,
+lifecycle, and engine-contract lints.
 
 Run it as ``repro analyze <dir-or-files>`` (or
 ``python -m repro analyze src/repro``); exit status 1 means findings.
 See ``docs/static-analysis.md`` for the rule catalog, the suppression
-syntax, and how to add a rule.
+syntax, the flow-sensitive CFG layer, and how to add a rule.
 
 Public API::
 
@@ -13,12 +13,27 @@ Public API::
     findings = analyze_paths(["src/repro"])   # List[Finding]
 """
 
+from .baseline import (
+    BaselineDiff,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .cfg import (
+    Cfg,
+    CfgBlock,
+    ForwardAnalysis,
+    build_cfg,
+    function_cfgs,
+    solve_forward,
+)
 from .core import (
     Finding,
     ModuleContext,
     Project,
     ProjectRule,
     Rule,
+    SuppressionRecord,
     all_rules,
     analyze_paths,
     analyze_project,
@@ -32,25 +47,40 @@ from .reporters import (
     render_human,
     render_json,
     render_rule_catalog,
+    render_sarif,
+    render_suppressions,
     write_report,
 )
 
 __all__ = [
+    "BaselineDiff",
+    "Cfg",
+    "CfgBlock",
     "Finding",
+    "ForwardAnalysis",
     "ModuleContext",
     "Project",
     "ProjectRule",
     "Rule",
+    "SuppressionRecord",
     "all_rules",
     "analyze_paths",
     "analyze_project",
+    "build_cfg",
+    "diff_against_baseline",
+    "function_cfgs",
     "is_lock_expr",
     "iter_python_files",
+    "load_baseline",
     "register_rule",
-    "rules_by_code",
-    "terminal_name",
     "render_human",
     "render_json",
     "render_rule_catalog",
+    "render_sarif",
+    "render_suppressions",
+    "rules_by_code",
+    "solve_forward",
+    "terminal_name",
+    "write_baseline",
     "write_report",
 ]

@@ -1,0 +1,118 @@
+"""Finding baselines: land new rules tree-wide without a flag day.
+
+A baseline is a committed JSON file recording the findings the tree is
+*known* to have.  ``repro analyze --baseline FILE`` then fails only on
+findings **not** in the baseline, so a new rule can start enforcing on
+every new change immediately while the backlog is burned down
+incrementally.  ``--prune`` reports *stale* entries — baseline lines
+the tree no longer produces — so the file shrinks monotonically
+instead of fossilizing.
+
+Entries are keyed by ``(code, path, message)`` with a count, NOT by
+line number: adding an import shifts every line in the file, and a
+line-keyed baseline would both mask new findings (a fresh finding
+landing on a blessed line) and spuriously fail (a blessed finding
+drifting off its line).  Message text is stable per-site because every
+rule interpolates the offending names, not positions.  Paths are
+normalized to ``/``-separated so the file is identical across
+platforms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .core import Finding
+
+__all__ = [
+    "BaselineDiff",
+    "diff_against_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+_FORMAT_VERSION = 1
+
+_Key = Tuple[str, str, str]  # (code, normalized path, message)
+
+
+def _key(code: str, path: str, message: str) -> _Key:
+    return (code, path.replace(os.sep, "/"), message)
+
+
+def _count(findings: List[Finding]) -> Dict[_Key, int]:
+    counts: Dict[_Key, int] = {}
+    for finding in findings:
+        key = _key(finding.code, finding.path, finding.message)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass
+class BaselineDiff:
+    """The comparison of current findings against a committed baseline."""
+
+    #: Findings not covered by the baseline — these fail the run.
+    new: List[Finding]
+    #: Baseline entries the tree no longer produces, as
+    #: ``(code, path, message, count)`` — surfaced by ``--prune``.
+    stale: List[Tuple[str, str, str, int]]
+    #: How many current findings the baseline absorbed.
+    matched: int
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    entries = [
+        {"code": code, "path": norm_path, "message": message, "count": count}
+        for (code, norm_path, message), count in sorted(
+            _count(findings).items()
+        )
+    ]
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[_Key, int]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            "unsupported baseline version %r in %s (expected %d); "
+            "regenerate with --write-baseline"
+            % (version, path, _FORMAT_VERSION)
+        )
+    counts: Dict[_Key, int] = {}
+    for entry in payload.get("entries", []):
+        key = _key(entry["code"], entry["path"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def diff_against_baseline(
+    findings: List[Finding], baseline: Dict[_Key, int]
+) -> BaselineDiff:
+    """Multiset difference: each baseline entry absorbs up to ``count``
+    matching findings; the overflow is new, the unused remainder stale."""
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _key(finding.code, finding.path, finding.message)
+        left = remaining.get(key, 0)
+        if left > 0:
+            remaining[key] = left - 1
+            matched += 1
+        else:
+            new.append(finding)
+    stale = [
+        (code, path, message, count)
+        for (code, path, message), count in sorted(remaining.items())
+        if count > 0
+    ]
+    return BaselineDiff(new=new, stale=stale, matched=matched)

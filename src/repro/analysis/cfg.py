@@ -1,0 +1,564 @@
+"""Per-function control-flow graphs and a generic forward dataflow solver.
+
+This is the flow-sensitive layer under the lock-discipline
+(:mod:`repro.analysis.lockgraph`), resource-lifecycle
+(:mod:`repro.analysis.rules.lifecycle`) and dead-code
+(:mod:`repro.analysis.rules.flow`) rules.  The model is deliberately
+small and honest about its approximations:
+
+* **One statement per basic block.**  Functions in this tree are short;
+  statement-granular blocks keep exception edges precise (an exception
+  *during* a statement carries the state from *before* it) and make the
+  "every statement maps to exactly one block" property trivial to test.
+* **Edges are labelled** (:data:`NEXT`, :data:`TRUE`/:data:`FALSE`,
+  :data:`LOOP`, :data:`BREAK`/:data:`CONTINUE`, :data:`RETURN`,
+  :data:`RAISE`, :data:`EXC`, :data:`EXC_CONT`).  ``EXC`` marks an
+  *implicit* may-raise edge and is the only kind that propagates the
+  block's **pre**-state; everything else propagates the post-state.
+* **``finally`` and ``with`` are funnels, built once.**  Normal flow,
+  exceptional flow and early exits (``return``/``break``/``continue``)
+  all route through the ``finally`` body (or the synthetic ``with``-exit
+  block, where context managers release), whose exit then fans out to
+  each continuation actually used.  This joins states that a
+  path-sensitive analysis would keep apart — the standard cheap
+  approximation, conservative for the may-analyses built on top.
+* **What may raise:** outside any ``try``/``with``, only statements
+  containing a call; inside one, every statement except ``pass`` and
+  bare jumps.  The generous inner rule keeps handlers reachable and
+  exercises the release/cleanup paths that the lifecycle rules audit;
+  the strict outer rule keeps the raise-exit from swallowing every
+  straight-line function.
+
+Raise paths end at a dedicated **raise-exit** block, distinct from the
+normal exit, so clients can ask "is the lock still held if this function
+unwinds?" separately from "…if it returns?".
+
+The :func:`solve_forward` worklist solver is lattice-agnostic: an
+analysis provides ``initial``/``join``/``transfer`` (and may override
+``edge_state`` to refine what an exception edge carries, e.g. "the
+release call itself raising still counts as released").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import ModuleContext
+
+__all__ = [
+    "NEXT", "TRUE", "FALSE", "LOOP", "BREAK", "CONTINUE", "RETURN",
+    "RAISE", "EXC", "EXC_CONT",
+    "CfgBlock", "Cfg", "build_cfg", "function_cfgs", "iter_owned_stmts",
+    "ForwardAnalysis", "solve_forward", "dotted_name", "may_raise",
+]
+
+NEXT = "next"
+TRUE = "true"
+FALSE = "false"
+LOOP = "loop"
+BREAK = "break"
+CONTINUE = "continue"
+RETURN = "return"
+RAISE = "raise"
+#: Implicit may-raise edge: carries the source block's PRE-state.
+EXC = "exc"
+#: Exception propagation continuing after a finally/with-exit ran.
+EXC_CONT = "exc-cont"
+
+#: Handler types treated as catch-alls (no unmatched-exception edge).
+_CATCH_ALL = ("BaseException", "Exception")
+
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_NO_RAISE_SIMPLE = (
+    ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal,
+)
+
+_TRY_TYPES = (ast.Try,) + (
+    (ast.TryStar,) if hasattr(ast, "TryStar") else ()
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def may_raise(node: ast.AST, generous: bool = False) -> bool:
+    """Whether executing ``node`` may raise.
+
+    Strict mode: only if it contains a call.  Generous mode (inside a
+    ``try``/``with`` region): anything but ``pass`` and bare jumps —
+    handlers must stay reachable and cleanup paths must be exercised.
+    """
+    if isinstance(node, _NO_RAISE_SIMPLE):
+        return False
+    if generous:
+        return True
+    return any(isinstance(child, ast.Call) for child in ast.walk(node))
+
+
+class CfgBlock:
+    """One basic block: at most one anchored statement plus labelled edges."""
+
+    __slots__ = ("bid", "stmt", "label", "succs", "preds", "with_exits")
+
+    def __init__(
+        self, bid: int, stmt: Optional[ast.stmt] = None, label: str = ""
+    ) -> None:
+        self.bid = bid
+        self.stmt = stmt
+        self.label = label
+        self.succs: List[Tuple[int, str]] = []
+        self.preds: List[Tuple[int, str]] = []
+        #: ``with`` items whose ``__exit__`` runs at this (synthetic)
+        #: block — transfer functions model releases here.
+        self.with_exits: List[ast.withitem] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = self.label or (
+            type(self.stmt).__name__ if self.stmt is not None else "join"
+        )
+        return "<block %d %s -> %r>" % (self.bid, what, self.succs)
+
+
+class Cfg:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.blocks: List[CfgBlock] = []
+        self.entry = -1
+        self.exit = -1
+        self.raise_exit = -1
+        #: Every owned statement -> the id of its (unique) block.
+        self.block_of: Dict[ast.stmt, int] = {}
+        #: Statement -> its previous sibling in the same body, if any.
+        self.prev_sibling: Dict[ast.stmt, ast.stmt] = {}
+        self._reachable: Optional[Set[int]] = None
+
+    def block(self, bid: int) -> CfgBlock:
+        return self.blocks[bid]
+
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from entry (memoized)."""
+        if self._reachable is None:
+            seen: Set[int] = set()
+            stack = [self.entry]
+            while stack:
+                bid = stack.pop()
+                if bid in seen:
+                    continue
+                seen.add(bid)
+                for succ, _kind in self.blocks[bid].succs:
+                    if succ not in seen:
+                        stack.append(succ)
+            self._reachable = seen
+        return self._reachable
+
+    def unreachable_stmts(self) -> List[ast.stmt]:
+        """Owned statements whose block no path from entry reaches."""
+        live = self.reachable()
+        return [
+            stmt
+            for stmt, bid in sorted(
+                self.block_of.items(), key=lambda item: item[1]
+            )
+            if bid not in live
+        ]
+
+
+def iter_owned_stmts(func: ast.AST) -> Iterator[ast.stmt]:
+    """Statements belonging to ``func`` itself — nested ``def``/``class``
+    statements are yielded, their bodies are not (they own their own
+    CFGs)."""
+
+    def walk(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, _FUNC_DEFS + (ast.ClassDef,)):
+                continue
+            for name in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, name, None)
+                if child:
+                    yield from walk(child)
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from walk(handler.body)
+            for case in getattr(stmt, "cases", []) or []:
+                yield from walk(case.body)
+
+    yield from walk(func.body)
+
+
+class _Frame:
+    """A funnel region (``finally`` body or ``with``-exit block).
+
+    ``conts`` records the early exits that entered the funnel as
+    ``(kind, ultimate_target)`` pairs; after the funnel body is built its
+    exit gets one edge per recorded continuation.  ``saw_exc`` arms the
+    exceptional continuation to the next-outer exception target.
+    """
+
+    __slots__ = ("entry", "conts", "saw_exc")
+
+    def __init__(self, entry: int) -> None:
+        self.entry = entry
+        self.conts: Set[Tuple[str, int]] = set()
+        self.saw_exc = False
+
+
+class _Loop:
+    __slots__ = ("header", "after", "frame_depth")
+
+    def __init__(self, header: int, after: int, frame_depth: int) -> None:
+        self.header = header
+        self.after = after
+        self.frame_depth = frame_depth
+
+
+_Edges = List[Tuple[int, str]]
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = Cfg(func)
+        self.cfg.entry = self._block(label="entry").bid
+        self.cfg.exit = self._block(label="exit").bid
+        self.cfg.raise_exit = self._block(label="raise-exit").bid
+        #: Innermost target for raising: a _Frame, or a plain block id.
+        self.exc_stack: List[object] = []
+        #: Funnels that early exits (return/break/continue) route through.
+        self.frame_stack: List[_Frame] = []
+        self.loop_stack: List[_Loop] = []
+
+    # -- graph primitives ---------------------------------------------------
+
+    def _block(
+        self, stmt: Optional[ast.stmt] = None, label: str = ""
+    ) -> CfgBlock:
+        block = CfgBlock(len(self.cfg.blocks), stmt, label)
+        self.cfg.blocks.append(block)
+        if stmt is not None:
+            self.cfg.block_of[stmt] = block.bid
+        return block
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        self.cfg.blocks[src].succs.append((dst, kind))
+        self.cfg.blocks[dst].preds.append((src, kind))
+
+    def _connect(self, preds: _Edges, dst: int) -> None:
+        for src, kind in preds:
+            self._edge(src, dst, kind)
+
+    def _exc_edge(self, src: int, kind: str) -> None:
+        """Edge to the innermost exception target (frame or block)."""
+        target = self.exc_stack[-1] if self.exc_stack else self.cfg.raise_exit
+        if isinstance(target, _Frame):
+            target.saw_exc = True
+            self._edge(src, target.entry, kind)
+        else:
+            self._edge(src, int(target), kind)  # type: ignore[call-overload]
+
+    def _route(self, src: int, kind: str, target: int, frame_floor: int) -> None:
+        """Route an early exit, funnelling through the innermost open
+        frame above ``frame_floor`` (finallys/with-exits must still run)."""
+        frames = self.frame_stack[frame_floor:]
+        if frames:
+            frame = frames[-1]
+            frame.conts.add((kind, target))
+            self._edge(src, frame.entry, kind)
+        else:
+            self._edge(src, target, kind)
+
+    def _generous(self) -> bool:
+        return bool(self.exc_stack)
+
+    # -- construction -------------------------------------------------------
+
+    def build(self) -> Cfg:
+        dangling = self._build_body(
+            self.cfg.func.body, [(self.cfg.entry, NEXT)]
+        )
+        self._connect(dangling, self.cfg.exit)
+        return self.cfg
+
+    def _build_body(self, body: List[ast.stmt], preds: _Edges) -> _Edges:
+        prev: Optional[ast.stmt] = None
+        for stmt in body:
+            if prev is not None:
+                self.cfg.prev_sibling[stmt] = prev
+            prev = stmt
+            preds = self._build_stmt(stmt, preds)
+        return preds
+
+    def _build_stmt(self, stmt: ast.stmt, preds: _Edges) -> _Edges:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, preds)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, preds)
+        if isinstance(stmt, _TRY_TYPES):
+            return self._build_try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, preds)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._build_match(stmt, preds)
+        return self._build_simple(stmt, preds)
+
+    def _build_simple(self, stmt: ast.stmt, preds: _Edges) -> _Edges:
+        block = self._block(stmt)
+        self._connect(preds, block.bid)
+        bid = block.bid
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None and may_raise(
+                stmt.value, self._generous()
+            ):
+                self._exc_edge(bid, EXC)
+            self._route(bid, RETURN, self.cfg.exit, frame_floor=0)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._exc_edge(bid, RAISE)
+            return []
+        if isinstance(stmt, ast.Break):
+            loop = self.loop_stack[-1]
+            self._route(bid, BREAK, loop.after, loop.frame_depth)
+            return []
+        if isinstance(stmt, ast.Continue):
+            loop = self.loop_stack[-1]
+            self._route(bid, CONTINUE, loop.header, loop.frame_depth)
+            return []
+        if may_raise(stmt, self._generous()):
+            self._exc_edge(bid, EXC)
+        return [(bid, NEXT)]
+
+    def _build_if(self, stmt: ast.If, preds: _Edges) -> _Edges:
+        header = self._block(stmt)
+        self._connect(preds, header.bid)
+        if may_raise(stmt.test, self._generous()):
+            self._exc_edge(header.bid, EXC)
+        dangling = self._build_body(stmt.body, [(header.bid, TRUE)])
+        if stmt.orelse:
+            dangling += self._build_body(stmt.orelse, [(header.bid, FALSE)])
+        else:
+            dangling.append((header.bid, FALSE))
+        return dangling
+
+    def _build_loop(self, stmt: ast.stmt, preds: _Edges) -> _Edges:
+        header = self._block(stmt)
+        self._connect(preds, header.bid)
+        test = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+        if may_raise(test, self._generous()):
+            self._exc_edge(header.bid, EXC)
+        after = self._block(label="loop-after")
+        self.loop_stack.append(
+            _Loop(header.bid, after.bid, len(self.frame_stack))
+        )
+        body_out = self._build_body(stmt.body, [(header.bid, TRUE)])
+        self.loop_stack.pop()
+        self._connect([(bid, LOOP) for bid, _ in body_out], header.bid)
+        if stmt.orelse:
+            else_out = self._build_body(stmt.orelse, [(header.bid, FALSE)])
+            self._connect(else_out, after.bid)
+        else:
+            self._edge(header.bid, after.bid, FALSE)
+        return [(after.bid, NEXT)]
+
+    def _build_with(self, stmt: ast.stmt, preds: _Edges) -> _Edges:
+        header = self._block(stmt)
+        self._connect(preds, header.bid)
+        if any(
+            may_raise(item.context_expr, self._generous())
+            for item in stmt.items
+        ):
+            self._exc_edge(header.bid, EXC)
+        exit_block = self._block(label="with-exit")
+        exit_block.with_exits = list(stmt.items)
+        frame = _Frame(exit_block.bid)
+        self.exc_stack.append(frame)
+        self.frame_stack.append(frame)
+        body_out = self._build_body(stmt.body, [(header.bid, NEXT)])
+        self.frame_stack.pop()
+        self.exc_stack.pop()
+        self._connect(body_out, exit_block.bid)
+        return self._drain_frame(frame, exit_ends=[(exit_block.bid, NEXT)],
+                                 has_normal=bool(body_out))
+
+    def _build_try(self, stmt: ast.stmt, preds: _Edges) -> _Edges:
+        header = self._block(stmt)
+        self._connect(preds, header.bid)
+        fin_frame: Optional[_Frame] = None
+        if stmt.finalbody:
+            fin_entry = self._block(label="finally")
+            fin_frame = _Frame(fin_entry.bid)
+
+        handlers = list(stmt.handlers)
+        dispatch: Optional[CfgBlock] = None
+        if handlers:
+            dispatch = self._block(label="except-dispatch")
+
+        # The try body raises to the dispatch (handlers first) or
+        # straight into the finally funnel.
+        body_exc_target: object
+        if dispatch is not None:
+            body_exc_target = dispatch.bid
+        elif fin_frame is not None:
+            body_exc_target = fin_frame
+        else:
+            body_exc_target = (
+                self.exc_stack[-1] if self.exc_stack else self.cfg.raise_exit
+            )
+        self.exc_stack.append(body_exc_target)
+        if fin_frame is not None:
+            self.frame_stack.append(fin_frame)
+        body_out = self._build_body(stmt.body, [(header.bid, NEXT)])
+        self.exc_stack.pop()
+
+        # else runs only after a clean body; its exceptions skip the
+        # handlers but still pass through the finally.
+        if stmt.orelse:
+            if fin_frame is not None:
+                self.exc_stack.append(fin_frame)
+            body_out = self._build_body(stmt.orelse, body_out)
+            if fin_frame is not None:
+                self.exc_stack.pop()
+
+        normal_out = list(body_out)
+        if dispatch is not None:
+            caught_all = False
+            if fin_frame is not None:
+                self.exc_stack.append(fin_frame)
+            for handler in handlers:
+                handler_out = self._build_body(
+                    handler.body, [(dispatch.bid, EXC)]
+                )
+                normal_out += handler_out
+                if handler.type is None or (
+                    dotted_name(handler.type) or ""
+                ).split(".")[-1] in _CATCH_ALL:
+                    caught_all = True
+            if fin_frame is not None:
+                self.exc_stack.pop()
+            if not caught_all:
+                # Unmatched exception: keeps propagating.
+                if fin_frame is not None:
+                    fin_frame.saw_exc = True
+                    self._edge(dispatch.bid, fin_frame.entry, EXC)
+                else:
+                    self._exc_edge(dispatch.bid, EXC)
+            if not dispatch.preds:
+                # Nothing in the body can raise; keep the handlers
+                # formally reachable rather than reporting them dead.
+                self._edge(header.bid, dispatch.bid, EXC)
+
+        if fin_frame is None:
+            return normal_out
+
+        self.frame_stack.pop()
+        self._connect(normal_out, fin_frame.entry)
+        fin_out = self._build_body(
+            stmt.finalbody, [(fin_frame.entry, NEXT)]
+        )
+        return self._drain_frame(
+            fin_frame, exit_ends=fin_out, has_normal=bool(normal_out)
+        )
+
+    def _drain_frame(
+        self, frame: _Frame, exit_ends: _Edges, has_normal: bool
+    ) -> _Edges:
+        """Wire a funnel's exit to every continuation that entered it."""
+        for kind, target in sorted(frame.conts):
+            for bid, _ in exit_ends:
+                self._edge(bid, target, kind)
+        if frame.saw_exc:
+            for bid, _ in exit_ends:
+                self._exc_edge(bid, EXC_CONT)
+        return exit_ends if has_normal else []
+
+    def _build_match(self, stmt: ast.stmt, preds: _Edges) -> _Edges:
+        header = self._block(stmt)
+        self._connect(preds, header.bid)
+        if may_raise(stmt.subject, self._generous()):
+            self._exc_edge(header.bid, EXC)
+        dangling: _Edges = []
+        for case in stmt.cases:
+            dangling += self._build_body(case.body, [(header.bid, TRUE)])
+        dangling.append((header.bid, FALSE))
+        return dangling
+
+
+def build_cfg(func: ast.AST) -> Cfg:
+    """The CFG of one ``FunctionDef``/``AsyncFunctionDef``."""
+    return _Builder(func).build()
+
+
+def function_cfgs(module: ModuleContext, func: ast.AST) -> Cfg:
+    """``build_cfg`` memoized on the module, shared across every rule.
+
+    All flow-sensitive rules (RC104/RC105, RL5xx, RE305, RD205) visit
+    the same functions; building each CFG once per analyzer run is what
+    keeps the whole-tree pass fast.
+    """
+    cache: Dict[int, Cfg] = module.__dict__.setdefault("_cfg_cache", {})
+    cfg = cache.get(id(func))
+    if cfg is None:
+        cfg = build_cfg(func)
+        cache[id(func)] = cfg
+    return cfg
+
+
+class ForwardAnalysis:
+    """A forward dataflow problem over a :class:`Cfg`.
+
+    Subclasses define the lattice (``initial``/``join``) and the
+    ``transfer`` function; ``edge_state`` may be overridden to refine
+    what each edge kind propagates (the default: :data:`EXC` edges carry
+    the pre-state — the exception happened *during* the statement — and
+    every other kind carries the post-state).
+    """
+
+    def initial(self) -> object:
+        raise NotImplementedError
+
+    def join(self, a: object, b: object) -> object:
+        raise NotImplementedError
+
+    def transfer(self, block: CfgBlock, state: object) -> object:
+        raise NotImplementedError
+
+    def edge_state(
+        self, block: CfgBlock, kind: str, state_in: object, state_out: object
+    ) -> object:
+        return state_in if kind == EXC else state_out
+
+
+def solve_forward(
+    cfg: Cfg, analysis: ForwardAnalysis
+) -> Tuple[Dict[int, object], Dict[int, object]]:
+    """Worklist fixpoint; returns ``(in_states, out_states)`` by block id.
+
+    Blocks never reached by any edge are absent from the result maps —
+    callers should treat a missing entry as bottom.
+    """
+    in_states: Dict[int, object] = {cfg.entry: analysis.initial()}
+    out_states: Dict[int, object] = {}
+    work = [cfg.entry]
+    while work:
+        bid = work.pop()
+        block = cfg.blocks[bid]
+        state_in = in_states[bid]
+        state_out = analysis.transfer(block, state_in)
+        out_states[bid] = state_out
+        for succ, kind in block.succs:
+            carried = analysis.edge_state(block, kind, state_in, state_out)
+            known = in_states.get(succ)
+            merged = carried if known is None else analysis.join(known, carried)
+            if known is None or merged != known:
+                in_states[succ] = merged
+                work.append(succ)
+    return in_states, out_states

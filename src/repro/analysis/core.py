@@ -40,6 +40,7 @@ __all__ = [
     "Project",
     "Rule",
     "ProjectRule",
+    "SuppressionRecord",
     "register_rule",
     "all_rules",
     "rules_by_code",
@@ -56,7 +57,21 @@ LOCK_NAME_RE = re.compile(r"(?:^|_)(r?lock|mutex)s?$", re.IGNORECASE)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+    r"(?:\s*--\s*(?P<why>\S.*?)\s*$)?"
 )
+
+
+@dataclass(frozen=True)
+class SuppressionRecord:
+    """One suppression comment, for the suppression-debt report."""
+
+    path: str
+    line: int
+    codes: Optional[FrozenSet[str]]  # ``None`` = blanket (every rule)
+    why: Optional[str]  # the ``-- why`` justification text, if any
+
+    def codes_text(self) -> str:
+        return "*" if self.codes is None else ",".join(sorted(self.codes))
 
 
 @dataclass(frozen=True)
@@ -92,6 +107,8 @@ class ModuleContext:
         self.lines = source.splitlines()
         #: line number -> suppressed codes (``None`` = every rule).
         self.suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+        #: Every suppression comment verbatim, for the debt report.
+        self.suppression_records: List[SuppressionRecord] = []
         self._collect_suppressions()
 
     @classmethod
@@ -114,6 +131,14 @@ class ModuleContext:
                     for code in codes_text.split(",")
                     if code.strip()
                 )
+            self.suppression_records.append(
+                SuppressionRecord(
+                    path=self.path,
+                    line=index,
+                    codes=codes,
+                    why=match.group("why"),
+                )
+            )
             # A comment-only line shields the line below; an inline
             # comment shields its own line.
             target = index

@@ -1,0 +1,386 @@
+"""Lock-held dataflow and the project-wide lock-acquisition-order graph.
+
+Built on :mod:`repro.analysis.cfg`.  A small forward analysis computes,
+per basic block, the *may-held* set of lock identities (union join over
+paths), counting both ``with lock:`` regions and explicit
+``lock.acquire()`` / ``lock.release()`` calls.  Lock syntax is
+recognized by the shared :data:`repro.analysis.core.LOCK_NAME_RE`
+convention; identities are normalized so the same lock is the same node
+across modules:
+
+* ``self._lock`` inside ``class Registry`` → ``Registry._lock``
+* anything else → the terminal identifier (``CACHE_LOCK``,
+  ``write_lock``), which is how a module-level lock imported elsewhere
+  keeps a single node.
+
+Two rules consume the analysis:
+
+* **RC104 (project rule)** — every acquisition performed while another
+  lock is already held contributes a *held → acquired* edge; a cycle in
+  the resulting cross-module graph is a deadlock-capable acquisition
+  order.  One finding per strongly connected component, anchored at its
+  first witness site.
+* **RC105 (module rule)** — a lock acquired via ``acquire()`` that may
+  still be held when the function unwinds (raise exit) or returns
+  (normal exit) on *some* path, i.e. release is not guaranteed by a
+  ``finally``/``with``.  ``__enter__`` and ``*acquire*``-named
+  functions are exempt: holding the lock past the return is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .cfg import EXC, CfgBlock, ForwardAnalysis, function_cfgs, solve_forward
+from .core import (
+    Finding,
+    FunctionInfo,
+    ModuleContext,
+    Project,
+    ProjectRule,
+    Rule,
+    is_lock_expr,
+    iter_functions,
+    register_rule,
+    terminal_name,
+)
+
+__all__ = [
+    "LockHeldAnalysis",
+    "LockSite",
+    "lock_identity",
+    "LockOrderCycleRule",
+    "ReleaseNotGuaranteedRule",
+]
+
+_WITH_TYPES = (ast.With, ast.AsyncWith)
+
+
+def lock_identity(expr: ast.AST, class_name: Optional[str]) -> Optional[str]:
+    """A cross-module-stable name for the lock ``expr`` denotes."""
+    if not is_lock_expr(expr):
+        return None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and class_name
+    ):
+        return "%s.%s" % (class_name, expr.attr)
+    return terminal_name(expr)
+
+
+def _call_on_lock(stmt: ast.stmt, method: str) -> Optional[ast.expr]:
+    """The lock expression of a ``lock.<method>(...)`` statement."""
+    value: Optional[ast.expr] = None
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        value = stmt.value
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == method
+        and is_lock_expr(func.value)
+    ):
+        return func.value
+    return None
+
+
+class LockHeldAnalysis(ForwardAnalysis):
+    """May-held lock sets (frozensets of identities, union join)."""
+
+    def __init__(self, class_name: Optional[str]) -> None:
+        self.class_name = class_name
+
+    def initial(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: object, b: object) -> FrozenSet[str]:
+        return frozenset(a) | frozenset(b)  # type: ignore[arg-type]
+
+    def acquires(self, block: CfgBlock) -> Set[str]:
+        out: Set[str] = set()
+        stmt = block.stmt
+        if isinstance(stmt, _WITH_TYPES):
+            for item in stmt.items:
+                ident = lock_identity(item.context_expr, self.class_name)
+                if ident:
+                    out.add(ident)
+        elif stmt is not None:
+            expr = _call_on_lock(stmt, "acquire")
+            if expr is not None:
+                ident = lock_identity(expr, self.class_name)
+                if ident:
+                    out.add(ident)
+        return out
+
+    def releases(self, block: CfgBlock) -> Set[str]:
+        out: Set[str] = set()
+        for item in block.with_exits:
+            ident = lock_identity(item.context_expr, self.class_name)
+            if ident:
+                out.add(ident)
+        stmt = block.stmt
+        if stmt is not None:
+            expr = _call_on_lock(stmt, "release")
+            if expr is not None:
+                ident = lock_identity(expr, self.class_name)
+                if ident:
+                    out.add(ident)
+        return out
+
+    def transfer(self, block: CfgBlock, state: object) -> FrozenSet[str]:
+        held = frozenset(state)  # type: ignore[arg-type]
+        return (held - frozenset(self.releases(block))) | frozenset(
+            self.acquires(block)
+        )
+
+    def edge_state(
+        self, block: CfgBlock, kind: str, state_in: object, state_out: object
+    ) -> object:
+        # An exception *during* the statement: acquisitions did not
+        # happen, but a release call raising still counts as an attempt
+        # on an already-releasable path — without this, the release in
+        # a ``finally`` would itself keep the lock "held" into the
+        # raise exit.
+        if kind == EXC:
+            return frozenset(state_in) - frozenset(  # type: ignore[arg-type]
+                self.releases(block)
+            )
+        return state_out
+
+
+class LockSite:
+    """One acquisition performed while other locks were held."""
+
+    __slots__ = ("held", "acquired", "path", "line", "col")
+
+    def __init__(
+        self, held: str, acquired: str, path: str, line: int, col: int
+    ) -> None:
+        self.held = held
+        self.acquired = acquired
+        self.path = path
+        self.line = line
+        self.col = col
+
+
+def _function_lock_sites(
+    module: ModuleContext, info: FunctionInfo
+) -> Iterator[LockSite]:
+    cfg = function_cfgs(module, info.node)
+    analysis = LockHeldAnalysis(info.class_name)
+    in_states, _ = solve_forward(cfg, analysis)
+    for block in cfg.blocks:
+        acquired = analysis.acquires(block)
+        if not acquired:
+            continue
+        held_state = in_states.get(block.bid)
+        if not held_state:
+            continue
+        assert block.stmt is not None
+        for acq in sorted(acquired):
+            for held in sorted(frozenset(held_state)):  # type: ignore[arg-type]
+                if held != acq:
+                    yield LockSite(
+                        held,
+                        acq,
+                        module.path,
+                        block.stmt.lineno,
+                        block.stmt.col_offset,
+                    )
+
+
+def _strongly_connected(
+    nodes: Iterable[str], succs: Dict[str, Set[str]]
+) -> List[List[str]]:
+    """Tarjan's SCC (iterative), components in discovery order."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    def visit(root: str) -> None:
+        work: List[Tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(succs.get(root, ()))))
+        ]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(succs.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for node in sorted(nodes):
+        if node not in index:
+            visit(node)
+    return components
+
+
+@register_rule
+class LockOrderCycleRule(ProjectRule):
+    """RC104: a cycle in the cross-module lock-acquisition-order graph."""
+
+    code = "RC104"
+    name = "lock-order-cycle"
+    description = (
+        "Two (or more) locks are acquired in opposite orders on "
+        "different paths — a deadlock waiting for the right "
+        "interleaving.  Edges come from a flow-sensitive held-set "
+        "analysis over every function; identities are normalized "
+        "(self.x -> Class.x, otherwise the terminal name) so the graph "
+        "spans modules.  Fix by picking one global order, or by "
+        "narrowing one critical section so the locks never overlap."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        # First witness per edge, in deterministic module/line order.
+        witnesses: Dict[Tuple[str, str], LockSite] = {}
+        for module in project.modules:
+            for info in iter_functions(module.tree):
+                for site in _function_lock_sites(module, info):
+                    witnesses.setdefault((site.held, site.acquired), site)
+
+        succs: Dict[str, Set[str]] = {}
+        nodes: Set[str] = set()
+        for held, acquired in witnesses:
+            succs.setdefault(held, set()).add(acquired)
+            nodes.add(held)
+            nodes.add(acquired)
+
+        findings = []
+        for component in _strongly_connected(nodes, succs):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            cycle_sites = sorted(
+                (
+                    site
+                    for (held, acq), site in witnesses.items()
+                    if held in members and acq in members
+                ),
+                key=lambda s: (s.path, s.line, s.held, s.acquired),
+            )
+            anchor = cycle_sites[0]
+            order = ", ".join(sorted(members))
+            detail = "; ".join(
+                "%s->%s at %s:%d" % (s.held, s.acquired, s.path, s.line)
+                for s in cycle_sites
+            )
+            findings.append(
+                Finding(
+                    code=self.code,
+                    path=anchor.path,
+                    line=anchor.line,
+                    col=anchor.col,
+                    message=(
+                        "lock-order cycle among {%s}: %s — acquisitions "
+                        "in opposite orders can deadlock" % (order, detail)
+                    ),
+                )
+            )
+        return findings
+
+
+@register_rule
+class ReleaseNotGuaranteedRule(Rule):
+    """RC105: ``acquire()`` whose release is not guaranteed on all paths."""
+
+    code = "RC105"
+    name = "release-not-guaranteed"
+    description = (
+        "A lock acquired with .acquire() may still be held when the "
+        "function raises or returns: some path (including implicit "
+        "exception edges out of any statement that can raise) skips the "
+        "release.  Use 'with lock:' or a try/finally; __enter__ and "
+        "*acquire*-named helpers, whose contract is to return holding "
+        "the lock, are exempt."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for info in iter_functions(module.tree):
+            name = getattr(info.node, "name", "")
+            if name == "__enter__" or "acquire" in name:
+                continue
+            yield from self._check_function(module, info)
+
+    def _check_function(
+        self, module: ModuleContext, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        cfg = function_cfgs(module, info.node)
+        analysis = LockHeldAnalysis(info.class_name)
+
+        # Explicit acquire() sites only: with-blocks release by
+        # construction, so they cannot leak.
+        acquire_sites: Dict[str, ast.stmt] = {}
+        for block in cfg.blocks:
+            stmt = block.stmt
+            if stmt is None or isinstance(stmt, _WITH_TYPES):
+                continue
+            expr = _call_on_lock(stmt, "acquire")
+            if expr is None:
+                continue
+            ident = lock_identity(expr, info.class_name)
+            if ident:
+                acquire_sites.setdefault(ident, stmt)
+        if not acquire_sites:
+            return
+
+        in_states, _ = solve_forward(cfg, analysis)
+        leaks: Dict[str, str] = {}
+        for exit_bid, how in (
+            (cfg.raise_exit, "when the function raises"),
+            (cfg.exit, "on a return path"),
+        ):
+            state = in_states.get(exit_bid)
+            if not state:
+                continue
+            for ident in sorted(frozenset(state)):  # type: ignore[arg-type]
+                if ident in acquire_sites:
+                    leaks.setdefault(ident, how)
+        for ident, how in sorted(leaks.items()):
+            stmt = acquire_sites[ident]
+            yield Finding(
+                code=self.code,
+                path=module.path,
+                line=stmt.lineno,
+                col=stmt.col_offset,
+                message=(
+                    "lock '%s' acquired here may still be held %s — "
+                    "release is not guaranteed by a finally/with"
+                    % (ident, how)
+                ),
+            )

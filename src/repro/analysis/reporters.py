@@ -1,16 +1,20 @@
-"""Finding reporters: human-readable lines and machine-readable JSON."""
+"""Finding reporters: human lines, machine JSON, SARIF 2.1.0, and the
+suppression-debt report."""
 
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, List
+import os
+from typing import IO, Dict, List, Optional
 
-from .core import Finding, Rule
+from .core import Finding, Rule, SuppressionRecord
 
 __all__ = [
     "render_human",
     "render_json",
+    "render_sarif",
     "render_rule_catalog",
+    "render_suppressions",
     "write_report",
 ]
 
@@ -47,6 +51,114 @@ def render_json(findings: List[Finding], checked_files: int) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _sarif_uri(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def render_sarif(findings: List[Finding], rules: List[Rule]) -> str:
+    """A minimal-but-valid SARIF 2.1.0 log (one run, one driver).
+
+    Only rules that actually fired are listed in the driver (CI diff
+    noise stays proportional to findings); every result carries the
+    physical location GitHub code scanning needs to annotate a PR.
+    """
+    fired = {finding.code for finding in findings}
+    rule_meta = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+        if rule.code in fired
+    ]
+    # Synthetic codes (e.g. the CLI-layer RS901 suppression-debt check)
+    # still need a driver entry for a well-formed ruleIndex.
+    covered = {meta["id"] for meta in rule_meta}
+    for code in sorted(fired - covered):
+        rule_meta.append(
+            {
+                "id": code,
+                "name": code.lower(),
+                "shortDescription": {"text": code},
+                "fullDescription": {"text": code},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    rule_index = {meta["id"]: idx for idx, meta in enumerate(rule_meta)}
+    results = [
+        {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index.get(finding.code, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(finding.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": (
+                            "https://example.invalid/docs/static-analysis"
+                        ),
+                        "rules": rule_meta,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def render_suppressions(records: List[SuppressionRecord]) -> str:
+    """The ``--list-suppressions`` debt report."""
+    if not records:
+        return "no suppressions in the checked files"
+    lines = []
+    missing = 0
+    for record in sorted(records, key=lambda r: (r.path, r.line)):
+        why = record.why if record.why else "(no justification)"
+        if not record.why:
+            missing += 1
+        lines.append(
+            "%s:%d: ignore[%s] %s"
+            % (record.path, record.line, record.codes_text(), why)
+        )
+    lines.append(
+        "%d suppression(s), %d without a '-- why' justification"
+        % (len(records), missing)
+    )
+    return "\n".join(lines)
+
+
 def render_rule_catalog(rules: List[Rule]) -> str:
     """The ``--list-rules`` table."""
     lines = []
@@ -61,8 +173,11 @@ def write_report(
     findings: List[Finding],
     checked_files: int,
     fmt: str = "human",
+    rules: Optional[List[Rule]] = None,
 ) -> None:
     if fmt == "json":
         out.write(render_json(findings, checked_files) + "\n")
+    elif fmt == "sarif":
+        out.write(render_sarif(findings, rules or []) + "\n")
     else:
         out.write(render_human(findings, checked_files) + "\n")

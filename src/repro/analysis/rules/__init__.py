@@ -1,18 +1,35 @@
 """Rule packs.  Importing this package registers every rule.
 
-Four packs, one per invariant family the repo actually depends on:
+Six packs, one per invariant family the repo actually depends on:
 
 * :mod:`.concurrency` — ``RC1xx``: lock discipline, double-checked
-  locking order, worker-target picklability;
+  locking order, worker-target picklability; the flow-sensitive
+  ``RC104``/``RC105`` (lock-order cycles, release-not-guaranteed) live
+  in :mod:`repro.analysis.lockgraph`, imported here for registration;
 * :mod:`.determinism` — ``RD2xx``: process-stable canonical keys and
   fingerprints;
+* :mod:`.flow` — ``RD205``: unreachable code, the cheapest client of
+  the CFG layer (:mod:`repro.analysis.cfg`);
 * :mod:`.contract` — ``RE3xx``: the engine registry/status/telemetry
   contract and exception hygiene in worker loops;
+* :mod:`.lifecycle` — ``RL5xx`` + ``RE305``: flow-sensitive resource
+  lifecycles (process/pool/pipe/queue/file/socket/tempfile) and the
+  Session/StageRecord finalize contract, on all exit paths including
+  exception edges;
 * :mod:`.perf` — ``RP4xx``: allocation and attribute-lookup discipline
   inside functions marked ``# repro: hot-loop`` (the SAT core's
   propagation loop).
 """
 
-from . import concurrency, contract, determinism, perf
+from .. import lockgraph
+from . import concurrency, contract, determinism, flow, lifecycle, perf
 
-__all__ = ["concurrency", "contract", "determinism", "perf"]
+__all__ = [
+    "concurrency",
+    "contract",
+    "determinism",
+    "flow",
+    "lifecycle",
+    "lockgraph",
+    "perf",
+]

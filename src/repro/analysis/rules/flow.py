@@ -1,0 +1,100 @@
+"""RD205: statements no path from the function entry can reach.
+
+The cheapest client of the CFG layer: build the graph, take the
+reachable set from entry, report owned statements whose block is never
+reached.  Cascades are collapsed — a dead statement is only reported if
+neither its previous sibling nor any enclosing statement is itself
+dead, so one ``return`` followed by ten lines yields one finding at the
+first dead line.
+
+Infinite loops do not trip the rule: loop headers always get a false
+edge (a ``while True`` analysis would need constant folding, and the
+tree's long-running service loops all have ``break``/``raise`` exits
+anyway), so code after a loop is considered live.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from ..cfg import function_cfgs
+from ..core import Finding, ModuleContext, Rule, iter_functions, register_rule
+
+_OWN_BODY_FIELDS = ("body", "orelse", "finalbody")
+_DEF_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _parent_map(func: ast.AST) -> Dict[ast.stmt, ast.stmt]:
+    """Owned statement -> enclosing owned statement (if any)."""
+    parents: Dict[ast.stmt, ast.stmt] = {}
+
+    def walk(body: List[ast.stmt], parent: ast.stmt) -> None:
+        for stmt in body:
+            if parent is not None:
+                parents[stmt] = parent
+            if isinstance(stmt, _DEF_TYPES):
+                continue
+            for name in _OWN_BODY_FIELDS:
+                child = getattr(stmt, name, None)
+                if child:
+                    walk(child, stmt)
+            for handler in getattr(stmt, "handlers", []) or []:
+                walk(handler.body, stmt)
+            for case in getattr(stmt, "cases", []) or []:
+                walk(case.body, stmt)
+
+    for stmt in func.body:
+        if isinstance(stmt, _DEF_TYPES):
+            continue
+        for name in _OWN_BODY_FIELDS:
+            child = getattr(stmt, name, None)
+            if child:
+                walk(child, stmt)
+        for handler in getattr(stmt, "handlers", []) or []:
+            walk(handler.body, stmt)
+        for case in getattr(stmt, "cases", []) or []:
+            walk(case.body, stmt)
+    return parents
+
+
+@register_rule
+class UnreachableCodeRule(Rule):
+    code = "RD205"
+    name = "unreachable-code"
+    description = (
+        "No path from the function entry reaches this statement — it "
+        "follows a return/raise/break/continue on every route, or sits "
+        "in a branch nothing takes.  Dead code drifts: it stops being "
+        "updated with the invariants around it and misleads readers "
+        "about what the function does.  Delete it, or fix the control "
+        "flow if it was meant to run."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for info in iter_functions(module.tree):
+            cfg = function_cfgs(module, info.node)
+            dead = cfg.unreachable_stmts()
+            if not dead:
+                continue
+            dead_set = set(dead)
+            parents = _parent_map(info.node)
+            for stmt in dead:
+                prev = cfg.prev_sibling.get(stmt)
+                if prev is not None and prev in dead_set:
+                    continue  # same dead region as its predecessor
+                enclosing = parents.get(stmt)
+                covered = False
+                while enclosing is not None:
+                    if enclosing in dead_set:
+                        covered = True
+                        break
+                    enclosing = parents.get(enclosing)
+                if covered:
+                    continue
+                yield self.finding(
+                    module,
+                    stmt,
+                    "unreachable: every path to this statement exits "
+                    "earlier (after a return/raise/break/continue)",
+                )

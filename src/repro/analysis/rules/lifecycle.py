@@ -1,0 +1,496 @@
+"""Resource-lifecycle rules (RL5xx) and the stage/session contract (RE305).
+
+All four rules share one flow-sensitive machinery built on the CFG
+layer: track locals assigned from a *creator* call (``proc =
+ctx.Process(...)``, ``fd, path = tempfile.mkstemp()``), follow the
+may-open set through every path — crucially including the implicit
+exception edge out of any statement that can raise — and report
+resources still open when the function unwinds or returns.
+
+The tracker is deliberately humble about aliasing: the moment a
+resource *escapes* (returned, yielded, stored into a container or
+attribute, passed as a call argument, captured by a nested function)
+it is someone else's responsibility and tracking stops.  Two kinds of
+call are not escapes: receiver-position method calls (``proc.start()``
+uses the process, it does not leak it) and *arg-closers*
+(``os.unlink(path)`` finalizes the temp path it receives).
+
+:class:`StageRecordRule`'s specs flip one switch, ``escape_closes``:
+for a ``StageRecord`` the contract is publish-early — appending the
+record to the outcome's stage list (an escape) IS the finalization, and
+it must happen before any statement that can raise, or the stage
+vanishes from telemetry exactly when it matters (see
+``engine/stages.py``, which appends before yielding).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..cfg import (
+    EXC,
+    Cfg,
+    CfgBlock,
+    ForwardAnalysis,
+    dotted_name,
+    function_cfgs,
+    solve_forward,
+)
+from ..core import (
+    Finding,
+    FunctionInfo,
+    ModuleContext,
+    Rule,
+    iter_functions,
+    register_rule,
+    terminal_name,
+)
+
+_WITH_TYPES = (ast.With, ast.AsyncWith)
+_TRY_TYPES = (ast.Try,) + ((ast.TryStar,) if hasattr(ast, "TryStar") else ())
+_DEF_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """How one family of resources is created and finalized."""
+
+    kind: str  # human label: "process", "pool", "temp file", ...
+    creators: FrozenSet[str]  # terminal callee names that create one
+    closers: FrozenSet[str]  # receiver methods that finalize
+    verb: str = "closed"  # past participle for the message
+    arg_closers: FrozenSet[str] = field(default_factory=frozenset)
+    #: Track these tuple-target indexes instead of a single name.
+    tuple_elements: Optional[Tuple[int, ...]] = None
+    #: Creator must be a bare ``Name`` call (``open``), not a method.
+    name_call_only: bool = False
+    #: Skip ``recv.Creator()`` for these receiver terminals (lowercased)
+    #: — ``queue.Queue`` is the stdlib thread queue, which needs no close.
+    exclude_receivers: FrozenSet[str] = field(default_factory=frozenset)
+    #: Escaping (being published) counts as finalization — but only at
+    #: the escape site, so a raise *before* the publish still reports.
+    escape_closes: bool = False
+
+
+_PROCESS_SPECS: Tuple[ResourceSpec, ...] = (
+    ResourceSpec(
+        kind="process",
+        creators=frozenset({"Process"}),
+        closers=frozenset({"join"}),
+        verb="joined",
+    ),
+    ResourceSpec(
+        kind="pool",
+        creators=frozenset({"Pool", "ThreadPool"}),
+        closers=frozenset({"close", "terminate"}),
+        verb="closed",
+    ),
+    ResourceSpec(
+        kind="pipe end",
+        creators=frozenset({"Pipe"}),
+        closers=frozenset({"close"}),
+        tuple_elements=(0, 1),
+    ),
+    ResourceSpec(
+        kind="queue",
+        creators=frozenset({"Queue", "JoinableQueue"}),
+        closers=frozenset({"close"}),
+        exclude_receivers=frozenset({"queue"}),
+    ),
+    ResourceSpec(
+        kind="file handle",
+        creators=frozenset({"open"}),
+        closers=frozenset({"close"}),
+        name_call_only=True,
+    ),
+    ResourceSpec(
+        kind="socket",
+        creators=frozenset({"socket"}),
+        closers=frozenset({"close", "detach"}),
+    ),
+)
+
+_TEMPFILE_SPECS: Tuple[ResourceSpec, ...] = (
+    ResourceSpec(
+        kind="temp file",
+        creators=frozenset({"mkstemp"}),
+        closers=frozenset(),
+        verb="removed",
+        arg_closers=frozenset({"unlink", "remove", "replace", "rename"}),
+        tuple_elements=(1,),  # the path; os.fdopen consumes the fd
+    ),
+    ResourceSpec(
+        kind="temp directory",
+        creators=frozenset({"mkdtemp"}),
+        closers=frozenset(),
+        verb="removed",
+        arg_closers=frozenset({"rmtree", "rmdir"}),
+    ),
+)
+
+_CONTRACT_SPECS: Tuple[ResourceSpec, ...] = (
+    ResourceSpec(
+        kind="session",
+        creators=frozenset({"Session"}),
+        closers=frozenset({"close"}),
+    ),
+    ResourceSpec(
+        kind="stage record",
+        creators=frozenset({"StageRecord"}),
+        closers=frozenset({"finalize"}),
+        verb="published",
+        escape_closes=True,
+    ),
+)
+
+
+def _creator_spec(
+    call: ast.Call, specs: Tuple[ResourceSpec, ...]
+) -> Optional[ResourceSpec]:
+    func = call.func
+    name = terminal_name(func)
+    if name is None:
+        return None
+    for spec in specs:
+        if name not in spec.creators:
+            continue
+        if spec.name_call_only and not isinstance(func, ast.Name):
+            continue
+        if isinstance(func, ast.Attribute):
+            recv = terminal_name(func.value)
+            if recv is not None and recv.lower() in spec.exclude_receivers:
+                continue
+        return spec
+    return None
+
+
+@dataclass
+class _Resource:
+    name: str
+    spec: ResourceSpec
+    stmt: ast.stmt  # the creating statement, for anchoring
+
+
+def _stmt_scan_roots(stmt: ast.stmt) -> List[ast.AST]:
+    """The parts of a statement evaluated *at its own block* — compound
+    statements contribute only their header expression (bodies are
+    separate blocks); nested defs contribute their whole subtree so
+    closure captures register as escapes."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, _WITH_TYPES):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, _TRY_TYPES):
+        return []
+    if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return [stmt]
+
+
+def _scan_stmt(
+    stmt: ast.stmt, tracked: Dict[str, ResourceSpec]
+) -> Tuple[Set[str], Set[str]]:
+    """``(closes, escapes)`` that executing this statement performs."""
+    closes: Set[str] = set()
+    escapes: Set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, _DEF_TYPES + (ast.Lambda,)):
+            # Closure capture: any use inside hands off ownership.
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Name)
+                    and isinstance(inner.ctx, ast.Load)
+                    and inner.id in tracked
+                ):
+                    escapes.add(inner.id)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in tracked
+            ):
+                # Receiver-position method call: a use, not an escape.
+                if func.attr in tracked[func.value.id].closers:
+                    closes.add(func.value.id)
+            else:
+                visit(func)
+            fname = terminal_name(func)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if (
+                    isinstance(arg, ast.Name)
+                    and arg.id in tracked
+                    and fname is not None
+                    and fname in tracked[arg.id].arg_closers
+                ):
+                    closes.add(arg.id)
+                    continue
+                visit(arg)
+            return
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and node.id in tracked:
+                escapes.add(node.id)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for root in _stmt_scan_roots(stmt):
+        visit(root)
+    return closes, escapes
+
+
+class _OpenSetAnalysis(ForwardAnalysis):
+    """May-open resource names; union join over paths."""
+
+    def __init__(
+        self, creates: Dict[int, FrozenSet[str]], closes: Dict[int, FrozenSet[str]]
+    ) -> None:
+        self.creates = creates
+        self.closes = closes
+
+    def initial(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def join(self, a: object, b: object) -> FrozenSet[str]:
+        return frozenset(a) | frozenset(b)  # type: ignore[arg-type]
+
+    def transfer(self, block: CfgBlock, state: object) -> FrozenSet[str]:
+        empty: FrozenSet[str] = frozenset()
+        return (
+            frozenset(state) - self.closes.get(block.bid, empty)  # type: ignore[arg-type]
+        ) | self.creates.get(block.bid, empty)
+
+    def edge_state(
+        self, block: CfgBlock, kind: str, state_in: object, state_out: object
+    ) -> object:
+        # Exception during the statement: the create did not happen,
+        # but a finalizer raising mid-``finally`` still counts as
+        # finalized — without this, ``finally: h.close()`` would keep
+        # the handle "open" into the raise exit.
+        if kind == EXC:
+            return frozenset(state_in) - self.closes.get(  # type: ignore[arg-type]
+                block.bid, frozenset()
+            )
+        return state_out
+
+
+def _check_lifecycle(
+    code: str,
+    module: ModuleContext,
+    info: FunctionInfo,
+    specs: Tuple[ResourceSpec, ...],
+) -> Iterator[Finding]:
+    cfg = function_cfgs(module, info.node)
+
+    resources: Dict[str, _Resource] = {}
+    creates_at: Dict[int, Set[str]] = {}
+    for block in cfg.blocks:
+        stmt = block.stmt
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            continue
+        spec = _creator_spec(value, specs)
+        if spec is None:
+            continue
+        target = stmt.targets[0]
+        names: List[str] = []
+        if spec.tuple_elements is not None:
+            if isinstance(target, ast.Tuple):
+                for idx in spec.tuple_elements:
+                    if idx < len(target.elts) and isinstance(
+                        target.elts[idx], ast.Name
+                    ):
+                        names.append(target.elts[idx].id)  # type: ignore[attr-defined]
+        elif isinstance(target, ast.Name):
+            names.append(target.id)
+        for name in names:
+            resources[name] = _Resource(name, spec, stmt)
+            creates_at.setdefault(block.bid, set()).add(name)
+    if not resources:
+        return
+
+    tracked = {name: res.spec for name, res in resources.items()}
+    closes_at: Dict[int, Set[str]] = {}
+    exempt: Set[str] = set()
+    for block in cfg.blocks:
+        if block.stmt is None:
+            continue
+        closes, escapes = _scan_stmt(block.stmt, tracked)
+        for name in escapes:
+            if tracked[name].escape_closes:
+                closes.add(name)  # publish-at-this-statement
+            else:
+                exempt.add(name)  # someone else's responsibility now
+        if closes:
+            closes_at.setdefault(block.bid, set()).update(closes)
+
+    live = {name for name in resources if name not in exempt}
+    if not live:
+        return
+
+    analysis = _OpenSetAnalysis(
+        creates={
+            bid: frozenset(n for n in names if n in live)
+            for bid, names in creates_at.items()
+        },
+        closes={
+            bid: frozenset(n for n in names if n in live)
+            for bid, names in closes_at.items()
+        },
+    )
+    in_states, _ = solve_forward(cfg, analysis)
+
+    leaks: Dict[str, str] = {}
+    for exit_bid, how in (
+        (cfg.raise_exit, "when an exception escapes"),
+        (cfg.exit, "on a return path"),
+    ):
+        state = in_states.get(exit_bid)
+        if not state:
+            continue
+        for name in sorted(frozenset(state)):  # type: ignore[arg-type]
+            leaks.setdefault(name, how)
+
+    for name in sorted(leaks):
+        res = resources[name]
+        hint = (
+            "publish it (append/pass it on) immediately after creation"
+            if res.spec.escape_closes
+            else "finalize it in a finally/with"
+        )
+        yield Finding(
+            code=code,
+            path=module.path,
+            line=res.stmt.lineno,
+            col=res.stmt.col_offset,
+            message=(
+                "%s '%s' created here may never be %s %s — %s"
+                % (res.spec.kind, name, res.spec.verb, leaks[name], hint)
+            ),
+        )
+
+
+class _LifecycleRule(Rule):
+    """Shared driver; subclasses pick the spec family."""
+
+    specs: Tuple[ResourceSpec, ...] = ()
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for info in iter_functions(module.tree):
+            yield from _check_lifecycle(self.code, module, info, self.specs)
+
+
+@register_rule
+class ResourceNotFinalizedRule(_LifecycleRule):
+    code = "RL501"
+    name = "resource-not-finalized"
+    description = (
+        "A process/pool/pipe/queue/file/socket assigned to a local may "
+        "never be joined/closed on some exit path — including the "
+        "implicit exception edge out of any statement that can raise.  "
+        "Resources that escape (returned, stored, passed on, captured "
+        "by a closure) are exempt; join/close in a finally or use a "
+        "with block to fix."
+    )
+    specs = _PROCESS_SPECS
+
+
+@register_rule
+class TerminateWithoutJoinRule(Rule):
+    code = "RL502"
+    name = "terminate-without-join"
+    description = (
+        "proc.terminate() with no reachable proc.join() afterwards: "
+        "SIGTERM delivery is asynchronous, and without the join the "
+        "child can linger as a zombie holding queue feeder threads "
+        "open.  Always follow terminate with a (bounded) join on the "
+        "same object."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for info in iter_functions(module.tree):
+            cfg = function_cfgs(module, info.node)
+            for block in cfg.blocks:
+                receiver = _method_call_receiver(block.stmt, "terminate")
+                if receiver is None:
+                    continue
+                if not self._join_reachable(cfg, block, receiver):
+                    assert block.stmt is not None
+                    yield self.finding(
+                        module,
+                        block.stmt,
+                        "'%s.terminate()' has no reachable '%s.join()' "
+                        "after it — terminated children must still be "
+                        "joined" % (receiver, receiver),
+                    )
+
+    @staticmethod
+    def _join_reachable(cfg: Cfg, start: CfgBlock, receiver: str) -> bool:
+        seen = {start.bid}
+        stack = [succ for succ, _ in start.succs]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            block = cfg.blocks[bid]
+            if _method_call_receiver(block.stmt, "join") == receiver:
+                return True
+            stack.extend(succ for succ, _ in block.succs)
+        return False
+
+
+def _method_call_receiver(
+    stmt: Optional[ast.stmt], method: str
+) -> Optional[str]:
+    """Dotted receiver of a ``recv.method(...)`` statement, if that is
+    what the statement is."""
+    value: Optional[ast.expr] = None
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        value = stmt.value
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute) and func.attr == method:
+        return dotted_name(func.value)
+    return None
+
+
+@register_rule
+class TempfileCleanupRule(_LifecycleRule):
+    code = "RL503"
+    name = "tempfile-not-removed"
+    description = (
+        "A mkstemp path or mkdtemp directory may survive an exception "
+        "path: the creating function raises (or returns) without "
+        "os.unlink/os.replace/shutil.rmtree reaching it on every path.  "
+        "Leaked temp files accumulate silently in shared cache "
+        "directories; remove them in a finally or an except-reraise."
+    )
+    specs = _TEMPFILE_SPECS
+
+
+@register_rule
+class StageRecordRule(_LifecycleRule):
+    code = "RE305"
+    name = "stage-finalize-contract"
+    description = (
+        "An engine Session or StageRecord is opened without guaranteed "
+        "finalization on raise paths.  Sessions must close() in a "
+        "finally (or escape to an owner that will); StageRecords must "
+        "be published (appended to the outcome's stage list or passed "
+        "to the consumer) immediately after creation — the publish-"
+        "early contract of StageClock.stage — or the stage silently "
+        "disappears from telemetry exactly when a stage blows up."
+    )
+    specs = _CONTRACT_SPECS

@@ -393,9 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--sep-thold", type=int, default=700)
     analyze.add_argument(
         "--format",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         default="human",
-        help="lint report format (lint mode only)",
+        help="lint report format (lint mode only); sarif emits a "
+        "SARIF 2.1.0 log for CI code-scanning upload",
     )
     analyze.add_argument(
         "--rules",
@@ -408,6 +409,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the lint rule catalog and exit",
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare findings against a committed baseline: only "
+        "findings not in FILE fail the run (lint mode only)",
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into --baseline FILE and "
+        "exit 0 (lint mode only)",
+    )
+    analyze.add_argument(
+        "--prune",
+        action="store_true",
+        help="with --baseline: also report stale baseline entries the "
+        "tree no longer produces, and fail if any exist",
+    )
+    analyze.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="skip files under PATH (repeatable; lint mode only) — "
+        "used to keep seeded rule fixtures out of tree-wide runs",
+    )
+    analyze.add_argument(
+        "--list-suppressions",
+        action="store_true",
+        help="print every suppression comment in the checked files "
+        "with its justification text, then exit (lint mode only)",
+    )
+    analyze.add_argument(
+        "--check-suppressions",
+        action="store_true",
+        help="fail (RS901) on any suppression missing the '-- why' "
+        "justification clause (lint mode only)",
     )
 
     sat = sub.add_parser("sat", help="solve a DIMACS CNF file")
@@ -906,7 +946,21 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_analyze_lint(args) -> int:
-    from .analysis import analyze_paths, iter_python_files, rules_by_code
+    import os
+
+    from .analysis import (
+        Finding,
+        ModuleContext,
+        Project,
+        all_rules,
+        analyze_project,
+        diff_against_baseline,
+        iter_python_files,
+        load_baseline,
+        render_suppressions,
+        rules_by_code,
+        write_baseline,
+    )
     from .analysis.reporters import write_report
 
     rules = None
@@ -916,14 +970,106 @@ def _cmd_analyze_lint(args) -> int:
         except KeyError as exc:
             print("analyze: %s" % exc.args[0], file=sys.stderr)
             return 2
+
+    excludes = [os.path.normpath(e) for e in (args.exclude or [])]
+
+    def _excluded(path: str) -> bool:
+        norm = os.path.normpath(path)
+        return any(
+            norm == e or norm.startswith(e + os.sep) for e in excludes
+        )
+
     try:
-        checked = len(list(iter_python_files(args.paths)))
-        findings = analyze_paths(args.paths, rules)
+        files = [
+            path
+            for path in iter_python_files(args.paths)
+            if not _excluded(path)
+        ]
+        modules = [ModuleContext.parse(path) for path in files]
     except (OSError, SyntaxError, ValueError) as exc:
         print("analyze: %s" % exc, file=sys.stderr)
         return 2
-    write_report(sys.stdout, findings, checked, fmt=args.format)
-    return 1 if findings else 0
+    project = Project(modules)
+
+    if args.list_suppressions:
+        records = [
+            record
+            for module in modules
+            for record in module.suppression_records
+        ]
+        print(render_suppressions(records))
+        return 0
+
+    findings = analyze_project(project, rules)
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "analyze: --write-baseline requires --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        write_baseline(args.baseline, findings)
+        print(
+            "baseline: wrote %d finding(s) from %d file(s) to %s"
+            % (len(findings), len(files), args.baseline)
+        )
+        return 0
+
+    stale = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print("analyze: baseline: %s" % exc, file=sys.stderr)
+            return 2
+        diff = diff_against_baseline(findings, baseline)
+        findings = diff.new
+        stale = diff.stale
+
+    # Suppression debt is generated here, not as a registered rule: a
+    # registered RS901 could be silenced by the very blanket
+    # suppression it reports on.
+    if args.check_suppressions:
+        for module in modules:
+            for record in module.suppression_records:
+                if not record.why:
+                    findings.append(
+                        Finding(
+                            code="RS901",
+                            path=record.path,
+                            line=record.line,
+                            col=0,
+                            message=(
+                                "suppression ignore[%s] has no '-- why' "
+                                "justification; explain it or remove it"
+                                % record.codes_text()
+                            ),
+                        )
+                    )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    write_report(
+        sys.stdout,
+        findings,
+        len(files),
+        fmt=args.format,
+        rules=rules if rules is not None else all_rules(),
+    )
+    if args.prune and stale:
+        for code, path, message, count in stale:
+            print(
+                "stale baseline entry (%dx): %s %s: %s"
+                % (count, code, path, message),
+                file=sys.stderr,
+            )
+        print(
+            "analyze: %d stale baseline entr(y/ies) — regenerate with "
+            "--write-baseline" % len(stale),
+            file=sys.stderr,
+        )
+    failed = bool(findings) or (args.prune and bool(stale))
+    return 1 if failed else 0
 
 
 def _cmd_analyze_formula(args) -> int:

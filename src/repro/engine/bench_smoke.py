@@ -277,7 +277,6 @@ def _conquer_cnf(
     from .contract import SolveRequest
     from .cube import conquer
 
-    record = StageRecord("sat")
     request = SolveRequest(
         formula=BoolVar("bench_cube_dummy"),  # conquer never reads it
         time_limit=timeout,
@@ -287,6 +286,7 @@ def _conquer_cnf(
             "cube_share": share,
         },
     )
+    record = StageRecord("sat")
     result = conquer(cnf, request, record, [])
     return result, record
 

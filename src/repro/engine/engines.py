@@ -169,7 +169,6 @@ class BruteEngine(Engine):
     def solve(self, request: SolveRequest) -> SolveOutcome:
         def run(req: SolveRequest) -> SolveOutcome:
             limit = req.options.get("limit", self.DEFAULT_LIMIT)
-            record = StageRecord("enumerate", counters={"limit": limit})
             try:
                 valid = brute_force_valid(req.formula, limit=limit)
             except BruteForceLimitExceeded as exc:
@@ -184,7 +183,9 @@ class BruteEngine(Engine):
                     status=Status.VALID if valid else Status.INVALID,
                 )
             outcome.stats.method = "BRUTE"
-            outcome.stats.stages = [record]
+            outcome.stats.stages = [
+                StageRecord("enumerate", counters={"limit": limit})
+            ]
             return outcome
 
         outcome = self._timed(request, run)

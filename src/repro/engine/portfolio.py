@@ -142,15 +142,20 @@ def _portfolio_outcome(
     wall = time.perf_counter() - started
     from ..core.result import StageRecord
 
-    race_record = StageRecord(
-        "race",
-        wall,
-        {
-            "members": len(members),
-            "finished": len(finished),
-            "cancelled": len(cancelled),
-        },
-    )
+    def race_record() -> StageRecord:
+        # Built at each publish site (the publish-early contract,
+        # RE305): a record created up front and attached later is lost
+        # if summarization raises in between.
+        return StageRecord(
+            "race",
+            wall,
+            {
+                "members": len(members),
+                "finished": len(finished),
+                "cancelled": len(cancelled),
+            },
+        )
+
     if winner is None:
         # Nothing decided: adopt the highest-priority finished outcome
         # (keeps TRANSLATION_LIMIT vs UNKNOWN distinctions) or report
@@ -165,7 +170,7 @@ def _portfolio_outcome(
             status = best.status
             if status is Status.ERROR:
                 status = Status.UNKNOWN
-            best.stats.stages = list(best.stats.stages) + [race_record]
+            best.stats.stages = list(best.stats.stages) + [race_record()]
             return SolveOutcome(
                 engine="portfolio",
                 status=status,
@@ -179,7 +184,7 @@ def _portfolio_outcome(
             detail="deadline reached before any engine finished",
             wall_seconds=wall,
         )
-        undecided.stats.stages = [race_record]
+        undecided.stats.stages = [race_record()]
         return undecided
     outcome = SolveOutcome(
         engine="portfolio",
@@ -198,7 +203,7 @@ def _portfolio_outcome(
     # The race itself is a stage: telemetry must show how many members
     # ran, finished, and were cancelled (tested by the loser-cancellation
     # test; do not drop these counters).
-    outcome.stats.stages = list(outcome.stats.stages) + [race_record]
+    outcome.stats.stages = list(outcome.stats.stages) + [race_record()]
     return outcome
 
 

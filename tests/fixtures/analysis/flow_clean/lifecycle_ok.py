@@ -1,0 +1,75 @@
+"""True negatives for the flow-sensitive rules: every resource here is
+finalized on all paths, so RL5xx/RE305/RC105/RD205 must stay silent."""
+
+import multiprocessing
+import os
+import tempfile
+import threading
+
+_STATE_LOCK = threading.Lock()
+
+
+class Session:
+    def close(self):
+        pass
+
+
+def _work(n):
+    return n + 1
+
+
+def guarded_bump(counts, key):
+    # RC105 true negative: the release is in a finally.
+    _STATE_LOCK.acquire()
+    try:
+        counts[key] = counts.get(key, 0) + 1
+    finally:
+        _STATE_LOCK.release()
+
+
+def run_joined(jobs):
+    # RL501 true negative: the join is guaranteed by the finally, which
+    # covers every statement that can raise after creation.
+    proc = multiprocessing.Process(target=_work, args=(1,))
+    try:
+        proc.start()
+        jobs.pop()
+    finally:
+        proc.join()
+
+
+def stop_worker(proc):
+    # RL502 true negative: terminate is followed by a bounded join.
+    proc.terminate()
+    proc.join(timeout=1.0)
+
+
+def atomic_write(path, payload):
+    # RL503 true negative: replaced on success, unlinked on failure.
+    fd, tmp_path = tempfile.mkstemp(prefix="atomic-")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+
+
+def probe_closed(formulas, check):
+    # RE305 true negative: close() is in a finally.
+    session = Session()
+    try:
+        for formula in formulas:
+            check(session, formula)
+    finally:
+        session.close()
+
+
+def first_even(numbers):
+    # RD205 true negative: the post-loop return is reachable via the
+    # loop's exhaustion edge even though the body can break.
+    for number in numbers:
+        if number % 2 == 0:
+            return number
+    return None

@@ -1,0 +1,19 @@
+"""RC104 true negative: both call paths take the locks in the same
+REGISTRY -> CACHE order, so the acquisition graph is acyclic."""
+
+import threading
+
+REGISTRY_LOCK = threading.Lock()
+CACHE_LOCK = threading.Lock()
+
+
+def refresh(entries):
+    with REGISTRY_LOCK:
+        with CACHE_LOCK:
+            entries.clear()
+
+
+def evict(entries, key):
+    with REGISTRY_LOCK:
+        with CACHE_LOCK:
+            entries.pop(key)

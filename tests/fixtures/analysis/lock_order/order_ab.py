@@ -1,0 +1,12 @@
+"""Fixture half: acquires REGISTRY_LOCK, then CACHE_LOCK (A -> B)."""
+
+import threading
+
+REGISTRY_LOCK = threading.Lock()
+CACHE_LOCK = threading.Lock()
+
+
+def refresh(entries):
+    with REGISTRY_LOCK:
+        with CACHE_LOCK:  # seeded RC104: opposite order in order_ba.py
+            entries.clear()

@@ -1,0 +1,9 @@
+"""Fixture half: acquires CACHE_LOCK, then REGISTRY_LOCK (B -> A)."""
+
+from order_ab import CACHE_LOCK, REGISTRY_LOCK
+
+
+def evict(entries, key):
+    with CACHE_LOCK:
+        with REGISTRY_LOCK:  # the B -> A edge closing the cycle
+            entries.pop(key)

@@ -1,0 +1,17 @@
+"""Fixture: RC105 — an acquire() whose release a raise path can skip."""
+
+import threading
+
+_STATS_LOCK = threading.Lock()
+
+
+def _recount(counts):
+    return sum(counts.values())
+
+
+def bump(counts, key):
+    _STATS_LOCK.acquire()  # seeded RC105: _recount below may raise first
+    counts[key] = counts.get(key, 0) + 1
+    total = _recount(counts)
+    _STATS_LOCK.release()
+    return total

@@ -1,0 +1,9 @@
+"""Fixture: RD205 — statements no path can reach after a return."""
+
+
+def classify(flag):
+    if flag:
+        return "on"
+    return "off"
+    flag = not flag  # seeded RD205: follows an unconditional return
+    return "revised"

@@ -1,0 +1,21 @@
+"""Fixture: RE305 — a Session opened without guaranteed close."""
+
+
+class Session:
+    def assert_formula(self, formula):
+        pass
+
+    def check_sat(self):
+        return True
+
+    def close(self):
+        pass
+
+
+def probe(formulas):
+    session = Session()  # seeded RE305: assert/check below may raise
+    for formula in formulas:
+        session.assert_formula(formula)
+    verdict = session.check_sat()
+    session.close()
+    return verdict

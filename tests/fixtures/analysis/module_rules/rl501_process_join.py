@@ -1,0 +1,14 @@
+"""Fixture: RL501 — a worker Process a raise path leaves unjoined."""
+
+import multiprocessing
+
+
+def _work(n):
+    return n * n
+
+
+def run_once(jobs):
+    proc = multiprocessing.Process(target=_work, args=(3,))  # seeded RL501
+    proc.start()
+    jobs.pop()
+    proc.join()

@@ -1,0 +1,6 @@
+"""Fixture: RL502 — terminate() with no join() reachable afterwards."""
+
+
+def kill_worker(proc, log):
+    proc.terminate()  # seeded RL502: nothing joins the terminated child
+    log.append("terminated")

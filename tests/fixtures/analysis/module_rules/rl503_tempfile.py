@@ -1,0 +1,12 @@
+"""Fixture: RL503 — a mkstemp path leaked when the write raises."""
+
+import os
+import tempfile
+
+
+def snapshot(payload):
+    fd, path = tempfile.mkstemp(prefix="snap-")  # seeded RL503
+    handle = os.fdopen(fd, "w")
+    handle.write(payload)
+    handle.close()
+    os.unlink(path)

@@ -36,9 +36,10 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
 MODULE_FIXTURES = FIXTURES / "module_rules"
 
 ALL_CODES = (
-    "RC101", "RC102", "RC103",
-    "RD201", "RD202", "RD203", "RD204",
-    "RE301", "RE302", "RE303", "RE304",
+    "RC101", "RC102", "RC103", "RC104", "RC105",
+    "RD201", "RD202", "RD203", "RD204", "RD205",
+    "RE301", "RE302", "RE303", "RE304", "RE305",
+    "RL501", "RL502", "RL503",
     "RP401", "RP402",
 )
 
@@ -123,6 +124,13 @@ MODULE_CASES = [
     ("re304_silent_except.py", "RE304", "swallows the failure"),
     ("rp401_tuple_alloc.py", "RP401", "allocated per iteration"),
     ("rp402_attr_reload.py", "RP402", "cache it in a local"),
+    # Flow-sensitive rules (CFG + dataflow).
+    ("rc105_acquire_release.py", "RC105", "release is not guaranteed"),
+    ("rd205_unreachable.py", "RD205", "unreachable"),
+    ("re305_session_finalize.py", "RE305", "finalize it in a finally"),
+    ("rl501_process_join.py", "RL501", "may never be joined"),
+    ("rl502_terminate.py", "RL502", "no reachable"),
+    ("rl503_tempfile.py", "RL503", "may never be removed"),
 ]
 
 
@@ -310,6 +318,46 @@ class TestProjectRules:
 
 
 # ---------------------------------------------------------------------------
+# The lock-order graph (RC104) and the flow-clean true negatives
+# ---------------------------------------------------------------------------
+
+
+class TestLockGraph:
+    def test_ab_ba_cycle_across_modules(self):
+        findings = analyze_paths([str(FIXTURES / "lock_order")])
+        assert [f.code for f in findings] == ["RC104"]
+        (finding,) = findings
+        # Both locks, both witness sites, anchored at the first one.
+        assert "CACHE_LOCK" in finding.message
+        assert "REGISTRY_LOCK" in finding.message
+        assert "order_ba.py" in finding.message
+        assert finding.path.endswith("order_ab.py")
+        marked = [
+            index
+            for index, line in enumerate(
+                (FIXTURES / "lock_order" / "order_ab.py")
+                .read_text()
+                .splitlines(),
+                start=1,
+            )
+            if "seeded RC104" in line
+        ]
+        assert finding.line in marked
+
+    def test_single_module_has_no_cycle(self):
+        findings = analyze_paths(
+            [str(FIXTURES / "lock_order" / "order_ab.py")]
+        )
+        assert findings == []
+
+    def test_flow_clean_true_negatives(self):
+        # try/finally release, joined Process, terminate-then-join,
+        # cleaned tempfile, closed session, reachable post-loop code,
+        # and a consistent lock order: all clean.
+        assert analyze_paths([str(FIXTURES / "flow_clean")]) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 
@@ -460,3 +508,200 @@ class TestAnalyzeCli:
             sys.stdin = old_stdin
         assert code == 0
         assert "classes:" in out
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    SEEDED = str(MODULE_FIXTURES / "rd202_set_join.py")
+
+    def test_write_then_compare_is_clean(self, tmp_path):
+        baseline = str(tmp_path / "base.json")
+        code, out = run_cli(
+            ["analyze", self.SEEDED, "--baseline", baseline,
+             "--write-baseline"]
+        )
+        assert code == 0
+        assert "wrote 1 finding(s)" in out
+        code, out = run_cli(
+            ["analyze", self.SEEDED, "--baseline", baseline]
+        )
+        assert code == 0
+        assert "clean" in out
+
+    def test_new_finding_fails_despite_baseline(self, tmp_path):
+        baseline = str(tmp_path / "base.json")
+        code, _ = run_cli(
+            ["analyze", self.SEEDED, "--baseline", baseline,
+             "--write-baseline"]
+        )
+        assert code == 0
+        other = str(MODULE_FIXTURES / "rl501_process_join.py")
+        code, out = run_cli(
+            ["analyze", self.SEEDED, other, "--baseline", baseline]
+        )
+        assert code == 1
+        assert "RL501" in out and "RD202" not in out
+
+    def test_prune_flags_stale_entries(self, tmp_path):
+        baseline = str(tmp_path / "base.json")
+        code, _ = run_cli(
+            ["analyze", self.SEEDED, "--baseline", baseline,
+             "--write-baseline"]
+        )
+        assert code == 0
+        clean = str(FIXTURES / "suppressed")
+        # Without --prune the stale entry is tolerated...
+        code, _ = run_cli(["analyze", clean, "--baseline", baseline])
+        assert code == 0
+        # ...with --prune it fails until the baseline is regenerated.
+        code, _ = run_cli(
+            ["analyze", clean, "--baseline", baseline, "--prune"]
+        )
+        assert code == 1
+
+    def test_write_baseline_requires_file(self):
+        code, _ = run_cli(["analyze", self.SEEDED, "--write-baseline"])
+        assert code == 2
+
+    def test_exclude_skips_subtree(self):
+        code, out = run_cli(
+            [
+                "analyze",
+                str(MODULE_FIXTURES),
+                "--exclude",
+                str(MODULE_FIXTURES),
+            ]
+        )
+        assert code == 0
+        assert "0 findings in 0 file(s)" in out
+
+    def test_committed_baseline_matches_the_tree(self, monkeypatch):
+        # The acceptance criterion: `repro analyze src tools tests`
+        # runs clean modulo the committed baseline, with no stale
+        # entries and every suppression justified.
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run_cli(
+            [
+                "analyze", "src", "tools", "tests",
+                "--exclude", "tests/fixtures/analysis",
+                "--baseline", "analysis-baseline.json",
+                "--prune",
+                "--check-suppressions",
+            ]
+        )
+        assert code == 0, out
+
+
+# ---------------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_sarif_shape(self):
+        code, out = run_cli(
+            [
+                "analyze",
+                str(MODULE_FIXTURES / "rd202_set_join.py"),
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 1
+        log = json.loads(out)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analyze"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == ["RD202"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "RD202"
+        assert result["ruleIndex"] == 0
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(
+            "rd202_set_join.py"
+        )
+        assert location["region"]["startLine"] > 0
+        assert location["region"]["startColumn"] > 0
+
+    def test_sarif_clean_run_has_no_results(self):
+        code, out = run_cli(
+            [
+                "analyze",
+                str(FIXTURES / "suppressed"),
+                "--format",
+                "sarif",
+            ]
+        )
+        assert code == 0
+        log = json.loads(out)
+        assert log["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression-debt reporting
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionDebt:
+    def _module(self, tmp_path, body):
+        path = tmp_path / "debt.py"
+        path.write_text(body)
+        return str(path)
+
+    def test_list_suppressions_shows_justifications(self, tmp_path):
+        # The markers are assembled by concatenation so this test file
+        # itself never matches the tree-wide suppression scan.
+        path = self._module(
+            tmp_path,
+            "x = ','.join({'a'})  # repro: "
+            + "ignore[RD202] -- output is order-free\n"
+            + "y = ','.join({'b'})  # repro: "
+            + "ignore[RD202]\n",
+        )
+        code, out = run_cli(["analyze", path, "--list-suppressions"])
+        assert code == 0
+        assert "output is order-free" in out
+        assert "(no justification)" in out
+        assert "2 suppression(s), 1 without" in out
+
+    def test_check_suppressions_fails_on_missing_why(self, tmp_path):
+        path = self._module(
+            tmp_path,
+            "y = ','.join({'b'})  # repro: " + "ignore[RD202]\n",
+        )
+        code, out = run_cli(["analyze", path, "--check-suppressions"])
+        assert code == 1
+        assert "RS901" in out
+
+    def test_check_suppressions_passes_with_why(self, tmp_path):
+        path = self._module(
+            tmp_path,
+            "y = ','.join({'b'})  # repro: "
+            + "ignore[RD202] -- fixture, order-free\n",
+        )
+        code, out = run_cli(["analyze", path, "--check-suppressions"])
+        assert code == 0
+
+    def test_blanket_suppression_cannot_hide_the_debt_check(self, tmp_path):
+        # RS901 is produced at the CLI layer precisely so a bare
+        # blanket ignore cannot silence its own finding.
+        path = self._module(
+            tmp_path, "y = ','.join({'b'})  # repro: " + "ignore\n"
+        )
+        code, out = run_cli(["analyze", path, "--check-suppressions"])
+        assert code == 1
+        assert "RS901" in out
+
+    def test_list_suppressions_clean_tree(self, tmp_path):
+        path = self._module(tmp_path, "x = 1\n")
+        code, out = run_cli(["analyze", path, "--list-suppressions"])
+        assert code == 0
+        assert "no suppressions" in out

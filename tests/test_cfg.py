@@ -1,0 +1,344 @@
+"""Tests for the CFG builder and the forward dataflow solver.
+
+Two layers: structural unit tests pinning the edge semantics the
+flow-sensitive rules rely on (exception edges carry pre-state, finally
+funnels intercept early exits, handlers stay reachable), and a
+hypothesis property over randomly generated functions: every owned
+statement maps to exactly one basic block, and every statement block is
+either reachable from the entry or reported dead.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import (
+    EXC,
+    FALSE,
+    ForwardAnalysis,
+    build_cfg,
+    dotted_name,
+    function_cfgs,
+    iter_owned_stmts,
+    may_raise,
+    solve_forward,
+)
+from repro.analysis.core import ModuleContext
+from repro.analysis.lockgraph import LockHeldAnalysis
+
+
+def _cfg_of(source):
+    func = ast.parse(source).body[0]
+    return func, build_cfg(func)
+
+
+def _lock_states(source):
+    func, cfg = _cfg_of(source)
+    in_states, _ = solve_forward(cfg, LockHeldAnalysis(None))
+    return cfg, in_states
+
+
+# ---------------------------------------------------------------------------
+# Structural unit tests
+# ---------------------------------------------------------------------------
+
+
+class TestBuilder:
+    def test_linear_chain_reaches_exit(self):
+        _, cfg = _cfg_of("def f(a):\n    x = a\n    y = x\n    return y\n")
+        assert cfg.exit in cfg.reachable()
+        assert cfg.unreachable_stmts() == []
+
+    def test_one_statement_per_block(self):
+        func, cfg = _cfg_of(
+            "def f(a):\n"
+            "    if a:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        owned = list(iter_owned_stmts(func))
+        assert set(owned) == set(cfg.block_of)
+        assert len(set(cfg.block_of.values())) == len(owned)
+
+    def test_while_header_always_has_false_edge(self):
+        # Even `while True`: constant folding is out of scope, so code
+        # after an infinite loop is never reported unreachable.
+        _, cfg = _cfg_of(
+            "def f(q):\n"
+            "    while True:\n"
+            "        q.get()\n"
+            "    return 1\n"
+        )
+        loop_blocks = [
+            b for b in cfg.blocks if b.stmt is not None
+            and isinstance(b.stmt, ast.While)
+        ]
+        assert any(kind == FALSE for _, kind in loop_blocks[0].succs)
+        assert cfg.unreachable_stmts() == []
+
+    def test_unreachable_after_return(self):
+        _, cfg = _cfg_of(
+            "def f():\n    return 1\n    x = 2\n    y = 3\n"
+        )
+        dead = cfg.unreachable_stmts()
+        assert [type(s).__name__ for s in dead] == ["Assign", "Assign"]
+
+    def test_unreachable_after_raise(self):
+        _, cfg = _cfg_of(
+            "def f():\n    raise ValueError('x')\n    cleanup()\n"
+        )
+        assert len(cfg.unreachable_stmts()) == 1
+
+    def test_handler_reachable_without_calls_in_body(self):
+        _, cfg = _cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        x = 1\n"
+            "    except Exception:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        assert cfg.unreachable_stmts() == []
+
+    def test_break_routes_through_finally(self):
+        # The break must funnel through the finally body, and the code
+        # after the loop stays reachable.
+        _, cfg = _cfg_of(
+            "def f(items, call):\n"
+            "    for i in items:\n"
+            "        try:\n"
+            "            break\n"
+            "        finally:\n"
+            "            call()\n"
+            "    return 1\n"
+        )
+        assert cfg.unreachable_stmts() == []
+        ret_block = [
+            b for b in cfg.blocks
+            if b.stmt is not None and isinstance(b.stmt, ast.Return)
+        ][0]
+        assert ret_block.bid in cfg.reachable()
+
+    def test_preds_mirror_succs(self):
+        _, cfg = _cfg_of(
+            "def f(a, call):\n"
+            "    with a:\n"
+            "        call()\n"
+            "    return 1\n"
+        )
+        for block in cfg.blocks:
+            for succ, kind in block.succs:
+                assert (block.bid, kind) in cfg.blocks[succ].preds
+
+    def test_function_cfgs_memoizes(self):
+        source = "def f():\n    return 1\n"
+        module = ModuleContext("m.py", source, ast.parse(source))
+        func = module.tree.body[0]
+        assert function_cfgs(module, func) is function_cfgs(module, func)
+
+    def test_dotted_name(self):
+        assert dotted_name(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+        assert dotted_name(ast.parse("a[0].b", mode="eval").body) is None
+
+    def test_may_raise_strict_vs_generous(self):
+        call = ast.parse("f()").body[0]
+        assign = ast.parse("x = 1").body[0]
+        assert may_raise(call) and not may_raise(assign)
+        assert may_raise(assign, generous=True)
+        assert not may_raise(ast.parse("pass").body[0], generous=True)
+
+
+# ---------------------------------------------------------------------------
+# Solver semantics the rules depend on
+# ---------------------------------------------------------------------------
+
+
+class TestSolver:
+    def test_exception_edge_carries_pre_state(self):
+        # work() can raise while the lock is held: the raise exit must
+        # see it.  The acquire's own exception edge must NOT (the
+        # acquisition had not happened yet).
+        cfg, in_states = _lock_states(
+            "def f(lock, work):\n"
+            "    lock.acquire()\n"
+            "    work()\n"
+            "    lock.release()\n"
+        )
+        assert "lock" in in_states[cfg.raise_exit]
+        assert in_states[cfg.exit] == frozenset()
+
+    def test_finally_release_clears_raise_exit(self):
+        cfg, in_states = _lock_states(
+            "def f(lock, work):\n"
+            "    lock.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        )
+        assert in_states.get(cfg.raise_exit, frozenset()) == frozenset()
+        assert in_states[cfg.exit] == frozenset()
+
+    def test_return_inside_with_releases(self):
+        cfg, in_states = _lock_states(
+            "def f(lock, work):\n"
+            "    with lock:\n"
+            "        return work()\n"
+        )
+        assert in_states[cfg.exit] == frozenset()
+        # The raise during work() still funnels through __exit__.
+        assert in_states.get(cfg.raise_exit, frozenset()) == frozenset()
+
+    def test_join_over_branches(self):
+        cfg, in_states = _lock_states(
+            "def f(lock, flag):\n"
+            "    if flag:\n"
+            "        lock.acquire()\n"
+            "    return flag\n"
+        )
+        # May-held union: one branch holds, so the exit may hold.
+        assert in_states[cfg.exit] == frozenset({"lock"})
+
+    def test_loop_fixpoint_terminates(self):
+        class Collect(ForwardAnalysis):
+            def initial(self):
+                return frozenset()
+
+            def join(self, a, b):
+                return a | b
+
+            def transfer(self, block, state):
+                if block.stmt is not None:
+                    return state | {block.bid}
+                return state
+
+        _, cfg = _cfg_of(
+            "def f(items, call):\n"
+            "    for i in items:\n"
+            "        if i:\n"
+            "            continue\n"
+            "        call()\n"
+            "    return 1\n"
+        )
+        in_states, out_states = solve_forward(cfg, Collect())
+        assert cfg.exit in in_states
+        assert set(in_states) <= cfg.reachable()
+
+
+# ---------------------------------------------------------------------------
+# The hypothesis property
+# ---------------------------------------------------------------------------
+
+
+_SIMPLE = (
+    "x = x + 1",
+    "x = h(x)",
+    "call()",
+    "pass",
+    "return x",
+    "raise ValueError('boom')",
+)
+_LOOP_ONLY = ("break", "continue")
+
+
+def _indent(lines):
+    return ["    " + line for line in lines]
+
+
+@st.composite
+def _stmt_lines(draw, depth, in_loop):
+    kinds = ["simple", "simple", "simple"]
+    if depth > 0:
+        kinds += ["if", "ifelse", "while", "for", "try", "finally", "with"]
+    if in_loop:
+        kinds += ["loopjump"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "simple":
+        return [draw(st.sampled_from(_SIMPLE))]
+    if kind == "loopjump":
+        return [draw(st.sampled_from(_LOOP_ONLY))]
+    body = draw(_block_lines(depth - 1, in_loop or kind in ("while", "for")))
+    if kind == "if":
+        return ["if x:"] + _indent(body)
+    if kind == "ifelse":
+        orelse = draw(_block_lines(depth - 1, in_loop))
+        return ["if x:"] + _indent(body) + ["else:"] + _indent(orelse)
+    if kind == "while":
+        return ["while x:"] + _indent(body)
+    if kind == "for":
+        return ["for i in items:"] + _indent(body)
+    if kind == "try":
+        handler = draw(_block_lines(depth - 1, in_loop))
+        return (
+            ["try:"] + _indent(body)
+            + ["except Exception:"] + _indent(handler)
+        )
+    if kind == "finally":
+        cleanup = draw(_block_lines(depth - 1, in_loop))
+        return ["try:"] + _indent(body) + ["finally:"] + _indent(cleanup)
+    assert kind == "with"
+    return ["with call():"] + _indent(body)
+
+
+@st.composite
+def _block_lines(draw, depth, in_loop):
+    chunks = draw(
+        st.lists(_stmt_lines(depth, in_loop), min_size=1, max_size=3)
+    )
+    return [line for chunk in chunks for line in chunk]
+
+
+@st.composite
+def function_sources(draw):
+    body = draw(_block_lines(depth=2, in_loop=False))
+    return "def f(x, call, h, items):\n" + "\n".join(_indent(body)) + "\n"
+
+
+class TestCfgProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(function_sources())
+    def test_every_statement_has_exactly_one_block(self, source):
+        func = ast.parse(source).body[0]
+        cfg = build_cfg(func)
+        owned = list(iter_owned_stmts(func))
+        # Bijection: every owned statement is in the map, each in its
+        # own block (one statement per block by construction).
+        assert set(owned) == set(cfg.block_of)
+        assert len(set(cfg.block_of.values())) == len(owned)
+
+    @settings(max_examples=120, deadline=None)
+    @given(function_sources())
+    def test_blocks_reachable_or_flagged_dead(self, source):
+        func = ast.parse(source).body[0]
+        cfg = build_cfg(func)
+        live = cfg.reachable()
+        dead = set(cfg.unreachable_stmts())
+        for stmt, bid in cfg.block_of.items():
+            assert bid in live or stmt in dead
+        # And the flags are consistent: nothing both reachable and dead.
+        for stmt in dead:
+            assert cfg.block_of[stmt] not in live
+
+    @settings(max_examples=60, deadline=None)
+    @given(function_sources())
+    def test_edges_symmetric_and_solver_terminates(self, source):
+        func = ast.parse(source).body[0]
+        cfg = build_cfg(func)
+        for block in cfg.blocks:
+            for succ, kind in block.succs:
+                assert (block.bid, kind) in cfg.blocks[succ].preds
+        in_states, _ = solve_forward(cfg, LockHeldAnalysis(None))
+        assert set(in_states) <= cfg.reachable()
+
+    @settings(max_examples=60, deadline=None)
+    @given(function_sources())
+    def test_exc_edges_only_from_may_raise(self, source):
+        func = ast.parse(source).body[0]
+        cfg = build_cfg(func)
+        for block in cfg.blocks:
+            for _succ, kind in block.succs:
+                if kind == EXC and block.stmt is not None:
+                    assert may_raise(block.stmt, generous=True)

@@ -73,10 +73,10 @@ class TestEngine:
 
 
 def conquer_cnf(cnf, **options):
-    record = StageRecord("sat", 0.0)
     request = SolveRequest(
         formula=BoolVar("test_cube_dummy"), options=options
     )
+    record = StageRecord("sat", 0.0)
     result = conquer(cnf, request, record, [])
     return result, record
 
@@ -121,11 +121,11 @@ class TestConductor:
         assert record.counters["imported"] == 0
 
     def test_sequential_time_limit_returns_unknown(self):
-        record = StageRecord("sat", 0.0)
         request = SolveRequest(
             formula=BoolVar("test_cube_dummy"),
             time_limit=0.0,
             options={"cube_procs": 1, "cube_depth": 3},
         )
+        record = StageRecord("sat", 0.0)
         result = conquer(pigeonhole_cnf(8, 7), request, record, [])
         assert result.status == "UNKNOWN"

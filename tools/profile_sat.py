@@ -40,7 +40,6 @@ def _profile_cube(cnf, args) -> int:
     from repro.engine.cube import DEFAULT_DEPTH, conquer
     from repro.logic.terms import BoolVar
 
-    record = StageRecord("sat", 0.0)
     request = SolveRequest(
         formula=BoolVar("profile_cube_dummy"),
         options={
@@ -53,6 +52,7 @@ def _profile_cube(cnf, args) -> int:
     profiler = cProfile.Profile()
     try:
         profiler.enable()
+        record = StageRecord("sat", 0.0)
         result = conquer(cnf, request, record, [])
         profiler.disable()
         print(
